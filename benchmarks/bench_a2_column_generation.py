@@ -1,0 +1,37 @@
+"""Benchmark A2 — ablation: column generation vs full enumeration.
+
+Both must reach the same optimum on every instance; column generation
+exists because enumeration explodes on larger link unions.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablation_a2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation_a2()
+
+
+def test_a2_same_optimum(result):
+    for label, enumerated, cg_value, _es, _cs, _iters in result.rows:
+        assert cg_value == pytest.approx(enumerated, abs=1e-6), label
+
+
+def test_a2_iterations_bounded(result):
+    for _label, _e, _c, _es, _cs, iterations in result.rows:
+        assert 1 <= iterations <= 200
+    print()
+    print(result.table())
+
+
+def test_a2_benchmark(benchmark):
+    from repro.core.column_generation import solve_with_column_generation
+    from repro.workloads.scenarios import scenario_two
+
+    bundle = scenario_two()
+    outcome = benchmark(
+        solve_with_column_generation, bundle.model, bundle.path
+    )
+    assert outcome.result.available_bandwidth == pytest.approx(16.2)

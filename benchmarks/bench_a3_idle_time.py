@@ -1,0 +1,51 @@
+"""Benchmark A3 — ablation: analytic vs CSMA-measured idleness.
+
+Feeding the Section 4 estimators idleness from the optimal background
+schedule vs from the packet-level CSMA/CA run.  Both inputs must keep the
+estimator ordering (Eq. 13 ≤ Eq. 12; Eq. 15 ≤ Eq. 13); the measured MAC's
+idleness differs from the optimal schedule's, which is the whole reason
+the paper's idle-time metrics drift from the truth.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablation_a3
+from repro.mac.config import CsmaConfig
+
+FAST_CSMA = CsmaConfig(sim_slots=30_000, warmup_slots=3_000)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation_a3(csma_config=FAST_CSMA)
+
+
+def test_a3_estimator_order_holds_for_both_inputs(result):
+    values = {name: (analytic, measured) for name, analytic, measured in result.rows}
+    for column in (0, 1):
+        assert (
+            values["conservative"][column]
+            <= values["min-clique-bottleneck"][column] + 1e-9
+        )
+        assert (
+            values["expected-ctt"][column]
+            <= values["conservative"][column] + 1e-9
+        )
+
+
+def test_a3_clique_estimate_input_independent(result):
+    values = {name: (a, m) for name, a, m in result.rows}
+    analytic, measured = values["clique"]
+    assert analytic == pytest.approx(measured)
+    print()
+    print(result.table())
+
+
+def test_a3_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_ablation_a3,
+        kwargs={"csma_config": FAST_CSMA},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.rows

@@ -1,0 +1,38 @@
+"""Benchmark A4 — ablation: propagation-exponent sensitivity.
+
+The Fig. 3 routing-metric ordering (hop count ≤ e2eTD ≤ average-e2eD in
+admitted flows) must not be an artifact of the paper's exponent 4;
+re-derive the rate ranges for each exponent and re-run the comparison.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablation_a4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation_a4()
+
+
+def test_a4_ordering_robust_to_exponent(result):
+    assert result.ordering_holds_everywhere()
+
+
+def test_a4_lower_exponent_longer_ranges(result):
+    ranges = [max_range for _exp, _counts, max_range in result.rows]
+    exponents = [exp for exp, _c, _r in result.rows]
+    assert exponents == sorted(exponents)
+    assert ranges == sorted(ranges, reverse=True)
+    print()
+    print(result.table())
+
+
+def test_a4_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_ablation_a4,
+        kwargs={"exponents": (4.0,), "n_flows": 4},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.rows

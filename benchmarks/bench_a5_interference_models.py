@@ -1,0 +1,32 @@
+"""Benchmark A5 — ablation: pairwise vs cumulative interference.
+
+On three parallel links, the single-interferer (protocol) model can admit
+a rate that the cumulative (physical, Eq. 3) model rejects — pairwise
+estimates are optimistic, never pessimistic.  The default spacings hit
+both the agreeing and the diverging regimes.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablation_a5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation_a5()
+
+
+def test_a5_pairwise_never_below_cumulative(result):
+    assert result.pairwise_never_below_cumulative()
+
+
+def test_a5_strict_gap_exists(result):
+    gaps = [protocol - physical for _n, protocol, physical in result.rows]
+    assert max(gaps) > 1.0  # the 160 m spacing diverges by 2.5 Mbps
+    print()
+    print(result.table())
+
+
+def test_a5_benchmark(benchmark):
+    outcome = benchmark(run_ablation_a5)
+    assert outcome.rows

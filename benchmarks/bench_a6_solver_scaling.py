@@ -1,0 +1,99 @@
+"""Benchmark A6 — solver scaling: enumeration vs column generation.
+
+Eq. 6 on chains of growing length: full enumeration's column count grows
+exponentially in the link union while column generation prices only the
+columns the optimum needs.  Both must return identical optima at every
+size; the timing table is the scaling story.
+"""
+
+import time
+
+import pytest
+
+from repro import Path, available_path_bandwidth, solve_with_column_generation
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.generators import chain_topology
+
+LENGTHS = (4, 6, 8)
+
+
+def _chain_path(network, hops):
+    return Path(
+        [
+            network.link_between(f"n{i}", f"n{i + 1}")
+            for i in range(hops)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rows = []
+    for hops in LENGTHS:
+        network = chain_topology(hops + 1, 70.0)
+        model = ProtocolInterferenceModel(network)
+        path = _chain_path(network, hops)
+        started = time.perf_counter()
+        exact = available_path_bandwidth(model, path)
+        enum_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        cg = solve_with_column_generation(model, path)
+        cg_seconds = time.perf_counter() - started
+        rows.append(
+            {
+                "hops": hops,
+                "exact": exact.available_bandwidth,
+                "cg": cg.result.available_bandwidth,
+                "columns_enumerated": len(exact.independent_sets),
+                "columns_generated": cg.columns_generated,
+                "enum_seconds": enum_seconds,
+                "cg_seconds": cg_seconds,
+            }
+        )
+    return rows
+
+
+def test_a6_same_optimum_at_every_size(instances):
+    for row in instances:
+        assert row["cg"] == pytest.approx(row["exact"], rel=1e-6), row["hops"]
+
+
+def test_a6_column_counts_stay_small(instances):
+    """CG's pool = singleton seed (one per link) + priced columns; it must
+    stay within a small constant of the maximal family (at these sizes
+    enumeration is still cheap — the exponential separation appears at the
+    random-topology scale, where A2 measures it)."""
+    for row in instances:
+        seed_pool = row["hops"]  # one singleton per link
+        assert (
+            row["columns_generated"]
+            <= row["columns_enumerated"] + seed_pool
+        )
+    print()
+    header = (
+        f"{'hops':>5} {'optimum':>9} {'enum cols':>10} {'cg cols':>8} "
+        f"{'enum s':>8} {'cg s':>8}"
+    )
+    print(header)
+    for row in instances:
+        print(
+            f"{row['hops']:>5} {row['exact']:>9.3f} "
+            f"{row['columns_enumerated']:>10} {row['columns_generated']:>8} "
+            f"{row['enum_seconds']:>8.3f} {row['cg_seconds']:>8.3f}"
+        )
+
+
+def test_a6_benchmark_enumeration(benchmark):
+    network = chain_topology(7, 70.0)
+    model = ProtocolInterferenceModel(network)
+    path = _chain_path(network, 6)
+    result = benchmark(available_path_bandwidth, model, path)
+    assert result.available_bandwidth > 0
+
+
+def test_a6_benchmark_column_generation(benchmark):
+    network = chain_topology(7, 70.0)
+    model = ProtocolInterferenceModel(network)
+    path = _chain_path(network, 6)
+    result = benchmark(solve_with_column_generation, model, path)
+    assert result.result.available_bandwidth > 0

@@ -1,0 +1,45 @@
+"""Benchmark E1 — Fig. 1 Scenario I: optimal vs idle-time available bandwidth.
+
+Regenerates the λ sweep behind the paper's Section 1 narrative and checks
+its shape: the optimum leaves 1−λ for the new link, serialised idle-time
+accounting only 1−2λ, and a measured CSMA/CA MAC lands in between.
+"""
+
+import pytest
+
+from repro.experiments.scenario1 import run_scenario1
+from repro.mac.config import CsmaConfig
+
+FAST_CSMA = CsmaConfig(sim_slots=30_000, warmup_slots=3_000)
+SHARES = (0.1, 0.2, 0.3, 0.4)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario1(shares=SHARES, csma_config=FAST_CSMA)
+
+
+def test_e1_shape(result):
+    for row in result.rows:
+        lam = row.background_share
+        assert row.optimal_share == pytest.approx(1.0 - lam)
+        assert row.idle_time_share_serialised == pytest.approx(1.0 - 2.0 * lam)
+        assert (
+            row.idle_time_share_serialised - 0.05
+            <= row.idle_time_share_csma
+            <= row.optimal_share + 0.05
+        )
+        # The gap the paper highlights: idle time under-admits by λ.
+        assert row.optimal_share - row.idle_time_share_serialised == pytest.approx(lam)
+    print()
+    print(result.table())
+
+
+def test_e1_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_scenario1,
+        kwargs={"shares": (0.3,), "csma_config": FAST_CSMA},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.rows[0].optimal_share == pytest.approx(0.7)

@@ -1,0 +1,42 @@
+"""Benchmark E2 — the Section 5.1 worked example (Scenario II).
+
+Regenerates every number the paper prints: f = 16.2 Mbps, the schedule
+λ = (0.1, 0.3, 0.3, 0.3), the clique-constraint violations 1.2 and 1.05,
+and the fixed-rate bounds 13.5 and 108/7 ≈ 15.43 — all exactly.
+"""
+
+import pytest
+
+from repro.experiments.scenario2 import run_scenario2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario2()
+
+
+def test_e2_paper_numbers(result):
+    assert result.optimal_throughput == pytest.approx(16.2)
+    shares = sorted(e.time_share for e in result.schedule.entries)
+    assert shares == pytest.approx([0.1, 0.3, 0.3, 0.3])
+    violations = [value for _n, value in result.clique_violations]
+    assert violations == pytest.approx([1.2, 1.05])
+    bounds = [value for _n, value in result.fixed_rate_bounds]
+    assert bounds == pytest.approx([13.5, 108.0 / 7.0])
+    assert result.hypothesis_value == pytest.approx(1.05)
+    assert result.hypothesis_value > 1.0  # Eq. 8 refuted
+    assert (
+        result.subset_lower_bound
+        <= result.optimal_throughput
+        <= result.eq9_upper_bound + 1e-6
+    )
+    print()
+    print(result.table())
+    print()
+    print("optimal schedule:")
+    print(result.schedule)
+
+
+def test_e2_benchmark(benchmark):
+    outcome = benchmark(run_scenario2)
+    assert outcome.optimal_throughput == pytest.approx(16.2)

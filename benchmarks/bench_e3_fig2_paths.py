@@ -1,0 +1,44 @@
+"""Benchmark E3 — Fig. 2: the random topology and the per-metric paths.
+
+Regenerates the data content of the paper's picture: the 30-node
+placement in 400 m × 600 m and the routes each metric picks, including
+the links where e2eTD diverges from average-e2eD (the dotted arrows).
+"""
+
+import pytest
+
+from repro.experiments.fig2_paths import run_fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig2()
+
+
+def test_e3_placement_within_area(result):
+    for node in result.fig3.network.nodes:
+        assert 0.0 <= node.x <= 400.0
+        assert 0.0 <= node.y <= 600.0
+    assert len(result.fig3.network.nodes) == 30
+
+
+def test_e3_paths_connect_endpoints(result):
+    for name, report in result.fig3.reports.items():
+        for outcome in report.outcomes:
+            if outcome.path is None:
+                continue
+            assert outcome.path.source.node_id == outcome.flow.source
+            assert outcome.path.destination.node_id == outcome.flow.destination
+
+
+def test_e3_metrics_diverge(result):
+    """The paper's dotted arrows exist: e2eTD uses some links that
+    average-e2eD does not."""
+    assert result.divergent_links()
+    print()
+    print(result.table())
+
+
+def test_e3_benchmark(benchmark):
+    outcome = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    assert outcome.fig3.reports

@@ -1,0 +1,54 @@
+"""Benchmark E4 — Fig. 3: available bandwidth per flow per routing metric.
+
+Shape checks against the paper (its exact numbers depend on its node
+placement, which is not published; see EXPERIMENTS.md):
+
+* average-e2eD admits the most flows, hop count the fewest;
+* with the default seed the failure points are 3 (hop count, paper: 3),
+  6 (e2eTD, paper: 5) and 8 (average-e2eD, paper: 8);
+* flow by flow, average-e2eD's paths have at least e2eTD's bandwidth.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig3_routing import Fig3Config, run_fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3()
+
+
+def test_e4_metric_ordering(result):
+    hop = result.reports["hop-count"].admitted_count
+    td = result.reports["e2eTD"].admitted_count
+    avg = result.reports["average-e2eD"].admitted_count
+    assert hop <= td <= avg
+    assert avg > td  # the paper's headline: load awareness wins
+
+
+def test_e4_default_seed_failure_points(result):
+    assert result.first_failure(("hop-count")) == 3   # paper: 3
+    assert result.first_failure("e2eTD") == 6         # paper: 5
+    assert result.first_failure("average-e2eD") == 8  # paper: 8
+
+
+def test_e4_average_dominates_e2etd_per_flow(result):
+    td = result.series("e2eTD")
+    avg = result.series("average-e2eD")
+    for index in range(min(len(td), len(avg))):
+        if math.isnan(td[index]) or math.isnan(avg[index]):
+            continue
+        assert avg[index] + 1e-6 >= td[index]
+    print()
+    print(result.table())
+
+
+def test_e4_benchmark(benchmark):
+    config = Fig3Config(n_flows=4, metrics=("average-e2eD",))
+    outcome = benchmark.pedantic(
+        run_fig3, args=(config,), rounds=1, iterations=1
+    )
+    assert outcome.reports["average-e2eD"].outcomes

@@ -1,0 +1,62 @@
+"""Benchmark E5 — Fig. 4: estimated vs true path available bandwidth.
+
+Shape checks from the paper's Section 5.3 discussion:
+
+* "clique constraint" ignores background → over-estimates under heavy
+  load (the late flows);
+* "bottleneck node bandwidth" ignores self-interference → over-estimates
+  under light load (the first flow);
+* "conservative clique constraint" performs best (lowest mean absolute
+  error);
+* "expected clique transmission time" is a little worse than the
+  conservative clique constraint but better than the rest;
+* under heavy load the conservative/expected estimators can
+  under-estimate (idle time is a pessimistic currency), while the clique
+  constraint still over-estimates.
+"""
+
+import pytest
+
+from repro.experiments.fig4_estimation import run_fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4()
+
+
+def test_e5_clique_overestimates_under_heavy_load(result):
+    last = result.rows[-1]
+    assert last.estimates["clique"] > last.truth
+
+
+def test_e5_bottleneck_overestimates_under_light_load(result):
+    first = result.rows[0]
+    assert first.estimates["bottleneck"] > first.truth
+
+
+def test_e5_conservative_wins(result):
+    mae = result.mean_absolute_error()
+    assert mae["conservative"] == min(mae.values())
+
+
+def test_e5_expected_ctt_second(result):
+    mae = result.mean_absolute_error()
+    others = [mae["clique"], mae["bottleneck"], mae["min-clique-bottleneck"]]
+    assert mae["expected-ctt"] <= min(others)
+    assert mae["expected-ctt"] >= mae["conservative"]
+
+
+def test_e5_combined_never_above_components(result):
+    for row in result.rows:
+        assert (
+            row.estimates["min-clique-bottleneck"]
+            <= min(row.estimates["clique"], row.estimates["bottleneck"]) + 1e-9
+        )
+    print()
+    print(result.table())
+
+
+def test_e5_benchmark(benchmark):
+    outcome = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    assert len(outcome.rows) >= 5

@@ -1,0 +1,43 @@
+"""Benchmark S1 — seed-robustness of the Fig. 3 conclusions.
+
+The paper's comparison runs on one placement; this study re-runs it on
+many.  Shape asserted: the admitted-flow ordering hop count ≤ e2eTD ≤
+average-e2eD never inverts, and average-e2eD strictly beats e2eTD on at
+least one placement (it did on the paper's).
+"""
+
+import pytest
+
+from repro.experiments.seed_study import run_seed_study
+
+SEEDS = (2, 3, 5, 8, 9, 22, 23)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_seed_study(seeds=SEEDS)
+
+
+def test_s1_ordering_never_inverts(result):
+    assert result.ordering_violations() == 0
+
+
+def test_s1_average_e2ed_strictly_wins_somewhere(result):
+    assert result.strict_wins() >= 1
+
+
+def test_s1_mean_ordering(result):
+    means = result.mean_admitted()
+    assert means["hop-count"] < means["e2eTD"] <= means["average-e2eD"]
+    print()
+    print(result.table())
+
+
+def test_s1_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_seed_study,
+        kwargs={"seeds": (8,), "n_flows": 4},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.seeds_evaluated == 1

@@ -1,0 +1,50 @@
+"""Benchmark X1 — extension: estimators as admission controllers.
+
+Operationalises Fig. 4: accept a flow when the estimator's value covers
+its demand, scored against the Eq. 6 ground truth.  Shape: the paper's
+winner (conservative clique constraint) also makes the best *decisions* —
+in particular it never false-accepts on the default trace, while the
+over-estimating metrics (clique, bottleneck) do.
+"""
+
+import pytest
+
+from repro.experiments.extensions import run_admission_accuracy
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_admission_accuracy()
+
+
+def test_x1_conservative_most_accurate(result):
+    accuracies = {
+        name: correct / result.trials
+        for name, (correct, _fa, _fr) in result.decisions.items()
+    }
+    assert accuracies["conservative"] == max(accuracies.values())
+
+
+def test_x1_conservative_no_false_accepts(result):
+    _correct, false_accepts, _fr = result.decisions["conservative"]
+    assert false_accepts == 0
+
+
+def test_x1_overestimators_false_accept(result):
+    clique_fa = result.decisions["clique"][1]
+    bottleneck_fa = result.decisions["bottleneck"][1]
+    assert clique_fa + bottleneck_fa > 0
+    print()
+    print(result.table())
+
+
+def test_x1_benchmark(benchmark):
+    from repro.experiments.fig3_routing import Fig3Config
+
+    outcome = benchmark.pedantic(
+        run_admission_accuracy,
+        args=(Fig3Config(n_flows=4),),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.trials >= 1

@@ -1,0 +1,48 @@
+"""Benchmark X2 — extension: joint routing vs single metrics.
+
+Section 4's joint routing/scheduling problem, approximated by scoring
+Yen-generated candidates with the exact Eq. 6 LP.  Shape: the joint route
+is never worse than any single metric's, and strictly better somewhere on
+the default workload.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.extensions import run_joint_routing
+from repro.experiments.fig3_routing import Fig3Config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_joint_routing()
+
+
+def test_x2_joint_never_worse(result):
+    assert result.joint_never_worse()
+
+
+def test_x2_joint_strictly_better_somewhere(result):
+    improvements = 0
+    for _flow, values in result.rows:
+        singles = [
+            v for name, v in values.items()
+            if name != "joint" and not math.isnan(v)
+        ]
+        if values["joint"] > max(singles) + 1e-6:
+            improvements += 1
+    assert improvements >= 1
+    print()
+    print(result.table())
+
+
+def test_x2_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_joint_routing,
+        args=(Fig3Config(n_flows=3),),
+        kwargs={"k": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.rows

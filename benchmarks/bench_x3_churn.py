@@ -1,0 +1,53 @@
+"""Benchmark X3 — extension: admission policies under flow churn.
+
+Shape: the exact Eq. 6 policy never overloads the network; the
+background-blind clique constraint does; the conservative clique
+constraint (the paper's Fig. 4 winner) stays overload-free on the default
+trace — the operational payoff of estimating well.
+"""
+
+import pytest
+
+from repro.experiments.churn_study import run_churn_study
+from repro.workloads.churn import ChurnConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_churn_study(config=ChurnConfig(n_arrivals=20))
+
+
+def test_x3_truth_is_clean(result):
+    truth = result.outcomes["truth"]
+    assert truth.overload_admissions == 0
+    assert truth.false_accepts == 0
+
+
+def test_x3_clique_overloads(result):
+    assert result.outcomes["clique"].overload_admissions > 0
+
+
+def test_x3_conservative_overload_free(result):
+    assert result.outcomes["conservative"].overload_admissions == 0
+
+
+def test_x3_overload_costs_blocking_elsewhere(result):
+    """Every policy's counts are internally consistent."""
+    for policy, outcome in result.outcomes.items():
+        assert outcome.overload_admissions <= outcome.false_accepts, policy
+        assert 0.0 <= outcome.blocking_ratio <= 1.0, policy
+    print()
+    print(result.table())
+
+
+def test_x3_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_churn_study,
+        kwargs={
+            "policies": ("truth", "conservative"),
+            "config": ChurnConfig(n_arrivals=6),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.outcomes

@@ -1,0 +1,48 @@
+"""Benchmark X4 — extension: sequential admission with joint routing.
+
+Replaying Fig. 3's arrivals with best-of-candidates routing (Yen × exact
+Eq. 6 scoring): the joint router admits at least as many flows as the
+best single metric, and its chosen paths are at least as wide flow by
+flow.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.extensions import run_joint_admission
+from repro.experiments.fig3_routing import Fig3Config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_joint_admission()
+
+
+def test_x4_joint_admits_at_least_best_single(result):
+    best_single = max(
+        count for name, count in result.admitted.items() if name != "joint"
+    )
+    assert result.admitted["joint"] >= best_single
+
+
+def test_x4_joint_paths_at_least_as_wide(result):
+    joint = result.series["joint"]
+    avg = result.series["average-e2eD"]
+    for index in range(min(len(joint), len(avg))):
+        if math.isnan(joint[index]) or math.isnan(avg[index]):
+            continue
+        assert joint[index] + 1e-6 >= avg[index]
+    print()
+    print(result.table())
+
+
+def test_x4_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_joint_admission,
+        args=(Fig3Config(n_flows=3),),
+        kwargs={"k": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.admitted["joint"] >= 0

@@ -1,0 +1,75 @@
+"""Wireless streaming across a campus mesh: picking the QoS routing metric.
+
+The paper motivates its model with "wireless streaming at homes, in
+buildings and on campus via wireless mesh networks".  This example builds
+a campus-scale mesh shaped like a ring road: a direct west–east corridor
+of access points 75 m apart, and a parallel northern corridor 400 m away
+(far enough that, with the paper's propagation constants, traffic on one
+corridor cannot interfere with the other).
+
+A heavy background transfer jams the middle of the direct corridor.  A
+4 Mbps lecture stream must then travel from the west gate to the east
+dorms:
+
+* **hop count** marches straight through the jam with the fewest,
+  longest (hence slowest) hops;
+* **e2eTD** also stays in the corridor, but on short fast hops;
+* **average-e2eD** (Eq. 14) sees the idleness collapse around the jam and
+  takes the ring road — the only route whose true (Eq. 6) available
+  bandwidth covers the demand.
+
+Run:  python examples/campus_streaming.py
+"""
+
+from repro import Network, Path, ProtocolInterferenceModel, RadioConfig
+from repro.core import min_airtime_schedule, solve_with_column_generation
+from repro.estimation import node_idleness_from_schedule
+from repro.routing import METRICS, RoutingContext, route
+
+#: Access points 75 m apart: a southern corridor (s0..s8), a northern
+#: ring-road corridor (n0..n8) 400 m away, and connector columns at both
+#: campus edges.
+CORRIDOR_NODES = 9
+HOP_SPACING_M = 75.0
+RING_OFFSET_M = 400.0
+CONNECTOR_YS = (100.0, 200.0, 300.0)
+
+
+def build_campus() -> Network:
+    network = Network(RadioConfig(), name="campus-ring")
+    for index in range(CORRIDOR_NODES):
+        x = index * HOP_SPACING_M
+        network.add_node(f"s{index}", x=x, y=0.0)
+        network.add_node(f"n{index}", x=x, y=RING_OFFSET_M)
+    east_x = (CORRIDOR_NODES - 1) * HOP_SPACING_M
+    for index, y in enumerate(CONNECTOR_YS):
+        network.add_node(f"w{index}", x=0.0, y=y)
+        network.add_node(f"e{index}", x=east_x, y=y)
+    network.build_links_within_range()
+    return network
+
+
+def main() -> None:
+    network = build_campus()
+    model = ProtocolInterferenceModel(network)
+
+    # Background: a 30 Mbps bulk transfer in the middle of the corridor.
+    background = [(Path([network.link_between("s4", "s5")]), 30.0)]
+    schedule = min_airtime_schedule(model, background)
+    idleness = node_idleness_from_schedule(network, schedule, model)
+    context = RoutingContext(model=model, node_idleness=idleness)
+
+    demand = 4.0
+    print(f"stream: s0 (west gate) -> s8 (dorms) @ {demand} Mbps, with a "
+          "30 Mbps transfer jamming s4->s5\n")
+    for name in ("hop-count", "e2eTD", "average-e2eD"):
+        path = route(network, "s0", "s8", METRICS[name], context)
+        result = solve_with_column_generation(model, path, background).result
+        verdict = "admit" if result.supports(demand) else "reject"
+        print(f"{name:>13s}: {path}")
+        print(f"{'':>13s}  available {result.available_bandwidth:6.2f} Mbps "
+              f"-> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

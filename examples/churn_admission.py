@@ -1,0 +1,48 @@
+"""Admission control under churn: what a bad estimator costs.
+
+Flows arrive and depart over time in the paper's 30-node network.  Each
+arrival is routed (average-e2eD) and an admission controller decides
+whether to accept.  This example runs the same arrival trace under three
+controllers:
+
+* the exact Eq. 6 test (what the paper's model recommends, if you can
+  afford global knowledge);
+* the conservative clique constraint (Eq. 13 — the paper's distributed
+  winner);
+* the plain clique constraint (Eq. 11 — blind to background traffic).
+
+Watch the last column: the clique controller "accepts more", but its
+admissions repeatedly push the network beyond what any schedule can
+deliver.
+
+Run:  python examples/churn_admission.py
+"""
+
+from repro import ProtocolInterferenceModel, paper_random_topology
+from repro.workloads import ChurnConfig, simulate_churn
+
+
+def main() -> None:
+    network = paper_random_topology(seed=8)
+    model = ProtocolInterferenceModel(network)
+    config = ChurnConfig(n_arrivals=20)
+
+    print("policy        admitted  blocked  false-accepts  overloads")
+    for policy in ("truth", "conservative", "clique"):
+        outcome = simulate_churn(network, model, policy, config=config,
+                                 seed=17)
+        print(
+            f"{policy:<13s} {outcome.admitted:>8d} "
+            f"{outcome.arrivals - outcome.admitted:>8d} "
+            f"{outcome.false_accepts:>13d} "
+            f"{outcome.overload_admissions:>9d}"
+        )
+    print(
+        "\nThe exact test and the conservative estimate keep the network "
+        "deliverable;\nthe background-blind clique constraint trades "
+        "correctness for admissions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: the paper's Section 5.1 example in a dozen lines.
+
+Builds the four-link chain of Fig. 1 (Scenario II), asks the core model
+for the maximum end-to-end throughput, and prints the optimal link
+schedule — including the time slice where link L1 drops from 54 to
+36 Mbps so that L4 can transmit concurrently, which is exactly why the
+classical clique constraint under-counts the capacity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import available_path_bandwidth, scenario_two
+from repro.core import RateClique, fixed_rate_equal_throughput_bound
+
+
+def main() -> None:
+    bundle = scenario_two()
+    result = available_path_bandwidth(bundle.model, bundle.path)
+
+    print(f"path: {bundle.path}")
+    print(f"maximum end-to-end throughput: {result.available_bandwidth:.1f} Mbps")
+    print()
+    print("optimal schedule (independent sets with their time shares):")
+    print(result.schedule)
+    print()
+
+    # The best any fixed rate assignment can do is 108/7 ~ 15.43 Mbps:
+    table = bundle.network.radio.rate_table
+    clique = RateClique.from_pairs(
+        [
+            (bundle.network.link("L1"), table.get(36.0)),
+            (bundle.network.link("L2"), table.get(54.0)),
+            (bundle.network.link("L3"), table.get(54.0)),
+        ]
+    )
+    bound = fixed_rate_equal_throughput_bound(clique)
+    gain = result.available_bandwidth / bound
+    print(f"best fixed-rate clique bound (Eq. 7): {bound:.2f} Mbps")
+    print(f"link adaptation gain: {gain:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: environments without the `wheel` package cannot do PEP 517
+editable installs; this enables `pip install -e .` via setup.py develop."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro — available bandwidth in multirate, multihop wireless networks.
+
+A faithful reproduction of Chen, Zhai & Fang, *Available Bandwidth in
+Multirate and Multihop Wireless Sensor Networks* (ICDCS 2009): the
+rate-coupled independent-set/clique model, the Eq. 6 available-bandwidth
+LP, the Eq. 9 upper bound, the Section 4 distributed estimators and QoS
+routing metrics, plus the substrates (multirate PHY, interference models,
+CSMA/CA simulator) they stand on.
+
+Quickstart::
+
+    from repro import scenario_two, available_path_bandwidth
+
+    bundle = scenario_two()
+    result = available_path_bandwidth(bundle.model, bundle.path)
+    print(result.available_bandwidth)   # 16.2 — the paper's Section 5.1
+"""
+
+from repro.core import (
+    LinkSchedule,
+    PathBandwidthResult,
+    RateClique,
+    RateIndependentSet,
+    ScheduleEntry,
+    available_path_bandwidth,
+    clique_upper_bound,
+    enumerate_maximal_independent_sets,
+    enumerate_maximal_rate_cliques,
+    fixed_rate_cliques,
+    hypothesis_min_clique_time,
+    is_feasible,
+    joint_admission_scale,
+    lower_bound_from_subset,
+    maximal_cliques_with_maximum_rates,
+    min_airtime_schedule,
+    required_airtime,
+    solve_with_column_generation,
+)
+from repro.interference import (
+    ConflictRule,
+    DeclaredInterferenceModel,
+    LinkRate,
+    PhysicalInterferenceModel,
+    ProtocolInterferenceModel,
+)
+from repro.net import (
+    Link,
+    Network,
+    Node,
+    Path,
+    RandomTopologyConfig,
+    random_topology,
+)
+from repro.phy import (
+    IEEE80211A_PAPER_RATES,
+    LogDistancePathLoss,
+    RadioConfig,
+    Rate,
+    RateTable,
+)
+from repro.workloads import (
+    Flow,
+    paper_random_topology,
+    random_flow_endpoints,
+    scenario_one,
+    scenario_two,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "available_path_bandwidth",
+    "PathBandwidthResult",
+    "min_airtime_schedule",
+    "joint_admission_scale",
+    "clique_upper_bound",
+    "hypothesis_min_clique_time",
+    "lower_bound_from_subset",
+    "solve_with_column_generation",
+    "is_feasible",
+    "required_airtime",
+    "enumerate_maximal_independent_sets",
+    "enumerate_maximal_rate_cliques",
+    "maximal_cliques_with_maximum_rates",
+    "fixed_rate_cliques",
+    "RateIndependentSet",
+    "RateClique",
+    "LinkSchedule",
+    "ScheduleEntry",
+    # interference
+    "LinkRate",
+    "PhysicalInterferenceModel",
+    "ProtocolInterferenceModel",
+    "DeclaredInterferenceModel",
+    "ConflictRule",
+    # net
+    "Node",
+    "Link",
+    "Network",
+    "Path",
+    "random_topology",
+    "RandomTopologyConfig",
+    # phy
+    "Rate",
+    "RateTable",
+    "RadioConfig",
+    "LogDistancePathLoss",
+    "IEEE80211A_PAPER_RATES",
+    # workloads
+    "Flow",
+    "random_flow_endpoints",
+    "scenario_one",
+    "scenario_two",
+    "paper_random_topology",
+]

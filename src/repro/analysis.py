@@ -1,0 +1,91 @@
+"""Summary statistics for repeated stochastic runs.
+
+The CSMA/CA simulator and the churn workload are stochastic; a single
+seed is an anecdote.  These helpers aggregate repeated runs into the
+numbers a paper table needs — mean, standard deviation, and a bootstrap
+percentile confidence interval — without pulling in heavier statistics
+dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "repeat"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread / confidence interval of one measured quantity."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.4g} ± {self.std:.2g} "
+            f"(95% CI [{self.ci_low:.4g}, {self.ci_high:.4g}], n={self.n})"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI of the mean.
+
+    Non-parametric, so it stays honest for the skewed distributions MAC
+    measurements produce.  Deterministic by default (fixed resampling
+    seed) so experiment tables are reproducible.
+    """
+    if len(values) == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    data = np.asarray(values, dtype=float)
+    if len(data) == 1:
+        return float(data[0]), float(data[0])
+    rng = make_rng(seed)
+    indices = rng.integers(0, len(data), size=(resamples, len(data)))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def summarize(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    seed: SeedLike = 0,
+) -> Summary:
+    """Mean, sample standard deviation and bootstrap CI of ``values``."""
+    if len(values) == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    data = np.asarray(values, dtype=float)
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if len(data) > 1 else 0.0
+    low, high = bootstrap_ci(data, confidence=confidence, seed=seed)
+    return Summary(
+        n=len(data), mean=mean, std=std, ci_low=low, ci_high=high
+    )
+
+
+def repeat(
+    runner: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Summary:
+    """Run ``runner(seed)`` per seed and summarise the returned values."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    return summarize([runner(seed) for seed in seeds])

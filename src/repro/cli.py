@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate any experiment's data.
+
+Usage::
+
+    repro list               # show available experiments
+    repro run e2             # reproduce the Section 5.1 worked example
+    repro run e4 e5          # several in one go
+    python -m repro run e1   # module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that accept the random-topology workload parameters.
+_CONFIGURABLE = {"e3", "e4", "e5", "x1", "x2"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'Available Bandwidth in "
+            "Multirate and Multihop Wireless Sensor Networks' (ICDCS 2009)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser(
+        "verify",
+        help="check the paper's exact numbers against this installation",
+    )
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help="experiment ids (see 'repro list')",
+    )
+    run_parser.add_argument(
+        "--topology-seed",
+        type=int,
+        default=None,
+        help="node-placement seed for the random-topology experiments "
+        f"({', '.join(sorted(_CONFIGURABLE))})",
+    )
+    run_parser.add_argument(
+        "--flow-seed",
+        type=int,
+        default=None,
+        help="flow-endpoint seed for the random-topology experiments",
+    )
+    run_parser.add_argument(
+        "--flows",
+        type=int,
+        default=None,
+        help="number of arriving flows for the random-topology experiments",
+    )
+    return parser
+
+
+def _configured_runner(experiment_id: str, args: argparse.Namespace):
+    """Resolve an experiment, honouring the workload flags when given."""
+    overrides = {
+        "topology_seed": args.topology_seed,
+        "flow_seed": args.flow_seed,
+        "n_flows": args.flows,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if not overrides or experiment_id not in _CONFIGURABLE:
+        return lambda: run_experiment(experiment_id)
+    from repro.experiments.extensions import (
+        run_admission_accuracy,
+        run_joint_routing,
+    )
+    from repro.experiments.fig2_paths import run_fig2
+    from repro.experiments.fig3_routing import Fig3Config, run_fig3
+    from repro.experiments.fig4_estimation import run_fig4
+
+    config = Fig3Config(**overrides)
+    runners = {
+        "e3": run_fig2,
+        "e4": run_fig3,
+        "e5": run_fig4,
+        "x1": run_admission_accuracy,
+        "x2": run_joint_routing,
+    }
+    return lambda: runners[experiment_id](config)
+
+
+def _list_experiments() -> str:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    lines = [
+        f"  {spec.experiment_id:<{width}}  {spec.description}"
+        for spec in EXPERIMENTS.values()
+    ]
+    return "\n".join(["available experiments:"] + lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print(_list_experiments())
+        return 0
+    if args.command == "verify":
+        from repro.verify import format_verification, run_verification
+
+        checks = run_verification()
+        print(format_verification(checks))
+        return 0 if all(check.passed for check in checks) else 1
+    exit_code = 0
+    for experiment_id in args.experiments:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment: {experiment_id}", file=sys.stderr)
+            exit_code = 2
+            continue
+        result = _configured_runner(experiment_id, args)()
+        print(result.table())
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""Available path bandwidth — the paper's core model (Section 2.5, Eq. 6).
+
+Given background flows with known paths and demands, and a candidate new
+path, :func:`available_path_bandwidth` computes the maximum throughput the
+new path can carry while every background demand stays deliverable,
+assuming a globally optimal link scheduling.  The LP's columns are the
+maximal independent sets with maximum rate vectors of the involved links
+(Prop. 3); the solution is returned together with an explicit, executable
+:class:`~repro.core.schedule.LinkSchedule`.
+
+Also here:
+
+* :func:`min_airtime_schedule` — the cheapest schedule delivering a demand
+  vector (used to model optimally scheduled background traffic and derive
+  per-node idleness for Section 4's estimators);
+* :func:`joint_admission_scale` — the "several flows join simultaneously"
+  extension mentioned at the end of Section 2.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.independent_sets import (
+    RateIndependentSet,
+    enumerate_maximal_independent_sets,
+)
+from repro.core.lp import LinearProgram
+from repro.core.schedule import LinkSchedule, ScheduleEntry
+from repro.errors import InfeasibleProblemError
+from repro.interference.base import InterferenceModel
+from repro.net.link import Link
+from repro.net.path import Path
+
+__all__ = [
+    "PathBandwidthResult",
+    "available_path_bandwidth",
+    "min_airtime_schedule",
+    "tdma_schedule",
+    "joint_admission_scale",
+    "link_demands_from_paths",
+]
+
+
+def link_demands_from_paths(
+    background: Sequence[Tuple[Path, float]],
+) -> Dict[Link, float]:
+    """Per-link demand (Mbps) induced by end-to-end path demands.
+
+    A path with demand ``x`` loads every one of its links with ``x``
+    (Eq. 6's ``x_k I(P_k)`` terms); links shared by several paths add up.
+    """
+    demands: Dict[Link, float] = {}
+    for path, demand in background:
+        if not math.isfinite(demand):
+            raise InfeasibleProblemError(
+                f"non-finite demand {demand} on path {path}"
+            )
+        if demand < 0:
+            raise InfeasibleProblemError(
+                f"negative demand {demand} on path {path}"
+            )
+        for link in path:
+            demands[link] = demands.get(link, 0.0) + demand
+    return demands
+
+
+def _collect_links(
+    background: Sequence[Tuple[Path, float]],
+    new_path: Optional[Path] = None,
+) -> List[Link]:
+    """The paper's ``P``: union of all involved paths' links, stable order."""
+    seen: Dict[str, Link] = {}
+    for path, _demand in background:
+        for link in path:
+            seen.setdefault(link.link_id, link)
+    if new_path is not None:
+        for link in new_path:
+            seen.setdefault(link.link_id, link)
+    return list(seen.values())
+
+
+@dataclass
+class PathBandwidthResult:
+    """Outcome of the Eq. 6 optimisation."""
+
+    #: Maximum supportable throughput f_{K+1} on the new path, in Mbps.
+    available_bandwidth: float
+    #: An optimal schedule realising it (background + new flow together).
+    schedule: LinkSchedule
+    #: The LP columns (maximal independent sets) the model considered.
+    independent_sets: List[RateIndependentSet]
+    #: Per-link demand of the background traffic alone.
+    background_demands: Dict[Link, float]
+
+    def supports(self, demand_mbps: float, tolerance: float = 1e-6) -> bool:
+        """Admission test: can the new path carry ``demand_mbps``?"""
+        return self.available_bandwidth + tolerance >= demand_mbps
+
+
+def available_path_bandwidth(
+    model: InterferenceModel,
+    new_path: Path,
+    background: Sequence[Tuple[Path, float]] = (),
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+    max_sets: Optional[int] = None,
+) -> PathBandwidthResult:
+    """Solve Eq. 6: maximum new-path throughput preserving background demands.
+
+    Args:
+        model: Interference model of the network.
+        new_path: The candidate path ``P_{K+1}``.
+        background: Existing flows as (path, demand-in-Mbps) pairs.
+        independent_sets: Pre-enumerated LP columns; passing a *subset* of
+            all maximal independent sets turns the result into the paper's
+            Section 3.3 **lower bound** (the restricted solution space can
+            only shrink the optimum).  ``None`` enumerates all of them.
+        max_sets: Enumeration safety cap (see
+            :func:`~repro.core.independent_sets.enumerate_maximal_independent_sets`).
+
+    Raises:
+        InfeasibleProblemError: when the background demands alone are not
+            schedulable — no available-bandwidth question is then well
+            posed.
+    """
+    links = _collect_links(background, new_path)
+    if independent_sets is None:
+        columns = enumerate_maximal_independent_sets(model, links, max_sets)
+    else:
+        columns = list(independent_sets)
+    demands = link_demands_from_paths(background)
+
+    lp = LinearProgram()
+    f_var = lp.add_variable("f", objective=1.0)
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}") for index in range(len(columns))
+    ]
+    lp.add_constraint_le(
+        {var: 1.0 for var in lambda_vars}, 1.0, name="airtime"
+    )
+    new_links = set(new_path.links)
+    for link in links:
+        coefficients: Dict[str, float] = {}
+        for var, column in zip(lambda_vars, columns):
+            rate = column.throughput_of(link)
+            if rate > 0.0:
+                coefficients[var] = rate
+        if link in new_links:
+            coefficients[f_var] = -1.0
+        lp.add_constraint_ge(
+            coefficients, demands.get(link, 0.0), name=f"demand[{link.link_id}]"
+        )
+    solution = lp.solve()
+
+    schedule = LinkSchedule(
+        ScheduleEntry(column, solution[var])
+        for var, column in zip(lambda_vars, columns)
+    )
+    return PathBandwidthResult(
+        available_bandwidth=solution.objective,
+        schedule=schedule,
+        independent_sets=columns,
+        background_demands=demands,
+    )
+
+
+def min_airtime_schedule(
+    model: InterferenceModel,
+    background: Sequence[Tuple[Path, float]],
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+    max_sets: Optional[int] = None,
+) -> LinkSchedule:
+    """Cheapest schedule delivering the background demands.
+
+    Minimises total airtime Σλ subject to Eq. 4's delivery constraint.
+    This models optimally scheduled background traffic: the resulting
+    schedule leaves as much of the channel idle as possible, and its
+    per-node busy shares feed the idle-time estimators of Section 4.
+
+    Raises:
+        InfeasibleProblemError: when even the whole period (Σλ = 1) cannot
+            deliver the demands.
+    """
+    links = _collect_links(background)
+    if not links:
+        return LinkSchedule(())
+    if independent_sets is None:
+        columns = enumerate_maximal_independent_sets(model, links, max_sets)
+    else:
+        columns = list(independent_sets)
+    demands = link_demands_from_paths(background)
+
+    lp = LinearProgram()
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}", objective=-1.0)
+        for index in range(len(columns))
+    ]
+    for link in links:
+        coefficients = {
+            var: column.throughput_of(link)
+            for var, column in zip(lambda_vars, columns)
+            if column.throughput_of(link) > 0.0
+        }
+        lp.add_constraint_ge(
+            coefficients, demands.get(link, 0.0), name=f"demand[{link.link_id}]"
+        )
+    solution = lp.solve()
+    total_airtime = -solution.objective
+    if total_airtime > 1.0 + 1e-9:
+        raise InfeasibleProblemError(
+            f"background demands need {total_airtime:.4f} > 1 units of "
+            "airtime",
+            residual=total_airtime - 1.0,
+        )
+    return LinkSchedule(
+        ScheduleEntry(column, solution[var])
+        for var, column in zip(lambda_vars, columns)
+    )
+
+
+def tdma_schedule(
+    model: InterferenceModel,
+    background: Sequence[Tuple[Path, float]],
+) -> LinkSchedule:
+    """A fully serialised schedule: every link transmits in its own slot.
+
+    Models the paper's Scenario I starting point — contention-based MAC
+    behaviour where transmissions do not overlap in time even when they
+    could.  Each link of each background path gets a dedicated slot at the
+    link's maximum standalone rate, sized to carry that path's demand.
+    Feeding the resulting per-node idleness to the Section 4 estimators
+    reproduces the pessimistic ``1 − 2λ`` idle-time admission decision,
+    against the optimum's ``1 − λ``.
+
+    Raises:
+        InfeasibleProblemError: when the serialised slots alone exceed one
+            period.
+    """
+    from repro.interference.base import LinkRate
+
+    demands = link_demands_from_paths(background)
+    entries = []
+    for link, demand in demands.items():
+        if demand <= 0.0:
+            continue
+        rate = model.max_standalone_rate(link)
+        if rate is None:
+            raise InfeasibleProblemError(
+                f"link {link.link_id!r} supports no rate"
+            )
+        column = RateIndependentSet(frozenset({LinkRate(link, rate)}))
+        entries.append(ScheduleEntry(column, demand / rate.mbps))
+    total = sum(entry.time_share for entry in entries)
+    if total > 1.0 + 1e-9:
+        raise InfeasibleProblemError(
+            f"serialised background needs {total:.4f} > 1 units of airtime",
+            residual=total - 1.0,
+        )
+    return LinkSchedule(entries)
+
+
+def joint_admission_scale(
+    model: InterferenceModel,
+    flows: Sequence[Tuple[Path, float]],
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+    max_sets: Optional[int] = None,
+) -> Tuple[float, LinkSchedule]:
+    """Largest common scale θ such that every flow can carry θ·demand.
+
+    The multi-flow extension sketched at the end of Section 2.5: all flows
+    join simultaneously and fairness is proportional to their demands.
+    ``θ ≥ 1`` means the whole batch is admissible as asked.
+
+    Returns:
+        (θ, optimal schedule at θ).
+    """
+    links = _collect_links(flows)
+    if not links:
+        return float("inf"), LinkSchedule(())
+    if independent_sets is None:
+        columns = enumerate_maximal_independent_sets(model, links, max_sets)
+    else:
+        columns = list(independent_sets)
+    demands = link_demands_from_paths(flows)
+
+    lp = LinearProgram()
+    theta = lp.add_variable("theta", objective=1.0)
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}") for index in range(len(columns))
+    ]
+    lp.add_constraint_le({var: 1.0 for var in lambda_vars}, 1.0, name="airtime")
+    for link in links:
+        demand = demands.get(link, 0.0)
+        if demand <= 0.0:
+            continue
+        coefficients = {
+            var: column.throughput_of(link)
+            for var, column in zip(lambda_vars, columns)
+            if column.throughput_of(link) > 0.0
+        }
+        coefficients[theta] = -demand
+        lp.add_constraint_ge(coefficients, 0.0, name=f"scale[{link.link_id}]")
+    solution = lp.solve()
+    schedule = LinkSchedule(
+        ScheduleEntry(column, solution[var])
+        for var, column in zip(lambda_vars, columns)
+    )
+    return solution.objective, schedule

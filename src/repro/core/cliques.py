@@ -1,0 +1,260 @@
+"""Rate-coupled cliques (Section 3.1).
+
+A clique in a multirate network is a set of (link, rate) couples, one rate
+per link, any two of which cannot transmit successfully at the same time.
+A *maximal clique* admits no further couple; a *maximal clique with maximum
+rates* additionally stays maximal under no rate increase of any member.
+
+The paper's Section 3.2 shows these cliques no longer yield valid upper
+bounds on feasible throughput when links may switch rates over time; they
+remain the backbone of (a) the per-rate-vector constraints of the corrected
+upper bound (Eq. 9) and (b) the distributed estimators of Section 4.  This
+module provides both the rate-coupled enumeration and the classical
+fixed-rate-vector clique enumeration used by Eq. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import InterferenceError
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.conflict_graph import link_rate_vertices
+from repro.net.link import Link
+from repro.phy.rates import Rate
+
+__all__ = [
+    "RateClique",
+    "enumerate_maximal_rate_cliques",
+    "maximal_cliques_with_maximum_rates",
+    "fixed_rate_cliques",
+    "clique_transmission_time",
+]
+
+
+@dataclass(frozen=True)
+class RateClique:
+    """A clique of (link, rate) couples, one rate per link."""
+
+    couples: FrozenSet[LinkRate]
+
+    def __post_init__(self) -> None:
+        links = [c.link for c in self.couples]
+        if len(set(links)) != len(links):
+            raise InterferenceError("a clique uses each link at most once")
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Link, Rate]]) -> "RateClique":
+        return cls(frozenset(LinkRate(link, rate) for link, rate in pairs))
+
+    @property
+    def links(self) -> FrozenSet[Link]:
+        return frozenset(c.link for c in self.couples)
+
+    @property
+    def size(self) -> int:
+        return len(self.couples)
+
+    def rate_of(self, link: Link) -> Optional[Rate]:
+        for couple in self.couples:
+            if couple.link == link:
+                return couple.rate
+        return None
+
+    def transmission_time(self, demands: Dict[Link, float]) -> float:
+        """Clique time share ``T = sum(y_i / r_i)`` for given link demands.
+
+        ``demands`` maps links to Mbps; links outside the clique are
+        ignored, links of the clique missing from the map count as zero.
+        In a single-rate-vector world ``T <= 1`` is the classical clique
+        constraint; the paper's counterexample shows it can exceed 1 for
+        feasible multirate demand vectors.
+        """
+        total = 0.0
+        for couple in self.couples:
+            demand = demands.get(couple.link, 0.0)
+            total += demand / couple.rate.mbps
+        return total
+
+    def __iter__(self):
+        return iter(self.couples)
+
+    def __len__(self) -> int:
+        return len(self.couples)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(sorted(str(c) for c in self.couples))
+        return "{" + inner + "}"
+
+
+def clique_transmission_time(
+    clique: RateClique, demands: Dict[Link, float]
+) -> float:
+    """Module-level alias of :meth:`RateClique.transmission_time`."""
+    return clique.transmission_time(demands)
+
+
+def _couples_conflict_matrix(
+    model: InterferenceModel, vertices: Sequence[LinkRate]
+) -> Dict[LinkRate, Set[LinkRate]]:
+    """Adjacency of the conflict relation between distinct-link couples."""
+    adjacency: Dict[LinkRate, Set[LinkRate]] = {v: set() for v in vertices}
+    for i, a in enumerate(vertices):
+        for b in vertices[i + 1:]:
+            if a.link == b.link:
+                continue
+            if model.conflicts(a, b):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return adjacency
+
+
+def enumerate_maximal_rate_cliques(
+    model: InterferenceModel,
+    links: Sequence[Link],
+    max_cliques: Optional[int] = None,
+) -> List[RateClique]:
+    """All maximal rate-coupled cliques over ``links``.
+
+    Bron–Kerbosch with pivoting over the couple-conflict relation, with the
+    extra structural rule that a clique holds at most one couple per link.
+    The one-rate-per-link rule is enforced by treating couples of the same
+    link as *non-adjacent*: they then can never be in one clique, and
+    maximality is checked against couples of unused links only.
+
+    Note maximality here is the paper's: "C ∪ {(L_i, r_i)} is not a clique
+    for any couple with L_i ∉ C".  Couples of links already in C are not
+    candidates for extension.
+    """
+    vertices = link_rate_vertices(model, links)
+    adjacency = _couples_conflict_matrix(model, vertices)
+    results: List[RateClique] = []
+
+    def extend(
+        current: List[LinkRate],
+        candidates: Set[LinkRate],
+        excluded: Set[LinkRate],
+    ) -> None:
+        if not candidates and not excluded:
+            if current:
+                results.append(RateClique(frozenset(current)))
+                if max_cliques is not None and len(results) > max_cliques:
+                    raise InterferenceError(
+                        f"more than {max_cliques} maximal rate cliques; "
+                        "raise the cap or restrict the link set"
+                    )
+            return
+        pivot_pool = candidates | excluded
+        pivot = max(pivot_pool, key=lambda v: len(adjacency[v] & candidates))
+        for vertex in list(candidates - adjacency[pivot]):
+            used_links = {c.link for c in current}
+            if vertex.link in used_links:
+                candidates.discard(vertex)
+                excluded.add(vertex)
+                continue
+            same_link_blockers = {
+                v for v in candidates | excluded if v.link == vertex.link
+            }
+            extend(
+                current + [vertex],
+                (candidates & adjacency[vertex]) - same_link_blockers,
+                (excluded & adjacency[vertex]) - same_link_blockers,
+            )
+            candidates.discard(vertex)
+            excluded.add(vertex)
+
+    extend([], set(vertices), set())
+    # Bron-Kerbosch with the per-link restriction can emit duplicates or
+    # non-maximal artefacts in edge cases; normalise by deduplication and an
+    # explicit maximality filter.
+    unique = list(dict.fromkeys(results))
+    maximal = [c for c in unique if _is_maximal(model, c, vertices, adjacency)]
+    maximal.sort(key=lambda c: (-c.size, str(c)))
+    return maximal
+
+
+def _is_maximal(
+    model: InterferenceModel,
+    clique: RateClique,
+    vertices: Sequence[LinkRate],
+    adjacency: Dict[LinkRate, Set[LinkRate]],
+) -> bool:
+    used_links = clique.links
+    for vertex in vertices:
+        if vertex.link in used_links:
+            continue
+        if all(member in adjacency[vertex] for member in clique.couples):
+            return False
+    return True
+
+
+def maximal_cliques_with_maximum_rates(
+    model: InterferenceModel,
+    links: Sequence[Link],
+    max_cliques: Optional[int] = None,
+) -> List[RateClique]:
+    """Maximal cliques that stay maximal under no single-rate increase.
+
+    Implements the Section 3.1 definition: drop a maximal clique C when
+    replacing some (L_i, r_i) ∈ C by (L_i, r'_i) with r'_i > r_i yields a
+    set that is still a maximal clique.  (In the paper's Scenario II this
+    keeps {(L1,54),...,(L4,54)} and {(L1,36),(L2,54),(L3,54)} and drops
+    {(L1,36),(L2,36),(L3,36)}.)
+    """
+    all_maximal = enumerate_maximal_rate_cliques(model, links, max_cliques)
+    maximal_index = set(all_maximal)
+    kept: List[RateClique] = []
+    for clique in all_maximal:
+        upgraded_elsewhere = False
+        for couple in clique.couples:
+            faster_rates = [
+                r
+                for r in model.standalone_rates(couple.link)
+                if r.mbps > couple.rate.mbps
+            ]
+            for faster in faster_rates:
+                replaced = (clique.couples - {couple}) | {
+                    LinkRate(couple.link, faster)
+                }
+                candidate = RateClique(frozenset(replaced))
+                if candidate in maximal_index:
+                    upgraded_elsewhere = True
+                    break
+            if upgraded_elsewhere:
+                break
+        if not upgraded_elsewhere:
+            kept.append(clique)
+    return kept
+
+
+def fixed_rate_cliques(
+    model: InterferenceModel,
+    rate_vector: Dict[Link, Rate],
+) -> List[RateClique]:
+    """Maximal cliques when every link's rate is pinned (Eq. 9 inner loop).
+
+    With rates fixed, conflicts reduce to a plain link graph; maximal
+    cliques come from networkx and are decorated back with the pinned
+    rates.
+    """
+    links = list(rate_vector)
+    graph = nx.Graph()
+    graph.add_nodes_from(link.link_id for link in links)
+    couple = {link: LinkRate(link, rate_vector[link]) for link in links}
+    for i, a in enumerate(links):
+        for b in links[i + 1:]:
+            if model.conflicts(couple[a], couple[b]):
+                graph.add_edge(a.link_id, b.link_id)
+    by_id = {link.link_id: link for link in links}
+    cliques = []
+    for members in nx.find_cliques(graph):
+        cliques.append(
+            RateClique.from_pairs(
+                (by_id[m], rate_vector[by_id[m]]) for m in members
+            )
+        )
+    cliques.sort(key=lambda c: (-c.size, str(c)))
+    return cliques

@@ -1,0 +1,381 @@
+"""Column generation for the available-bandwidth LP.
+
+Full enumeration of maximal independent sets is exponential in the number
+of links; Section 3.2 of the paper notes the same explosion for cliques and
+leaves complexity reduction to future work.  This module implements the
+standard remedy for Eq. 6's column structure:
+
+1. solve a **restricted master** LP over a small pool of independent sets;
+2. **price** a new column with the master's duals — the column that most
+   violates dual feasibility is the maximum-weight independent set of the
+   link–rate conflict graph with couple weights ``π_link · r``;
+3. repeat until no positive-reduced-cost column exists.
+
+The pricing problem is itself NP-hard, so two oracles are provided: an
+exact one (enumerating maximal independent sets of the *weighted* conflict
+graph — affordable for mid-size instances because it runs on the pruned
+graph once per iteration) and a greedy+local-search one for larger
+instances.  With the exact oracle the procedure terminates at the true
+optimum; with the greedy oracle the result is a certified **lower bound**
+(it is still an Eq. 6 solution over a restricted family, Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.bandwidth import (
+    PathBandwidthResult,
+    _collect_links,
+    link_demands_from_paths,
+)
+from repro.core.independent_sets import RateIndependentSet
+from repro.core.lp import LinearProgram
+from repro.core.schedule import LinkSchedule, ScheduleEntry
+from repro.errors import InfeasibleProblemError
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.conflict_graph import build_link_rate_conflict_graph
+from repro.net.link import Link
+from repro.net.path import Path
+
+__all__ = [
+    "ColumnGenerationResult",
+    "solve_with_column_generation",
+    "min_airtime_column_generation",
+]
+
+#: Reduced-cost tolerance below which a column is not worth adding.
+_PRICING_EPS = 1e-9
+
+
+@dataclass
+class ColumnGenerationResult:
+    """Outcome plus convergence diagnostics."""
+
+    result: PathBandwidthResult
+    iterations: int
+    columns_generated: int
+    #: True when the final pricing round proved optimality (exact oracle
+    #: found no improving column); False means the value is a lower bound.
+    proved_optimal: bool
+
+
+def _initial_columns(
+    model: InterferenceModel, links: Sequence[Link]
+) -> List[RateIndependentSet]:
+    """A feasible starting pool: one singleton set per usable link.
+
+    Singletons at the maximum standalone rate always form valid columns and
+    make the master feasible whenever the demands are feasible at all on a
+    TDMA (one-at-a-time) basis; the pricing loop then discovers spatial
+    reuse.
+    """
+    pool = []
+    for link in links:
+        rates = model.standalone_rates(link)
+        if rates:
+            pool.append(
+                RateIndependentSet(frozenset({LinkRate(link, rates[0])}))
+            )
+    return pool
+
+
+def _greedy_weighted_independent_set(
+    graph: nx.Graph, weights: Dict[LinkRate, float]
+) -> Set[LinkRate]:
+    """Greedy MWIS with 1-swap local search; deterministic tie-breaks."""
+    chosen: Set[LinkRate] = set()
+    blocked: Set[LinkRate] = set()
+    order = sorted(
+        (v for v in graph.nodes if weights.get(v, 0.0) > 0.0),
+        key=lambda v: (-weights[v] / (graph.degree[v] + 1.0), str(v)),
+    )
+    for vertex in order:
+        if vertex in blocked:
+            continue
+        chosen.add(vertex)
+        blocked.add(vertex)
+        blocked.update(graph.neighbors(vertex))
+    improved = True
+    while improved:
+        improved = False
+        for vertex in sorted(graph.nodes, key=str):
+            if vertex in chosen or weights.get(vertex, 0.0) <= 0.0:
+                continue
+            conflicts = [n for n in graph.neighbors(vertex) if n in chosen]
+            lost = sum(weights.get(n, 0.0) for n in conflicts)
+            if weights[vertex] > lost + _PRICING_EPS:
+                chosen.difference_update(conflicts)
+                chosen.add(vertex)
+                improved = True
+    return chosen
+
+
+def _exact_weighted_independent_set(
+    graph: nx.Graph, weights: Dict[LinkRate, float]
+) -> Set[LinkRate]:
+    """Exact MWIS via maximal cliques of the complement graph.
+
+    Every maximum-weight independent set extends to a maximal one with at
+    least the same weight (weights are non-negative), so scanning maximal
+    independent sets is exact.
+    """
+    positive = [v for v in graph.nodes if weights.get(v, 0.0) > 0.0]
+    subgraph = graph.subgraph(positive)
+    best: Set[LinkRate] = set()
+    best_weight = 0.0
+    complement = nx.complement(subgraph)
+    for clique in nx.find_cliques(complement):
+        weight = sum(weights[v] for v in clique)
+        if weight > best_weight:
+            best_weight = weight
+            best = set(clique)
+    return best
+
+
+def solve_with_column_generation(
+    model: InterferenceModel,
+    new_path: Path,
+    background: Sequence[Tuple[Path, float]] = (),
+    max_iterations: int = 200,
+    exact_pricing: bool = True,
+) -> ColumnGenerationResult:
+    """Solve Eq. 6 without enumerating all maximal independent sets.
+
+    Args:
+        model: Interference model (pairwise models only — the pricing graph
+            is the link–rate conflict graph).
+        new_path: Candidate path.
+        background: Existing (path, demand) pairs.
+        max_iterations: Pricing-round budget; hitting it returns the
+            current (lower-bound) solution with ``proved_optimal=False``.
+        exact_pricing: Use the exact MWIS oracle (guarantees optimality at
+            convergence) or the greedy oracle (faster, lower bound).
+    """
+    links = _collect_links(background, new_path)
+    demands = link_demands_from_paths(background)
+    new_links = set(new_path.links)
+    conflict_graph = build_link_rate_conflict_graph(
+        model, links, same_link_edges=True
+    )
+    pool: List[RateIndependentSet] = _initial_columns(model, links)
+    pool_index = set(pool)
+
+    oracle = (
+        _exact_weighted_independent_set
+        if exact_pricing
+        else _greedy_weighted_independent_set
+    )
+
+    iterations = 0
+    proved_optimal = False
+    solution = None
+    lambda_vars: List[str] = []
+    # Artificial surplus per demand row keeps the restricted master feasible
+    # before pricing has discovered enough spatial reuse; the penalty drives
+    # them to zero, and any survivor at convergence means the background
+    # demands are genuinely undeliverable.
+    big_m = 1e5
+    while iterations < max_iterations:
+        iterations += 1
+        lp = LinearProgram()
+        f_var = lp.add_variable("f", objective=1.0)
+        lambda_vars = [
+            lp.add_variable(f"lambda_{index}") for index in range(len(pool))
+        ]
+        artificial_vars = {
+            link.link_id: lp.add_variable(
+                f"artificial[{link.link_id}]", objective=-big_m
+            )
+            for link in links
+        }
+        lp.add_constraint_le(
+            {var: 1.0 for var in lambda_vars}, 1.0, name="airtime"
+        )
+        for link in links:
+            coefficients: Dict[str, float] = {
+                artificial_vars[link.link_id]: 1.0
+            }
+            for var, column in zip(lambda_vars, pool):
+                rate = column.throughput_of(link)
+                if rate > 0.0:
+                    coefficients[var] = rate
+            if link in new_links:
+                coefficients[f_var] = -1.0
+            lp.add_constraint_ge(
+                coefficients,
+                demands.get(link, 0.0),
+                name=f"demand[{link.link_id}]",
+            )
+        solution = lp.solve()
+
+        # LpSolution stores duals in the max-problem orientation: for every
+        # stored <= row, dual = ∂(max objective)/∂(rhs) >= 0.  A column
+        # (independent set) improves the master iff
+        # Σ_l w_l · R_α[l] > u, with u the airtime dual and w_l the link
+        # demand-row duals.
+        mu = solution.duals.get("airtime", 0.0)
+        prices: Dict[LinkRate, float] = {}
+        for vertex in conflict_graph.nodes:
+            pi = solution.duals.get(f"demand[{vertex.link.link_id}]", 0.0)
+            prices[vertex] = pi * vertex.rate.mbps
+        candidate_vertices = oracle(conflict_graph, prices)
+        candidate_value = sum(prices[v] for v in candidate_vertices)
+        if candidate_value <= mu + _PRICING_EPS:
+            proved_optimal = exact_pricing
+            break
+        candidate = RateIndependentSet(frozenset(candidate_vertices))
+        if candidate in pool_index:
+            # The oracle re-proposed a known column: numerically converged.
+            proved_optimal = exact_pricing
+            break
+        pool.append(candidate)
+        pool_index.add(candidate)
+
+    residual = sum(
+        solution.values[name]
+        for name in solution.values
+        if name.startswith("artificial[")
+    )
+    if residual > 1e-6:
+        raise InfeasibleProblemError(
+            "background demands cannot be delivered even with generated "
+            f"columns (residual {residual:.4f} Mbps unserved)",
+            residual=residual,
+        )
+
+    schedule = LinkSchedule(
+        ScheduleEntry(column, solution[var])
+        for var, column in zip(lambda_vars, pool)
+    )
+    result = PathBandwidthResult(
+        available_bandwidth=solution.objective,
+        schedule=schedule,
+        independent_sets=list(pool),
+        background_demands=demands,
+    )
+    return ColumnGenerationResult(
+        result=result,
+        iterations=iterations,
+        columns_generated=len(pool),
+        proved_optimal=proved_optimal,
+    )
+
+
+def min_airtime_column_generation(
+    model: InterferenceModel,
+    background: Sequence[Tuple[Path, float]],
+    max_iterations: int = 200,
+    exact_pricing: bool = True,
+    allow_overload: bool = False,
+) -> LinkSchedule:
+    """Column-generation counterpart of
+    :func:`repro.core.bandwidth.min_airtime_schedule`.
+
+    Master: minimise Σλ subject to Σλ·R ≥ demands, with per-row artificial
+    surplus keeping it feasible.  Pricing: a column improves iff
+    Σ_l w_l·R[l] > 1 (w_l the demand-row duals), i.e. a maximum-weight
+    independent set worth more than one unit of airtime.
+
+    Args:
+        allow_overload: When the optimal airtime exceeds one period,
+            return the schedule scaled down to fit it instead of raising —
+            every link then receives ``demand / total`` of its demand, the
+            proportional degradation of a saturated channel.  Used by the
+            churn simulation after a false-accept admission.
+
+    Raises:
+        InfeasibleProblemError: when demands stay unserved at convergence,
+            or (without ``allow_overload``) the optimal airtime exceeds
+            one period.
+    """
+    links = _collect_links(background)
+    if not links:
+        return LinkSchedule(())
+    demands = link_demands_from_paths(background)
+    conflict_graph = build_link_rate_conflict_graph(
+        model, links, same_link_edges=True
+    )
+    pool: List[RateIndependentSet] = _initial_columns(model, links)
+    pool_index = set(pool)
+    oracle = (
+        _exact_weighted_independent_set
+        if exact_pricing
+        else _greedy_weighted_independent_set
+    )
+    big_m = 1e5
+    solution = None
+    lambda_vars: List[str] = []
+    for _iteration in range(max_iterations):
+        lp = LinearProgram()
+        lambda_vars = [
+            lp.add_variable(f"lambda_{index}", objective=-1.0)
+            for index in range(len(pool))
+        ]
+        artificial_vars = {
+            link.link_id: lp.add_variable(
+                f"artificial[{link.link_id}]", objective=-big_m
+            )
+            for link in links
+        }
+        for link in links:
+            coefficients: Dict[str, float] = {
+                artificial_vars[link.link_id]: 1.0
+            }
+            for var, column in zip(lambda_vars, pool):
+                rate = column.throughput_of(link)
+                if rate > 0.0:
+                    coefficients[var] = rate
+            lp.add_constraint_ge(
+                coefficients,
+                demands.get(link, 0.0),
+                name=f"demand[{link.link_id}]",
+            )
+        solution = lp.solve()
+        prices = {
+            vertex: solution.duals.get(
+                f"demand[{vertex.link.link_id}]", 0.0
+            )
+            * vertex.rate.mbps
+            for vertex in conflict_graph.nodes
+        }
+        candidate_vertices = oracle(conflict_graph, prices)
+        candidate_value = sum(prices[v] for v in candidate_vertices)
+        if candidate_value <= 1.0 + _PRICING_EPS:
+            break
+        candidate = RateIndependentSet(frozenset(candidate_vertices))
+        if candidate in pool_index:
+            break
+        pool.append(candidate)
+        pool_index.add(candidate)
+
+    residual = sum(
+        value
+        for name, value in solution.values.items()
+        if name.startswith("artificial[")
+    )
+    if residual > 1e-6:
+        raise InfeasibleProblemError(
+            "background demands cannot be delivered "
+            f"(residual {residual:.4f} Mbps unserved)",
+            residual=residual,
+        )
+    total = sum(solution.values[var] for var in lambda_vars)
+    if total > 1.0 + 1e-9:
+        if not allow_overload:
+            raise InfeasibleProblemError(
+                f"background demands need {total:.4f} > 1 units of airtime",
+                residual=total - 1.0,
+            )
+        scale = 1.0 / total
+        return LinkSchedule(
+            ScheduleEntry(column, solution[var] * scale)
+            for var, column in zip(lambda_vars, pool)
+        )
+    return LinkSchedule(
+        ScheduleEntry(column, solution[var])
+        for var, column in zip(lambda_vars, pool)
+    )

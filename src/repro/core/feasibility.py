@@ -1,0 +1,79 @@
+"""Feasibility of link demand vectors (Section 2.3, Eq. 2/4).
+
+A demand vector is feasible iff some schedule delivers it within one period
+— equivalently, iff the cheapest delivering schedule uses at most one unit
+of airtime.  These helpers phrase that as direct questions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.independent_sets import RateIndependentSet
+from repro.core.lp import LinearProgram
+from repro.errors import InfeasibleProblemError
+from repro.interference.base import InterferenceModel
+from repro.net.link import Link
+
+__all__ = ["is_feasible", "required_airtime", "feasibility_margin"]
+
+
+def required_airtime(
+    model: InterferenceModel,
+    demands: Dict[Link, float],
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+) -> float:
+    """Minimum total airtime Σλ needed to deliver ``demands`` (may exceed 1).
+
+    Values above 1 mean the vector is infeasible; the magnitude says by how
+    much (e.g. 1.2 = "needs 20% more channel than exists").
+    """
+    from repro.core.independent_sets import enumerate_maximal_independent_sets
+
+    links = list(demands)
+    if not links:
+        return 0.0
+    if independent_sets is None:
+        columns = enumerate_maximal_independent_sets(model, links)
+    else:
+        columns = list(independent_sets)
+    lp = LinearProgram()
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}", objective=-1.0)
+        for index in range(len(columns))
+    ]
+    for link, demand in demands.items():
+        coefficients = {
+            var: column.throughput_of(link)
+            for var, column in zip(lambda_vars, columns)
+            if column.throughput_of(link) > 0.0
+        }
+        if not coefficients and demand > 0.0:
+            raise InfeasibleProblemError(
+                f"no independent set serves link {link.link_id!r}"
+            )
+        lp.add_constraint_ge(coefficients, demand, name=f"demand[{link.link_id}]")
+    solution = lp.solve()
+    return -solution.objective
+
+
+def is_feasible(
+    model: InterferenceModel,
+    demands: Dict[Link, float],
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Eq. 2/4 feasibility test for a link demand vector (Mbps per link)."""
+    try:
+        return required_airtime(model, demands, independent_sets) <= 1.0 + tolerance
+    except InfeasibleProblemError:
+        return False
+
+
+def feasibility_margin(
+    model: InterferenceModel,
+    demands: Dict[Link, float],
+    independent_sets: Optional[Sequence[RateIndependentSet]] = None,
+) -> float:
+    """Leftover airtime ``1 − Σλ*`` (negative when infeasible)."""
+    return 1.0 - required_airtime(model, demands, independent_sets)

@@ -1,0 +1,241 @@
+"""Rate-coupled independent sets (Section 2.4).
+
+An independent set in a multirate network is a set of (link, rate) couples
+that can all transmit successfully at the same time.  A *maximal* one
+additionally has every link at its maximum supported rate within the set,
+and admits no further link without hurting a member (possibly to rate
+zero).  Unlike the single-rate case, the links of one maximal set can be a
+subset of another's — the smaller set trades concurrency for faster rates —
+so maximality is rate-aware.
+
+Two enumeration strategies are provided, dispatched on the model:
+
+* **pairwise** (protocol / declared models): maximal independent sets of
+  the link–rate conflict graph, via maximal cliques of its complement;
+* **cumulative** (physical model): recursive subset search with Eq. 3
+  feasibility, keeping exactly the sets that satisfy the paper's
+  maximality definition.
+
+Proposition 3 says these maximal sets with maximum rate vectors suffice to
+express the feasibility condition (Eq. 4); :func:`prune_dominated` removes
+any remaining redundant columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import InterferenceError
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.conflict_graph import build_link_rate_conflict_graph
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.net.link import Link
+from repro.phy.rates import Rate
+
+__all__ = [
+    "RateIndependentSet",
+    "enumerate_maximal_independent_sets",
+    "prune_dominated",
+]
+
+
+@dataclass(frozen=True)
+class RateIndependentSet:
+    """An independent set of (link, rate) couples with its rate vector."""
+
+    couples: FrozenSet[LinkRate]
+
+    def __post_init__(self) -> None:
+        links = [c.link for c in self.couples]
+        if len(set(links)) != len(links):
+            raise InterferenceError(
+                "an independent set uses each link at most once"
+            )
+
+    @classmethod
+    def from_vector(cls, vector: Dict[Link, Rate]) -> "RateIndependentSet":
+        return cls(frozenset(LinkRate(link, rate) for link, rate in vector.items()))
+
+    @property
+    def links(self) -> FrozenSet[Link]:
+        return frozenset(c.link for c in self.couples)
+
+    @property
+    def size(self) -> int:
+        return len(self.couples)
+
+    def rate_of(self, link: Link) -> Optional[Rate]:
+        """The rate assigned to ``link``, or ``None`` if absent."""
+        for couple in self.couples:
+            if couple.link == link:
+                return couple.rate
+        return None
+
+    def throughput_of(self, link: Link) -> float:
+        """Mbps delivered on ``link`` per unit scheduled time (0 if absent).
+
+        This is the entry :math:`r^*_{ij}` of the paper's maximum rate
+        vector :math:`\\overrightarrow{R^*_i}`.
+        """
+        rate = self.rate_of(link)
+        return rate.mbps if rate is not None else 0.0
+
+    def throughput_vector(self, links: Sequence[Link]) -> Tuple[float, ...]:
+        """Rate vector over ``links`` in their given order."""
+        return tuple(self.throughput_of(link) for link in links)
+
+    def dominates(self, other: "RateIndependentSet") -> bool:
+        """Whether scheduling ``self`` is at least as useful as ``other``.
+
+        True when ``self`` covers every link of ``other`` at an equal or
+        faster rate (and differs).  With Eq. 4's ``>=`` feasibility
+        inequality, a dominated set is a redundant LP column.
+        """
+        if self == other:
+            return False
+        other_rates = {c.link: c.rate.mbps for c in other.couples}
+        own_rates = {c.link: c.rate.mbps for c in self.couples}
+        for link, mbps in other_rates.items():
+            if own_rates.get(link, 0.0) < mbps:
+                return False
+        return True
+
+    def __iter__(self):
+        return iter(self.couples)
+
+    def __len__(self) -> int:
+        return len(self.couples)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            sorted(str(c) for c in self.couples)
+        )
+        return "{" + inner + "}"
+
+
+def prune_dominated(
+    sets: Iterable[RateIndependentSet],
+) -> List[RateIndependentSet]:
+    """Drop sets dominated by another set of the collection.
+
+    Quadratic in the number of sets, which is fine at the scale where full
+    enumeration is used at all; column generation bypasses enumeration
+    entirely for bigger instances.
+    """
+    unique = list(dict.fromkeys(sets))
+    kept: List[RateIndependentSet] = []
+    for candidate in unique:
+        if any(other.dominates(candidate) for other in unique):
+            continue
+        kept.append(candidate)
+    return kept
+
+
+def enumerate_maximal_independent_sets(
+    model: InterferenceModel,
+    links: Sequence[Link],
+    max_sets: Optional[int] = None,
+) -> List[RateIndependentSet]:
+    """All maximal independent sets with maximum rate vectors over ``links``.
+
+    Args:
+        model: Interference model; a :class:`PhysicalInterferenceModel`
+            triggers the exact cumulative enumeration, anything else the
+            pairwise conflict-graph route.
+        links: Links of interest (the paper's ``P``, the union of flow
+            paths).  Links with no standalone rate are skipped (Prop. 2).
+        max_sets: Safety cap; exceeding it raises, pointing the caller to
+            column generation rather than silently truncating (a truncated
+            family would silently *underestimate* available bandwidth).
+
+    Returns:
+        Dominance-pruned maximal sets, deterministically ordered (by size
+        descending, then lexicographically by couple names) so downstream
+        LPs are reproducible.
+    """
+    usable = [link for link in links if model.standalone_rates(link)]
+    if not usable:
+        return []
+    if isinstance(model, PhysicalInterferenceModel):
+        found = _enumerate_cumulative(model, usable)
+    else:
+        found = _enumerate_pairwise(model, usable)
+    if max_sets is not None and len(found) > max_sets:
+        raise InterferenceError(
+            f"{len(found)} maximal independent sets exceed the cap "
+            f"{max_sets}; use column generation for this instance"
+        )
+    pruned = prune_dominated(found)
+    pruned.sort(key=lambda s: (-s.size, str(s)))
+    return pruned
+
+
+def _enumerate_pairwise(
+    model: InterferenceModel, links: Sequence[Link]
+) -> List[RateIndependentSet]:
+    """Maximal independent sets via the link–rate conflict graph."""
+    conflict = build_link_rate_conflict_graph(model, links, same_link_edges=True)
+    complement = nx.complement(conflict)
+    results = []
+    for clique in nx.find_cliques(complement):
+        results.append(RateIndependentSet(frozenset(clique)))
+    return results
+
+
+def _enumerate_cumulative(
+    model: PhysicalInterferenceModel, links: Sequence[Link]
+) -> List[RateIndependentSet]:
+    """Exact enumeration under cumulative interference (Eq. 3).
+
+    Explores link subsets depth-first; a subset is feasible when every
+    member keeps a positive maximum rate under the set's cumulative
+    interference.  Feasibility is monotone downwards (removing a link only
+    raises SINRs), so infeasible branches prune their supersets.  A feasible
+    set is kept when it is maximal in the paper's sense: every addable link
+    either breaks the set or lowers some member's maximum rate — which,
+    under cumulative interference, reduces to "adding the link changes the
+    rate vector of the current members or is infeasible"; since adding an
+    interferer can only lower SINRs, that is "adding the link lowers some
+    member's rate or is infeasible".
+    """
+    ordered = sorted(links, key=lambda l: l.link_id)
+    results: List[RateIndependentSet] = []
+    seen: set = set()
+
+    def rate_vector(subset: FrozenSet[Link]) -> Optional[Dict[Link, Rate]]:
+        return model.max_rate_vector(subset)
+
+    def is_maximal(subset: FrozenSet[Link], vector: Dict[Link, Rate]) -> bool:
+        for link in ordered:
+            if link in subset:
+                continue
+            extended = rate_vector(subset | {link})
+            if extended is None:
+                continue
+            unchanged = all(
+                extended[member].mbps >= vector[member].mbps
+                for member in subset
+            )
+            if unchanged:
+                return False  # the link was addable for free
+        return True
+
+    def expand(subset: FrozenSet[Link], start: int) -> None:
+        vector = rate_vector(subset)
+        if subset and vector is None:
+            return
+        if subset and is_maximal(subset, vector):
+            candidate = RateIndependentSet.from_vector(vector)
+            if candidate not in seen:
+                seen.add(candidate)
+                results.append(candidate)
+        for index in range(start, len(ordered)):
+            extended = subset | {ordered[index]}
+            if rate_vector(extended) is not None:
+                expand(extended, index + 1)
+
+    expand(frozenset(), 0)
+    return results

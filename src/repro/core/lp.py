@@ -1,0 +1,165 @@
+"""Thin linear-programming layer over :func:`scipy.optimize.linprog`.
+
+Every optimisation in the library is an LP.  This module provides a small
+builder that keeps variables named, assembles the sparse standard form and
+converts solver statuses into the library's exception types, so the model
+code above reads like the paper's formulations rather than like matrix
+plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleProblemError, SolverError
+
+__all__ = ["LinearProgram", "LpSolution"]
+
+
+@dataclass
+class LpSolution:
+    """Solved LP: objective value and per-variable values by name."""
+
+    objective: float
+    values: Dict[str, float]
+    #: Dual values (shadow prices) of the ``<=`` constraints, by constraint
+    #: name, when the solver reports them.  Used by column generation.
+    duals: Dict[str, float]
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+class LinearProgram:
+    """A named-variable maximisation LP.
+
+    Usage::
+
+        lp = LinearProgram()
+        f = lp.add_variable("f", objective=1.0)
+        lam = [lp.add_variable(f"lam_{i}") for i in range(m)]
+        lp.add_constraint_le({v: 1.0 for v in lam}, 1.0, name="airtime")
+        ...
+        solution = lp.solve()
+
+    All variables are non-negative with an optional upper bound, which is
+    the shape of every formulation in the paper (time shares, throughputs).
+    The solve maximises; internally the sign is flipped for linprog.
+    """
+
+    def __init__(self):
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._objective: List[float] = []
+        self._upper: List[Optional[float]] = []
+        self._rows: List[Dict[int, float]] = []
+        self._rhs: List[float] = []
+        self._row_names: List[str] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        objective: float = 0.0,
+        upper_bound: Optional[float] = None,
+    ) -> str:
+        """Register variable ``name`` ≥ 0; returns the name for chaining."""
+        if name in self._index:
+            raise SolverError(f"duplicate LP variable {name!r}")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._objective.append(objective)
+        self._upper.append(upper_bound)
+        return name
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._index
+
+    def add_constraint_le(
+        self,
+        coefficients: Dict[str, float],
+        rhs: float,
+        name: Optional[str] = None,
+    ) -> str:
+        """Add ``sum(coeff * var) <= rhs``; returns the constraint name."""
+        row: Dict[int, float] = {}
+        for var, coeff in coefficients.items():
+            if var not in self._index:
+                raise SolverError(f"unknown LP variable {var!r}")
+            if coeff != 0.0:
+                row[self._index[var]] = row.get(self._index[var], 0.0) + coeff
+        if name is None:
+            name = f"c{len(self._rows)}"
+        self._rows.append(row)
+        self._rhs.append(rhs)
+        self._row_names.append(name)
+        return name
+
+    def add_constraint_ge(
+        self,
+        coefficients: Dict[str, float],
+        rhs: float,
+        name: Optional[str] = None,
+    ) -> str:
+        """Add ``sum(coeff * var) >= rhs`` (stored negated as ``<=``)."""
+        negated = {var: -coeff for var, coeff in coefficients.items()}
+        return self.add_constraint_le(negated, -rhs, name=name)
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self) -> LpSolution:
+        """Maximise the objective; raise on infeasibility or solver failure."""
+        n = len(self._names)
+        if n == 0:
+            raise SolverError("LP has no variables")
+        c = -np.asarray(self._objective, dtype=float)  # linprog minimises
+        if self._rows:
+            a_ub = np.zeros((len(self._rows), n))
+            for row_index, row in enumerate(self._rows):
+                for var_index, coeff in row.items():
+                    a_ub[row_index, var_index] = coeff
+            b_ub = np.asarray(self._rhs, dtype=float)
+        else:
+            a_ub = None
+            b_ub = None
+        bounds = [(0.0, upper) for upper in self._upper]
+        result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if result.status == 2:
+            raise InfeasibleProblemError(
+                "LP is infeasible: the background demands cannot all be "
+                "delivered by any schedule"
+            )
+        if result.status == 3:
+            raise SolverError("LP is unbounded — a constraint is missing")
+        if not result.success:
+            raise SolverError(
+                f"LP solver failed with status {result.status}: "
+                f"{result.message}"
+            )
+        values = {
+            name: float(result.x[index])
+            for index, name in enumerate(self._names)
+        }
+        duals: Dict[str, float] = {}
+        marginals = getattr(getattr(result, "ineqlin", None), "marginals", None)
+        if marginals is not None:
+            duals = {
+                row_name: -float(marginals[row_index])
+                for row_index, row_name in enumerate(self._row_names)
+            }
+        return LpSolution(
+            objective=-float(result.fun), values=values, duals=duals
+        )

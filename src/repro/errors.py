@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch a single base class.  Subclasses carry enough structured context
+(offending object, expected range, ...) for programmatic handling, while the
+message stays human readable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "LinkError",
+    "PathError",
+    "RateError",
+    "InterferenceError",
+    "ScheduleError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "RoutingError",
+    "EstimationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object received an invalid parameter."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology is malformed (unknown node, duplicate link, ...)."""
+
+
+class LinkError(TopologyError):
+    """A link is invalid: self loop, unknown endpoints, or out of range."""
+
+
+class PathError(TopologyError):
+    """A path is invalid: disconnected hops, repeated nodes, unknown links."""
+
+
+class RateError(ReproError, ValueError):
+    """A rate value is not part of the configured rate table."""
+
+
+class InterferenceError(ReproError):
+    """An interference model was queried with objects it does not know."""
+
+
+class ScheduleError(ReproError, ValueError):
+    """A link schedule is malformed or violates its own invariants."""
+
+
+class InfeasibleProblemError(ReproError):
+    """A bandwidth/scheduling problem admits no feasible solution.
+
+    This is raised, for example, when background demands alone are not
+    schedulable, so no available-bandwidth question is well posed.
+    """
+
+    def __init__(self, message: str, residual: float = float("nan")):
+        super().__init__(message)
+        #: How much airtime (> 0) is missing to serve the demands, when known.
+        self.residual = residual
+
+
+class SolverError(ReproError, RuntimeError):
+    """The underlying LP solver failed for a reason other than infeasibility."""
+
+
+class RoutingError(ReproError):
+    """No route satisfying the metric/constraints could be found."""
+
+    def __init__(self, message: str, source=None, destination=None):
+        super().__init__(message)
+        self.source = source
+        self.destination = destination
+
+
+class EstimationError(ReproError):
+    """An available-bandwidth estimator received inconsistent inputs."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event MAC simulator reached an inconsistent state."""

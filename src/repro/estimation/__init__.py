@@ -1,0 +1,52 @@
+"""Distributed estimation of path available bandwidth (Section 4).
+
+The distributed setting has no global scheduling knowledge; each node only
+carrier-senses the channel and derives an idleness ratio.  This package
+provides:
+
+* :mod:`repro.estimation.idle_time` — per-node idleness ratios, computed
+  analytically from an (optimal) background schedule or plugged in from
+  the CSMA/CA simulator's measurements;
+* :mod:`repro.estimation.local_cliques` — local interference cliques along
+  a path (cliques of consecutive path links);
+* :mod:`repro.estimation.estimators` — the five estimators the paper
+  compares in Fig. 4: bottleneck node bandwidth (Eq. 10), clique
+  constraint (Eq. 11), their minimum (Eq. 12), the conservative clique
+  constraint (Eq. 13, the paper's winner) and the expected clique
+  transmission time (Eq. 15).
+"""
+
+from repro.estimation.estimators import (
+    ESTIMATORS,
+    BottleneckNodeBandwidth,
+    CliqueConstraint,
+    ConservativeCliqueConstraint,
+    ExpectedCliqueTransmissionTime,
+    MinCliqueBottleneck,
+    PathBandwidthEstimator,
+    PathState,
+)
+from repro.estimation.idle_time import (
+    link_idleness,
+    node_idleness_from_schedule,
+    path_state_for,
+)
+from repro.estimation.local_cliques import local_interference_cliques
+from repro.estimation.prefix import bottleneck_prefix, prefix_estimates
+
+__all__ = [
+    "PathState",
+    "PathBandwidthEstimator",
+    "BottleneckNodeBandwidth",
+    "CliqueConstraint",
+    "MinCliqueBottleneck",
+    "ConservativeCliqueConstraint",
+    "ExpectedCliqueTransmissionTime",
+    "ESTIMATORS",
+    "node_idleness_from_schedule",
+    "link_idleness",
+    "path_state_for",
+    "local_interference_cliques",
+    "prefix_estimates",
+    "bottleneck_prefix",
+]

@@ -1,0 +1,216 @@
+"""The five path-available-bandwidth estimators of Section 4 / Fig. 4.
+
+All estimators consume a :class:`PathState` — the distributed view of a
+path: per-link effective rates, per-link idleness ratios (Eq. 10's λ_i)
+and the local interference cliques.  Each returns an estimate in Mbps.
+
+==============================================  =========  =============================
+Estimator                                       Equation   Fig. 4 legend
+==============================================  =========  =============================
+:class:`BottleneckNodeBandwidth`                Eq. 10     "bottleneck node bandwidth"
+:class:`CliqueConstraint`                       Eq. 11     "clique constraint"
+:class:`MinCliqueBottleneck`                    Eq. 12     "min of the above two"
+:class:`ConservativeCliqueConstraint`           Eq. 13     "conservative clique constraint"
+:class:`ExpectedCliqueTransmissionTime`         Eq. 15     "expected clique transmission time"
+==============================================  =========  =============================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import EstimationError
+from repro.net.path import Path
+from repro.phy.rates import Rate
+
+__all__ = [
+    "PathState",
+    "PathBandwidthEstimator",
+    "BottleneckNodeBandwidth",
+    "CliqueConstraint",
+    "MinCliqueBottleneck",
+    "ConservativeCliqueConstraint",
+    "ExpectedCliqueTransmissionTime",
+    "ESTIMATORS",
+]
+
+
+@dataclass(frozen=True)
+class PathState:
+    """Distributed view of one path.
+
+    Attributes:
+        path: The path itself.
+        rates: Effective :class:`Rate` per hop, aligned with ``path``.
+        idleness: λ_i per hop — the smaller endpoint idleness of each
+            link, already combined by Eq. 10's min.
+        cliques: Local interference cliques as tuples of hop indices.
+    """
+
+    path: Path
+    rates: Tuple[Rate, ...]
+    idleness: Tuple[float, ...]
+    cliques: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        hops = len(self.path)
+        if len(self.rates) != hops or len(self.idleness) != hops:
+            raise EstimationError(
+                "rates and idleness must align with the path's hops"
+            )
+        if not all(0.0 <= lam <= 1.0 + 1e-9 for lam in self.idleness):
+            raise EstimationError("idleness ratios must lie in [0, 1]")
+        for clique in self.cliques:
+            if not clique or any(not 0 <= i < hops for i in clique):
+                raise EstimationError(f"clique {clique} indexes beyond path")
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.path)
+
+    def rate_mbps(self, hop: int) -> float:
+        return self.rates[hop].mbps
+
+
+class PathBandwidthEstimator(ABC):
+    """Interface of a Section 4 estimator."""
+
+    #: Short machine name used in experiment tables and the registry.
+    name: str = "estimator"
+    #: The paper's display label (Fig. 4 legend).
+    label: str = "estimator"
+
+    @abstractmethod
+    def estimate(self, state: PathState) -> float:
+        """Estimated available bandwidth of the path, in Mbps."""
+
+    def __call__(self, state: PathState) -> float:
+        return self.estimate(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class BottleneckNodeBandwidth(PathBandwidthEstimator):
+    """Eq. 10: ``f <= min_i λ_i · r_i``.
+
+    Accounts for background traffic through the idleness ratios but
+    ignores interference among the new path's own hops — the paper notes
+    it therefore over-estimates, especially under light background load.
+    """
+
+    name = "bottleneck"
+    label = "bottleneck node bandwidth"
+
+    def estimate(self, state: PathState) -> float:
+        return min(
+            lam * rate.mbps
+            for lam, rate in zip(state.idleness, state.rates)
+        )
+
+
+class CliqueConstraint(PathBandwidthEstimator):
+    """Eq. 11: ``f <= 1 / Σ_{i∈C} 1/r_i`` per local clique, min over cliques.
+
+    Pure self-interference capacity: it ignores background traffic
+    entirely (over-estimates under heavy load) and pins every link to one
+    rate (under-estimates when link adaptation could help — the paper's
+    Section 5.3 observation).
+    """
+
+    name = "clique"
+    label = "clique constraint"
+
+    def estimate(self, state: PathState) -> float:
+        best = float("inf")
+        for clique in state.cliques:
+            total = sum(1.0 / state.rate_mbps(i) for i in clique)
+            best = min(best, 1.0 / total)
+        return best
+
+
+class MinCliqueBottleneck(PathBandwidthEstimator):
+    """Eq. 12: per clique, ``f <= min(1/Σ 1/r_i, λ_i·r_i ∀ i ∈ C)``.
+
+    The straightforward combination of Eq. 10 and Eq. 11; still assumes
+    different links' idle periods never overlap, so it remains loose.
+    """
+
+    name = "min-clique-bottleneck"
+    label = "min of clique constraint and bottleneck"
+
+    def estimate(self, state: PathState) -> float:
+        best = float("inf")
+        for clique in state.cliques:
+            capacity = 1.0 / sum(1.0 / state.rate_mbps(i) for i in clique)
+            node_limit = min(
+                state.idleness[i] * state.rate_mbps(i) for i in clique
+            )
+            best = min(best, capacity, node_limit)
+        return best
+
+
+class ConservativeCliqueConstraint(PathBandwidthEstimator):
+    """Eq. 13: idle time shared among clique members — the paper's winner.
+
+    Assume the time share λ_i of link L_i must be shared by all clique
+    links with individual shares below λ_i.  Sorting the clique's idleness
+    ascending (λ_(1) ≤ … ≤ λ_(k)), the flow obeys, for every prefix,
+    ``Σ_{j≤i} f / r_(j) <= λ_(i)``, hence
+    ``f <= min_i λ_(i) / Σ_{j≤i} 1/r_(j)``.
+    """
+
+    name = "conservative"
+    label = "conservative clique constraint"
+
+    def estimate(self, state: PathState) -> float:
+        best = float("inf")
+        for clique in state.cliques:
+            members = sorted(clique, key=lambda i: state.idleness[i])
+            inverse_sum = 0.0
+            for position, hop in enumerate(members):
+                inverse_sum += 1.0 / state.rate_mbps(hop)
+                best = min(best, state.idleness[hop] / inverse_sum)
+        return best
+
+
+class ExpectedCliqueTransmissionTime(PathBandwidthEstimator):
+    """Eq. 15: ``f <= 1 / max_C Σ_{i∈C} 1/(λ_i·r_i)``.
+
+    Derived from the average end-to-end delay bound (Eq. 14): each hop
+    needs expected time ≥ 1/(λ_i·r_i) per unit of traffic, and a clique's
+    hops cannot pipeline.  More pessimistic than Eq. 13 (the paper finds it
+    "a little worse").
+    """
+
+    name = "expected-ctt"
+    label = "expected clique transmission time"
+
+    def estimate(self, state: PathState) -> float:
+        worst = 0.0
+        for clique in state.cliques:
+            total = 0.0
+            for hop in clique:
+                idle = state.idleness[hop]
+                if idle <= 0.0:
+                    return 0.0
+                total += 1.0 / (idle * state.rate_mbps(hop))
+            worst = max(worst, total)
+        if worst == 0.0:
+            raise EstimationError("path state has no cliques")
+        return 1.0 / worst
+
+
+#: Registry used by the Fig. 4 experiment, in the paper's presentation order.
+ESTIMATORS: Dict[str, PathBandwidthEstimator] = {
+    estimator.name: estimator
+    for estimator in (
+        CliqueConstraint(),
+        BottleneckNodeBandwidth(),
+        MinCliqueBottleneck(),
+        ConservativeCliqueConstraint(),
+        ExpectedCliqueTransmissionTime(),
+    )
+}

@@ -1,0 +1,149 @@
+"""Channel idleness ratios and the :class:`PathState` builder.
+
+Section 4: each node carrier-senses the channel and computes
+``λ_idle ≤ 1``, the fraction of time it senses the channel idle.  A link
+then assumes it may transmit for the smaller idleness of its two endpoints
+(Eq. 10's λ_i).
+
+Two sources of idleness coexist:
+
+* **analytic** — from a background :class:`LinkSchedule` (typically the
+  minimum-airtime schedule, modelling optimally scheduled background
+  traffic): a node is busy whenever it is an endpoint of an active link or
+  hears an active transmitter;
+* **measured** — the CSMA/CA simulator (:mod:`repro.mac`) reports the same
+  per-node ratios from an actual packet-level run; any mapping
+  ``node_id → λ_idle`` plugs in equally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.schedule import LinkSchedule
+from repro.errors import EstimationError
+from repro.estimation.estimators import PathState
+from repro.estimation.local_cliques import local_interference_cliques
+from repro.interference.base import InterferenceModel
+from repro.net.link import Link
+from repro.net.path import Path
+from repro.net.topology import Network
+
+__all__ = ["node_idleness_from_schedule", "link_idleness", "path_state_for"]
+
+
+def node_idleness_from_schedule(
+    network: Network,
+    schedule: LinkSchedule,
+    model: Optional[InterferenceModel] = None,
+) -> Dict[str, float]:
+    """λ_idle per node under a given background schedule.
+
+    For geometric networks, "hearing" is carrier sensing by distance.  For
+    abstract networks (no coordinates) a ``model`` must be supplied and
+    hearing falls back to declared interference: a node senses the
+    transmissions that conflict with its own links, which is how the
+    paper's Scenario I phrases it ("interferes with and hears both").
+    """
+    if network.is_geometric:
+        return {
+            node.node_id: 1.0 - schedule.node_busy_share(network, node.node_id)
+            for node in network.nodes
+        }
+    if model is None:
+        raise EstimationError(
+            "abstract networks need an interference model to derive "
+            "idleness (carrier sensing has no geometric definition here)"
+        )
+    return _abstract_idleness(network, schedule, model)
+
+
+def _abstract_idleness(
+    network: Network,
+    schedule: LinkSchedule,
+    model: InterferenceModel,
+) -> Dict[str, float]:
+    """Hearing-by-declared-interference fallback for abstract networks."""
+    from repro.interference.base import LinkRate
+
+    idleness: Dict[str, float] = {}
+    links_of_node: Dict[str, list] = {node.node_id: [] for node in network.nodes}
+    for link in network.links:
+        for node_id in link.endpoints:
+            links_of_node[node_id].append(link)
+
+    for node in network.nodes:
+        busy = 0.0
+        for entry in schedule.entries:
+            active = False
+            for couple in entry.independent_set:
+                if node.node_id in couple.link.endpoints:
+                    active = True
+                    break
+                for own in links_of_node[node.node_id]:
+                    own_rates = model.standalone_rates(own)
+                    if own_rates and model.conflicts(
+                        LinkRate(own, own_rates[-1]), couple
+                    ):
+                        active = True
+                        break
+                if active:
+                    break
+            if active:
+                busy += entry.time_share
+        idleness[node.node_id] = max(0.0, 1.0 - busy)
+    return idleness
+
+
+def link_idleness(
+    link: Link, node_idleness: Mapping[str, float]
+) -> float:
+    """Eq. 10's λ_i: the smaller idleness of the link's two endpoints."""
+    try:
+        sender = node_idleness[link.sender.node_id]
+        receiver = node_idleness[link.receiver.node_id]
+    except KeyError as exc:
+        raise EstimationError(
+            f"no idleness ratio for node {exc.args[0]!r}"
+        ) from None
+    return min(sender, receiver)
+
+
+def path_state_for(
+    model: InterferenceModel,
+    path: Path,
+    node_idleness: Mapping[str, float],
+    rates_mbps: Optional[Mapping[str, float]] = None,
+) -> PathState:
+    """Assemble everything the Section 4 estimators consume.
+
+    Args:
+        model: Interference model (decides local cliques).
+        path: The candidate path.
+        node_idleness: Per-node λ_idle, from
+            :func:`node_idleness_from_schedule` or from measurements.
+        rates_mbps: Effective data rate per link id.  Defaults to each
+            link's maximum standalone rate — what a distributed node would
+            assume without scheduling knowledge.
+    """
+    rates = []
+    for link in path:
+        if rates_mbps is not None and link.link_id in rates_mbps:
+            rate = model.network.radio.rate_table.get(rates_mbps[link.link_id])
+        else:
+            rate = model.max_standalone_rate(link)
+            if rate is None:
+                raise EstimationError(
+                    f"link {link.link_id!r} supports no rate"
+                )
+        rates.append(rate)
+    idleness = tuple(link_idleness(link, node_idleness) for link in path)
+    cliques = local_interference_cliques(
+        model, path, {link.link_id: rate for link, rate in zip(path, rates)}
+    )
+    return PathState(
+        path=path,
+        rates=tuple(rates),
+        idleness=idleness,
+        cliques=tuple(tuple(c) for c in cliques),
+    )

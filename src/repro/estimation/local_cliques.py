@@ -1,0 +1,61 @@
+"""Local interference cliques (Section 4).
+
+"A local interference clique is a clique and all links in the clique are in
+a sequence on the path."  Following the approach of the paper's reference
+[1], we take, for every starting hop, the longest run of consecutive path
+links that are mutually conflicting at their effective rates, and keep the
+maximal runs.  Consecutive links always conflict (they share a node), so
+every run of length ≥ 2 starts as a clique and extends while the new link
+conflicts with *all* members.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.net.path import Path
+from repro.phy.rates import Rate
+
+__all__ = ["local_interference_cliques"]
+
+
+def local_interference_cliques(
+    model: InterferenceModel,
+    path: Path,
+    rates: Mapping[str, Rate],
+) -> List[List[int]]:
+    """Maximal runs of consecutive path links forming cliques.
+
+    Args:
+        model: Decides pairwise conflicts.
+        path: The path under estimation.
+        rates: Effective rate per link id (every path link must appear).
+
+    Returns:
+        Lists of link *indices* into ``path``, sorted by start index; runs
+        contained in an earlier, longer run are dropped (they are not
+        maximal).  A single-link path yields the singleton clique ``[0]``.
+    """
+    couples = [
+        LinkRate(link, rates[link.link_id]) for link in path
+    ]
+    n = len(couples)
+    runs: List[List[int]] = []
+    for start in range(n):
+        end = start
+        while end + 1 < n and all(
+            model.conflicts(couples[end + 1], couples[member])
+            for member in range(start, end + 1)
+        ):
+            end += 1
+        runs.append(list(range(start, end + 1)))
+    maximal: List[List[int]] = []
+    for run in runs:
+        if any(
+            set(run) < set(other) for other in runs if other is not run
+        ):
+            continue
+        if run not in maximal:
+            maximal.append(run)
+    return maximal

@@ -1,0 +1,62 @@
+"""Per-prefix distributed estimation (Section 4).
+
+"Each intermediate node on a path estimates the available bandwidth from
+the source to itself on that path, and uses it in distributed routing
+algorithms as any other routing metrics such as hop count."
+
+:func:`prefix_estimates` computes that sequence: the estimator applied to
+every prefix of a path, which is what each node would advertise in a
+distance-vector exchange.  All estimators here are monotone non-increasing
+along prefixes (growing the path only adds constraints), which is the
+property the widest-path router relies on; a dedicated test asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from repro.estimation.estimators import PathBandwidthEstimator
+from repro.estimation.idle_time import path_state_for
+from repro.interference.base import InterferenceModel
+from repro.net.path import Path
+
+__all__ = ["prefix_estimates", "bottleneck_prefix"]
+
+
+def prefix_estimates(
+    model: InterferenceModel,
+    path: Path,
+    estimator: PathBandwidthEstimator,
+    node_idleness: Mapping[str, float],
+) -> List[Tuple[str, float]]:
+    """(node id, estimated source→node bandwidth) for each path node.
+
+    The first entry is the path's first intermediate node (after one
+    hop); the last is the destination with the full-path estimate.
+    """
+    estimates: List[Tuple[str, float]] = []
+    for prefix in path.prefixes():
+        state = path_state_for(model, prefix, node_idleness)
+        estimates.append(
+            (prefix.destination.node_id, estimator.estimate(state))
+        )
+    return estimates
+
+
+def bottleneck_prefix(
+    model: InterferenceModel,
+    path: Path,
+    estimator: PathBandwidthEstimator,
+    node_idleness: Mapping[str, float],
+) -> Tuple[str, float]:
+    """The node at which the prefix estimate first reaches its minimum.
+
+    Useful diagnostics: this is where the path's bandwidth is decided,
+    and where a routing algorithm should look for a detour.
+    """
+    estimates = prefix_estimates(model, path, estimator, node_idleness)
+    best_node, best_value = estimates[0]
+    for node_id, value in estimates[1:]:
+        if value < best_value - 1e-12:
+            best_node, best_value = node_id, value
+    return best_node, best_value

@@ -1,0 +1,101 @@
+"""ASCII rendering of geometric topologies and paths (Fig. 2 as text).
+
+The paper's Fig. 2 is a scatter of 30 nodes with route arrows.  Without a
+plotting dependency, a character grid conveys the same structure: node
+markers at scaled coordinates and interpolated path traces.  Used by the
+E3 experiment's report and handy in the REPL when debugging placements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.net.path import Path
+from repro.net.topology import Network
+
+__all__ = ["render_topology"]
+
+#: Characters used to trace paths, one per path, cycling.
+_PATH_MARKS = "*+~^%&="
+
+
+def render_topology(
+    network: Network,
+    paths: Sequence[Path] = (),
+    width: int = 60,
+    height: int = 30,
+    label_nodes: bool = True,
+) -> str:
+    """Render the network on a ``width``×``height`` character grid.
+
+    Nodes appear as ``o`` (or their index modulo 10 when labelled); each
+    path is traced with its own marker along straight hop segments.  Node
+    markers overwrite path markers so endpoints stay visible.
+    """
+    if not network.is_geometric:
+        raise TopologyError("only geometric networks can be rendered")
+    if width < 2 or height < 2:
+        raise TopologyError("grid must be at least 2x2")
+    nodes = list(network.nodes)
+    xs = [node.x for node in nodes]
+    ys = [node.y for node in nodes]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        column = round((x - min_x) / span_x * (width - 1))
+        row = round((y - min_y) / span_y * (height - 1))
+        return row, column
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for path_index, path in enumerate(paths):
+        mark = _PATH_MARKS[path_index % len(_PATH_MARKS)]
+        for link in path:
+            start = to_cell(link.sender.x, link.sender.y)
+            end = to_cell(link.receiver.x, link.receiver.y)
+            for row, column in _line_cells(start, end):
+                grid[row][column] = mark
+
+    for index, node in enumerate(nodes):
+        row, column = to_cell(node.x, node.y)
+        grid[row][column] = str(index % 10) if label_nodes else "o"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = ""
+    if paths:
+        parts = [
+            f"{_PATH_MARKS[i % len(_PATH_MARKS)]} {path}"
+            for i, path in enumerate(paths)
+        ]
+        legend = "\n" + "\n".join(parts)
+    return f"{border}\n{body}\n{border}{legend}"
+
+
+def _line_cells(
+    start: Tuple[int, int], end: Tuple[int, int]
+) -> Iterable[Tuple[int, int]]:
+    """Bresenham's line between two grid cells, inclusive."""
+    row0, col0 = start
+    row1, col1 = end
+    d_row = abs(row1 - row0)
+    d_col = abs(col1 - col0)
+    step_row = 1 if row1 >= row0 else -1
+    step_col = 1 if col1 >= col0 else -1
+    error = d_col - d_row
+    row, col = row0, col0
+    while True:
+        yield row, col
+        if (row, col) == (row1, col1):
+            return
+        doubled = 2 * error
+        if doubled > -d_row:
+            error -= d_row
+            col += step_col
+        if doubled < d_col:
+            error += d_col
+            row += step_row

@@ -1,0 +1,314 @@
+"""Extension experiments (X1, X2) beyond the paper's figures.
+
+* **X1 — admission accuracy**: the paper compares estimators by how close
+  they track the truth (Fig. 4); the operational question is whether the
+  *decisions* they imply are right.  X1 replays the sequential admission
+  trace and scores each estimator as an admission controller: accept when
+  estimate ≥ demand, against the Eq. 6 ground truth — counting false
+  accepts (admitting an unsupportable flow) and false rejects (turning
+  away a supportable one).
+* **X2 — joint routing gain**: Section 4 poses the joint
+  routing/scheduling problem and retreats to distributed metrics; X2
+  quantifies what the centralised best-of-candidates approximation
+  (:func:`repro.routing.joint.joint_widest_route`) buys over each single
+  metric on the Fig. 3 workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.column_generation import min_airtime_column_generation
+from repro.errors import RoutingError
+from repro.estimation.estimators import ESTIMATORS
+from repro.estimation.idle_time import node_idleness_from_schedule, path_state_for
+from repro.experiments.fig3_routing import Fig3Config, run_fig3
+from repro.experiments.report import format_table
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.path import Path
+from repro.routing.joint import joint_widest_route
+from repro.routing.metrics import METRICS, RoutingContext
+from repro.routing.shortest_path import route
+
+__all__ = [
+    "AdmissionAccuracyResult",
+    "run_admission_accuracy",
+    "JointRoutingResult",
+    "run_joint_routing",
+    "JointAdmissionResult",
+    "run_joint_admission",
+]
+
+
+@dataclass
+class AdmissionAccuracyResult:
+    """X1: per-estimator decision quality over the admission trace."""
+
+    #: estimator -> (correct, false accepts, false rejects).
+    decisions: Dict[str, Tuple[int, int, int]]
+    trials: int
+
+    def table(self) -> str:
+        rows = []
+        for name, (correct, false_accept, false_reject) in self.decisions.items():
+            rows.append(
+                [
+                    name,
+                    correct,
+                    false_accept,
+                    false_reject,
+                    correct / max(1, self.trials),
+                ]
+            )
+        return format_table(
+            headers=[
+                "estimator",
+                "correct",
+                "false accepts",
+                "false rejects",
+                "accuracy",
+            ],
+            rows=rows,
+            title=(
+                "X1: estimators as admission controllers "
+                f"({self.trials} decisions, truth = Eq. 6)"
+            ),
+        )
+
+
+def run_admission_accuracy(
+    config: Fig3Config = Fig3Config(),
+) -> AdmissionAccuracyResult:
+    """Score every estimator's accept/reject decisions on the Fig. 3 trace."""
+    fig3 = run_fig3(config)
+    network = fig3.network
+    model = ProtocolInterferenceModel(network)
+    report = fig3.reports["average-e2eD"]
+
+    decisions: Dict[str, List[bool]] = {name: [] for name in ESTIMATORS}
+    false_accepts: Dict[str, int] = {name: 0 for name in ESTIMATORS}
+    false_rejects: Dict[str, int] = {name: 0 for name in ESTIMATORS}
+    background: List[Tuple[Path, float]] = []
+    trials = 0
+    for outcome in report.outcomes:
+        if outcome.path is None:
+            continue
+        demand = outcome.flow.demand_mbps
+        if background:
+            schedule = min_airtime_column_generation(model, background)
+            idleness = node_idleness_from_schedule(network, schedule, model)
+        else:
+            idleness = {node.node_id: 1.0 for node in network.nodes}
+        state = path_state_for(model, outcome.path, idleness)
+        truth_accepts = outcome.available_bandwidth + 1e-6 >= demand
+        trials += 1
+        for name, estimator in ESTIMATORS.items():
+            estimator_accepts = estimator.estimate(state) >= demand
+            if estimator_accepts == truth_accepts:
+                decisions[name].append(True)
+            elif estimator_accepts:
+                false_accepts[name] += 1
+            else:
+                false_rejects[name] += 1
+        if outcome.admitted:
+            background.append((outcome.path, demand))
+    return AdmissionAccuracyResult(
+        decisions={
+            name: (
+                len(decisions[name]),
+                false_accepts[name],
+                false_rejects[name],
+            )
+            for name in ESTIMATORS
+        },
+        trials=trials,
+    )
+
+
+@dataclass
+class JointRoutingResult:
+    """X2: joint (best-of-candidates) routing vs single metrics."""
+
+    #: (flow id, per-metric bandwidth incl. 'joint').
+    rows: List[Tuple[str, Dict[str, float]]]
+    candidate_counts: List[int]
+
+    def table(self) -> str:
+        names = ["hop-count", "e2eTD", "average-e2eD", "joint"]
+        rendered = []
+        for flow_id, values in self.rows:
+            rendered.append(
+                [flow_id] + [values.get(name, float("nan")) for name in names]
+            )
+        return format_table(
+            headers=["flow"] + names,
+            rows=rendered,
+            title=(
+                "X2: available bandwidth (Mbps) of the chosen path — "
+                "single metrics vs joint best-of-candidates"
+            ),
+        )
+
+    def joint_never_worse(self) -> bool:
+        for _flow, values in self.rows:
+            best_single = max(
+                value
+                for name, value in values.items()
+                if name != "joint"
+            )
+            if values["joint"] + 1e-6 < best_single:
+                return False
+        return True
+
+
+@dataclass
+class JointAdmissionResult:
+    """X4: sequential admission with joint (best-of-candidates) routing."""
+
+    #: metric name (or 'joint') -> admitted count.
+    admitted: Dict[str, int]
+    #: metric name -> bandwidth series.
+    series: Dict[str, List[float]]
+
+    def table(self) -> str:
+        names = list(self.admitted)
+        n_rows = max(len(s) for s in self.series.values())
+        rows: List[List[object]] = []
+        for index in range(n_rows):
+            row: List[object] = [index + 1]
+            for name in names:
+                values = self.series[name]
+                row.append(
+                    values[index] if index < len(values) else float("nan")
+                )
+            rows.append(row)
+        rows.append(["admitted"] + [self.admitted[name] for name in names])
+        return format_table(
+            headers=["flow"] + names,
+            rows=rows,
+            title=(
+                "X4: sequential admission — joint routing vs the best "
+                "single metric"
+            ),
+        )
+
+
+def run_joint_admission(
+    config: Fig3Config = Fig3Config(),
+    k: int = 3,
+) -> JointAdmissionResult:
+    """X4: replay Fig. 3's arrivals with joint candidate routing.
+
+    Every arriving flow is routed by
+    :func:`~repro.routing.joint_widest_route` (Yen candidates under all
+    three metrics, each scored by the exact Eq. 6 LP against the current
+    background) instead of one fixed metric.  Because each arrival picks
+    the *widest* candidate, the admitted count can only match or beat the
+    best single metric on the same trace — quantifying what Section 4's
+    joint design is worth operationally.
+    """
+    from repro.routing.admission import run_sequential_admission
+    from repro.workloads.flows import random_flow_endpoints
+    from repro.workloads.scenarios import paper_random_topology
+
+    network = paper_random_topology(seed=config.topology_seed)
+    model = ProtocolInterferenceModel(network)
+    flows = random_flow_endpoints(
+        network,
+        config.n_flows,
+        demand_mbps=config.demand_mbps,
+        seed=config.flow_seed,
+        min_distance_m=config.min_distance_m,
+    )
+    admitted: Dict[str, int] = {}
+    series: Dict[str, List[float]] = {}
+    for name in config.metrics:
+        report = run_sequential_admission(
+            network, model, flows, METRICS[name],
+            use_column_generation=True,
+        )
+        admitted[name] = report.admitted_count
+        series[name] = report.bandwidth_series()
+
+    def joint_router(flow, context, background):
+        result = joint_widest_route(
+            network,
+            model,
+            flow.source,
+            flow.destination,
+            background,
+            k=k,
+            context=context,
+        )
+        return result.best_path
+
+    joint_report = run_sequential_admission(
+        network,
+        model,
+        flows,
+        METRICS["average-e2eD"],  # unused for routing; kept for reporting
+        use_column_generation=True,
+        router=joint_router,
+    )
+    admitted["joint"] = joint_report.admitted_count
+    series["joint"] = joint_report.bandwidth_series()
+    return JointAdmissionResult(admitted=admitted, series=series)
+
+
+def run_joint_routing(
+    config: Fig3Config = Fig3Config(),
+    k: int = 3,
+) -> JointRoutingResult:
+    """Compare joint routing against single metrics, flow by flow.
+
+    Uses the Fig. 3 arrival sequence with the average-e2eD admission trace
+    as background (so every comparison sees the same load).
+    """
+    fig3 = run_fig3(config)
+    network = fig3.network
+    model = ProtocolInterferenceModel(network)
+    report = fig3.reports["average-e2eD"]
+
+    rows: List[Tuple[str, Dict[str, float]]] = []
+    candidate_counts: List[int] = []
+    background: List[Tuple[Path, float]] = []
+    for outcome in report.outcomes:
+        if outcome.path is None:
+            continue
+        flow = outcome.flow
+        if background:
+            schedule = min_airtime_column_generation(model, background)
+            idleness = node_idleness_from_schedule(network, schedule, model)
+        else:
+            idleness = None
+        context = RoutingContext(model=model, node_idleness=idleness)
+        values: Dict[str, float] = {}
+        for name, metric in METRICS.items():
+            try:
+                path = route(
+                    network, flow.source, flow.destination, metric, context
+                )
+            except RoutingError:
+                values[name] = float("nan")
+                continue
+            from repro.core.column_generation import solve_with_column_generation
+
+            values[name] = solve_with_column_generation(
+                model, path, background
+            ).result.available_bandwidth
+        joint = joint_widest_route(
+            network,
+            model,
+            flow.source,
+            flow.destination,
+            background,
+            k=k,
+            context=context,
+        )
+        values["joint"] = joint.best_bandwidth
+        candidate_counts.append(joint.candidate_count)
+        rows.append((flow.flow_id, values))
+        if outcome.admitted:
+            background.append((outcome.path, flow.demand_mbps))
+    return JointRoutingResult(rows=rows, candidate_counts=candidate_counts)

@@ -1,0 +1,95 @@
+"""Experiment E3 — Fig. 2: the random topology and the paths metrics pick.
+
+Fig. 2 is a picture: node placement plus the routes found by average-e2eD
+(solid) and the hops where e2eTD differs (dotted).  Its data content —
+node coordinates and the per-metric path of every admitted flow — is what
+this experiment regenerates, as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.fig3_routing import Fig3Config, Fig3Result, run_fig3
+from repro.experiments.report import format_table
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Placement and chosen paths (derived from the Fig. 3 run)."""
+
+    fig3: Fig3Result
+
+    def placement_table(self) -> str:
+        rows = [
+            (node.node_id, node.x, node.y)
+            for node in self.fig3.network.nodes
+        ]
+        return format_table(
+            headers=["node", "x (m)", "y (m)"],
+            rows=rows,
+            precision=1,
+            title="E3 / Fig. 2: node placement (400 m x 600 m)",
+        )
+
+    def paths_table(self) -> str:
+        metric_names = list(self.fig3.config.metrics)
+        rows: List[List[object]] = []
+        for index, flow in enumerate(self.fig3.flows):
+            row: List[object] = [flow.flow_id, f"{flow.source}->{flow.destination}"]
+            for name in metric_names:
+                outcomes = self.fig3.reports[name].outcomes
+                if index < len(outcomes) and outcomes[index].path is not None:
+                    row.append(str(outcomes[index].path))
+                else:
+                    row.append("-")
+            rows.append(row)
+        return format_table(
+            headers=["flow", "endpoints"] + metric_names,
+            rows=rows,
+            title="E3 / Fig. 2: per-metric routes (up to each run's stop)",
+        )
+
+    def divergent_links(self) -> List[str]:
+        """Links used by e2eTD but not average-e2eD (the dotted arrows)."""
+        solid: set = set()
+        dotted: set = set()
+        for outcome in self.fig3.reports["average-e2eD"].outcomes:
+            if outcome.path:
+                solid.update(link.link_id for link in outcome.path)
+        for outcome in self.fig3.reports["e2eTD"].outcomes:
+            if outcome.path:
+                dotted.update(link.link_id for link in outcome.path)
+        return sorted(dotted - solid)
+
+    def map_view(self, width: int = 60, height: int = 30) -> str:
+        """ASCII rendering of the placement with the average-e2eD routes."""
+        from repro.experiments.ascii_map import render_topology
+
+        paths = [
+            outcome.path
+            for outcome in self.fig3.reports["average-e2eD"].outcomes
+            if outcome.path is not None
+        ]
+        return render_topology(
+            self.fig3.network, paths, width=width, height=height
+        )
+
+    def table(self) -> str:
+        divergent = ", ".join(self.divergent_links()) or "(none)"
+        return "\n\n".join(
+            [
+                self.placement_table(),
+                self.paths_table(),
+                f"links used by e2eTD but not average-e2eD: {divergent}",
+                self.map_view(),
+            ]
+        )
+
+
+def run_fig2(config: Fig3Config = Fig3Config()) -> Fig2Result:
+    """Regenerate the Fig. 2 placement and per-metric paths."""
+    return Fig2Result(fig3=run_fig3(config))

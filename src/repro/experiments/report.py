@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints the same rows/series the paper's figures plot; a
+small fixed-width table formatter keeps that output dependency-free and
+diff-friendly (benchmark harnesses capture it verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """One cell: floats rounded, NaN shown as '-', everything else str()."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

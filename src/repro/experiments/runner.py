@@ -1,0 +1,134 @@
+"""Experiment registry and dispatch (used by the CLI and benchmarks)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: id, description, zero-argument runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[], object]
+
+    def run(self) -> object:
+        """Execute and return the result object (all have ``.table()``)."""
+        return self.runner()
+
+
+def _registry() -> Dict[str, ExperimentSpec]:
+    # Imported lazily so `import repro.experiments.runner` stays cheap and
+    # free of circularity with the experiment modules.
+    from repro.experiments.ablations import (
+        run_ablation_a1,
+        run_ablation_a2,
+        run_ablation_a3,
+        run_ablation_a4,
+        run_ablation_a5,
+    )
+    from repro.experiments.churn_study import run_churn_study
+    from repro.experiments.extensions import (
+        run_admission_accuracy,
+        run_joint_admission,
+        run_joint_routing,
+    )
+    from repro.experiments.fig2_paths import run_fig2
+    from repro.experiments.fig3_routing import run_fig3
+    from repro.experiments.fig4_estimation import run_fig4
+    from repro.experiments.scenario1 import run_scenario1
+    from repro.experiments.scenario2 import run_scenario2
+    from repro.experiments.seed_study import run_seed_study
+
+    specs = [
+        ExperimentSpec(
+            "e1",
+            "Scenario I: optimal vs idle-time available bandwidth (Fig. 1)",
+            run_scenario1,
+        ),
+        ExperimentSpec(
+            "e2",
+            "Scenario II: Section 5.1 worked example, clique violations",
+            run_scenario2,
+        ),
+        ExperimentSpec(
+            "e3", "Fig. 2: random topology and per-metric paths", run_fig2
+        ),
+        ExperimentSpec(
+            "e4", "Fig. 3: available bandwidth per flow per metric", run_fig3
+        ),
+        ExperimentSpec(
+            "e5", "Fig. 4: estimated vs true available bandwidth", run_fig4
+        ),
+        ExperimentSpec(
+            "a1", "Ablation: link adaptation vs fixed rates", run_ablation_a1
+        ),
+        ExperimentSpec(
+            "a2",
+            "Ablation: column generation vs enumeration",
+            run_ablation_a2,
+        ),
+        ExperimentSpec(
+            "a3",
+            "Ablation: analytic vs CSMA-measured idleness",
+            run_ablation_a3,
+        ),
+        ExperimentSpec(
+            "a4",
+            "Ablation: propagation-exponent sensitivity of Fig. 3",
+            run_ablation_a4,
+        ),
+        ExperimentSpec(
+            "a5",
+            "Ablation: pairwise vs cumulative interference models",
+            run_ablation_a5,
+        ),
+        ExperimentSpec(
+            "x1",
+            "Extension: estimators as admission controllers",
+            run_admission_accuracy,
+        ),
+        ExperimentSpec(
+            "x2",
+            "Extension: joint routing vs single metrics",
+            run_joint_routing,
+        ),
+        ExperimentSpec(
+            "x3",
+            "Extension: admission policies under flow churn",
+            run_churn_study,
+        ),
+        ExperimentSpec(
+            "x4",
+            "Extension: sequential admission with joint routing",
+            run_joint_admission,
+        ),
+        ExperimentSpec(
+            "s1",
+            "Study: seed-robustness of the Fig. 3 metric ordering",
+            run_seed_study,
+        ),
+    ]
+    return {spec.experiment_id: spec for spec in specs}
+
+
+#: All registered experiments, keyed by id.
+EXPERIMENTS: Dict[str, ExperimentSpec] = _registry()
+
+
+def run_experiment(experiment_id: str) -> object:
+    """Run one experiment by id; the result object has a ``.table()``."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r} (known: {known})"
+        ) from None
+    return spec.run()

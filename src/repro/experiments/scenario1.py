@@ -1,0 +1,141 @@
+"""Experiment E1 — Scenario I (Fig. 1 / Section 1 narrative).
+
+Question: how much bandwidth is available on the one-hop path over L3,
+given background time share λ on each of L1 and L2 (which do not conflict
+with each other, while L3 conflicts with and hears both)?
+
+The paper's point, reproduced here as a λ sweep:
+
+* the optimum (Eq. 6) overlaps L1 and L2 and leaves **1 − λ** for L3;
+* channel-idle-time accounting under serialised background admits only
+  **1 − 2λ**;
+* a real CSMA/CA MAC lands in between (transmissions overlap at random:
+  idle share ≈ (1 − λ)²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.bandwidth import available_path_bandwidth, tdma_schedule
+from repro.estimation.estimators import BottleneckNodeBandwidth
+from repro.estimation.idle_time import node_idleness_from_schedule, path_state_for
+from repro.experiments.report import format_table
+from repro.mac.config import CsmaConfig
+from repro.mac.simulator import simulate_background
+from repro.workloads.scenarios import scenario_one
+
+__all__ = ["Scenario1Row", "Scenario1Result", "run_scenario1"]
+
+#: Default λ sweep; 0.45 stays below the 0.5 limit where even serialised
+#: background fills the channel.
+DEFAULT_SHARES = (0.1, 0.2, 0.3, 0.4, 0.45)
+
+
+@dataclass(frozen=True)
+class Scenario1Row:
+    """One λ point of the sweep (bandwidths as shares of the link rate)."""
+
+    background_share: float
+    optimal_share: float
+    idle_time_share_serialised: float
+    idle_time_share_csma: float
+
+
+@dataclass
+class Scenario1Result:
+    rows: List[Scenario1Row]
+    rate_mbps: float
+
+    def table(self) -> str:
+        return format_table(
+            headers=[
+                "lambda",
+                "optimal (1-l)",
+                "idle-time serialised (1-2l)",
+                "idle-time CSMA",
+            ],
+            rows=[
+                (
+                    row.background_share,
+                    row.optimal_share,
+                    row.idle_time_share_serialised,
+                    row.idle_time_share_csma,
+                )
+                for row in self.rows
+            ],
+            title=(
+                "E1 / Scenario I: available share of L3 vs background "
+                f"share λ (link rate {self.rate_mbps:g} Mbps)"
+            ),
+        )
+
+
+def run_scenario1(
+    shares: Sequence[float] = DEFAULT_SHARES,
+    csma_config: Optional[CsmaConfig] = None,
+    seed: int = 1,
+    csma_repeats: int = 1,
+) -> Scenario1Result:
+    """Sweep λ and compare the three answers.
+
+    Args:
+        csma_repeats: Number of independent CSMA runs per λ (seeds
+            ``seed .. seed + repeats - 1``); the reported CSMA column is
+            their mean.  One run is plenty for the shape; several tighten
+            the estimate for tables.
+    """
+    if csma_config is None:
+        csma_config = CsmaConfig(sim_slots=100_000, warmup_slots=5_000)
+    if csma_repeats < 1:
+        raise ValueError("csma_repeats must be at least 1")
+    rows: List[Scenario1Row] = []
+    rate_mbps = 54.0
+    estimator = BottleneckNodeBandwidth()
+    for share in shares:
+        bundle = scenario_one(background_share=share)
+        rate_mbps = bundle.rate_mbps
+
+        optimal = available_path_bandwidth(
+            bundle.model, bundle.new_path, bundle.background
+        )
+
+        serialised = tdma_schedule(bundle.model, bundle.background)
+        idle_serialised = node_idleness_from_schedule(
+            bundle.network, serialised, bundle.model
+        )
+        state = path_state_for(bundle.model, bundle.new_path, idle_serialised)
+        estimate_serialised = estimator.estimate(state)
+
+        def measure_csma(run_seed: int) -> float:
+            mac_report = simulate_background(
+                bundle.network,
+                bundle.model,
+                bundle.background,
+                config=csma_config,
+                seed=run_seed,
+            )
+            state_csma = path_state_for(
+                bundle.model, bundle.new_path, mac_report.node_idleness
+            )
+            return estimator.estimate(state_csma)
+
+        if csma_repeats == 1:
+            estimate_csma = measure_csma(seed)
+        else:
+            from repro.analysis import repeat
+
+            estimate_csma = repeat(
+                measure_csma, seeds=range(seed, seed + csma_repeats)
+            ).mean
+
+        rows.append(
+            Scenario1Row(
+                background_share=share,
+                optimal_share=optimal.available_bandwidth / rate_mbps,
+                idle_time_share_serialised=estimate_serialised / rate_mbps,
+                idle_time_share_csma=estimate_csma / rate_mbps,
+            )
+        )
+    return Scenario1Result(rows=rows, rate_mbps=rate_mbps)

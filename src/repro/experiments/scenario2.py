@@ -1,0 +1,129 @@
+"""Experiment E2 — Scenario II, the Section 5.1 worked example.
+
+Reproduces, number by number, the paper's demonstration that clique
+constraints break under link adaptation:
+
+* optimal end-to-end throughput **f = 16.2 Mbps** with the schedule
+  λ = (0.1, 0.3, 0.3, 0.3);
+* the feasible throughput vector (16.2 on every link) *violates* both
+  critical cliques: Σ y/R = **1.2** over C1 (all links at 54) and
+  **1.05** over C2 ({(L1,36),(L2,54),(L3,54)});
+* the fixed-rate clique bounds (Eq. 7) are **13.5** (all-54) and
+  **108/7 ≈ 15.43** (L1 at 36) — both below the achievable 16.2;
+* the Eq. 8 hypothesis quantity min_i T̂_i exceeds 1;
+* the corrected Eq. 9 upper bound and a Section 3.3 lower bound sandwich
+  the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.bandwidth import available_path_bandwidth
+from repro.core.bounds import (
+    clique_upper_bound,
+    fixed_rate_equal_throughput_bound,
+    hypothesis_min_clique_time,
+    lower_bound_from_subset,
+)
+from repro.core.cliques import RateClique, maximal_cliques_with_maximum_rates
+from repro.core.schedule import LinkSchedule
+from repro.experiments.report import format_table
+from repro.workloads.scenarios import ScenarioTwo, scenario_two
+
+__all__ = ["Scenario2Result", "run_scenario2"]
+
+
+@dataclass
+class Scenario2Result:
+    """All the Section 5.1 quantities."""
+
+    optimal_throughput: float
+    schedule: LinkSchedule
+    #: (clique description, Σ y/R under the optimal demand vector).
+    clique_violations: List[Tuple[str, float]]
+    #: (rate vector description, Eq. 7 bound).
+    fixed_rate_bounds: List[Tuple[str, float]]
+    hypothesis_value: float
+    eq9_upper_bound: float
+    subset_lower_bound: float
+    maximal_cliques_max_rates: List[str]
+
+    def table(self) -> str:
+        rows = [
+            ("optimal end-to-end throughput f (Eq. 6)", self.optimal_throughput, 16.2),
+            ("Eq. 8 hypothesis min_i T-hat_i (feasible => claim <= 1)", self.hypothesis_value, 1.05),
+            ("Eq. 9 upper bound", self.eq9_upper_bound, float("nan")),
+            ("Sec. 3.3 lower bound (greedy 3-column subset)", self.subset_lower_bound, float("nan")),
+        ]
+        rows.extend(
+            (f"clique time of {name} at f*", value, expected)
+            for (name, value), expected in zip(
+                self.clique_violations, (1.2, 1.05)
+            )
+        )
+        rows.extend(
+            (f"Eq. 7 fixed-rate bound, {name}", value, expected)
+            for (name, value), expected in zip(
+                self.fixed_rate_bounds, (13.5, 108.0 / 7.0)
+            )
+        )
+        return format_table(
+            headers=["quantity", "measured", "paper"],
+            rows=rows,
+            title="E2 / Scenario II (Section 5.1 worked example)",
+        )
+
+
+def run_scenario2() -> Scenario2Result:
+    """Reproduce every Section 5.1 quantity (see module docstring)."""
+    bundle: ScenarioTwo = scenario_two()
+    model, path = bundle.model, bundle.path
+    network = bundle.network
+    table = network.radio.rate_table
+
+    result = available_path_bandwidth(model, path)
+    f_star = result.available_bandwidth
+    demands = {link: f_star for link in path}
+
+    # The two cliques the paper analyses.
+    rate54 = table.get(54.0)
+    rate36 = table.get(36.0)
+    links = {index: network.link(f"L{index}") for index in range(1, 5)}
+    clique_c1 = RateClique.from_pairs(
+        (links[index], rate54) for index in range(1, 5)
+    )
+    clique_c2 = RateClique.from_pairs(
+        [(links[1], rate36), (links[2], rate54), (links[3], rate54)]
+    )
+    violations = [
+        ("C1 = {(L1..L4, 54)}", clique_c1.transmission_time(demands)),
+        ("C2 = {(L1,36),(L2,54),(L3,54)}", clique_c2.transmission_time(demands)),
+    ]
+    fixed_bounds = [
+        ("R1 = (54,54,54,54) via C1", fixed_rate_equal_throughput_bound(clique_c1)),
+        ("R2 = (36,54,54,54) via C2", fixed_rate_equal_throughput_bound(clique_c2)),
+    ]
+
+    hypothesis = hypothesis_min_clique_time(model, list(path.links), demands)
+    upper = clique_upper_bound(model, path).upper_bound
+    lower = lower_bound_from_subset(
+        model, path, subset_size=3
+    ).available_bandwidth
+    cliques = [
+        str(clique)
+        for clique in maximal_cliques_with_maximum_rates(
+            model, list(path.links)
+        )
+    ]
+    return Scenario2Result(
+        optimal_throughput=f_star,
+        schedule=result.schedule,
+        clique_violations=violations,
+        fixed_rate_bounds=fixed_bounds,
+        hypothesis_value=hypothesis,
+        eq9_upper_bound=upper,
+        subset_lower_bound=lower,
+        maximal_cliques_max_rates=cliques,
+    )

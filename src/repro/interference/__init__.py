@@ -1,0 +1,43 @@
+"""Interference models: who can transmit concurrently, at which rates.
+
+The paper's central observation is that in a multirate network the conflict
+structure *depends on the rates links use*; all models here therefore answer
+rate-coupled questions about :class:`LinkRate` couples.
+
+Three models are provided:
+
+* :class:`PhysicalInterferenceModel` — cumulative-SINR model (Eq. 3): the
+  maximum supported rate of a link inside a concurrent transmission set is
+  decided by the sum of all interferer powers at its receiver.  Exact, used
+  for geometric networks.
+* :class:`ProtocolInterferenceModel` — the single-interferer restriction of
+  the physical model: a pair of link–rate couples conflicts when either
+  receiver fails its rate's SINR test against the *other* sender alone.
+  Pairwise, hence amenable to conflict-graph enumeration.
+* :class:`DeclaredInterferenceModel` — conflicts stated explicitly, for the
+  paper's textbook topologies (Fig. 1 Scenario I/II) whose conflict
+  relations are given rather than derived from geometry.
+
+All models agree on one physical invariant: links sharing a node can never
+transmit concurrently (half-duplex radios).
+"""
+
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.conflict_graph import (
+    build_link_rate_conflict_graph,
+    link_rate_vertices,
+)
+from repro.interference.declared import ConflictRule, DeclaredInterferenceModel
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.interference.protocol import ProtocolInterferenceModel
+
+__all__ = [
+    "LinkRate",
+    "InterferenceModel",
+    "PhysicalInterferenceModel",
+    "ProtocolInterferenceModel",
+    "DeclaredInterferenceModel",
+    "ConflictRule",
+    "build_link_rate_conflict_graph",
+    "link_rate_vertices",
+]

@@ -1,0 +1,118 @@
+"""Physical (cumulative-SINR) interference model — Eq. 3 exactly.
+
+Inside a concurrent transmission set the SINR at a link's receiver is the
+received signal power over the *sum* of all other senders' powers plus
+noise.  The maximum supported rate vector of a set is therefore a direct
+computation (the interference a sender causes does not depend on its rate,
+so there is no fixed point to search).
+
+Pairwise ``conflicts`` is the single-interferer specialisation, which makes
+this model usable by conflict-graph enumeration as a *necessary* filter;
+exact set feasibility always goes through :meth:`max_rate_vector` /
+:meth:`is_independent`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.net.link import Link
+from repro.net.topology import Network
+from repro.phy.rates import Rate
+from repro.phy.sinr import sinr
+
+__all__ = ["PhysicalInterferenceModel"]
+
+
+class PhysicalInterferenceModel(InterferenceModel):
+    """Cumulative interference over geometric networks."""
+
+    def __init__(self, network: Network):
+        super().__init__(network)
+        if not network.is_geometric:
+            raise ValueError(
+                "PhysicalInterferenceModel needs node coordinates; use "
+                "DeclaredInterferenceModel for abstract topologies"
+            )
+        self._standalone_cache: Dict[str, Tuple[Rate, ...]] = {}
+
+    def standalone_rates(self, link: Link) -> Tuple[Rate, ...]:
+        cached = self._standalone_cache.get(link.link_id)
+        if cached is not None:
+            return cached
+        radio = self.network.radio
+        rates = tuple(
+            rate
+            for rate in radio.rate_table
+            if radio.meets_sensitivity(rate, link.length_m)
+            and radio.received_mw(link.length_m) / radio.noise_mw
+            >= rate.sinr_linear
+        )
+        self._standalone_cache[link.link_id] = rates
+        return rates
+
+    # -- cumulative computations ------------------------------------------------
+
+    def sinr_in_set(self, link: Link, links: FrozenSet[Link]) -> float:
+        """Eq. 3: SINR at ``link``'s receiver with all of ``links`` active."""
+        radio = self.network.radio
+        signal = radio.received_mw(link.length_m)
+        interference = sum(
+            radio.received_mw(
+                self.network.distance(
+                    other.sender.node_id, link.receiver.node_id
+                )
+            )
+            for other in links
+            if other != link
+        )
+        return sinr(signal, interference, radio.noise_mw)
+
+    def max_rate_in_set(
+        self, link: Link, links: FrozenSet[Link]
+    ) -> Optional[Rate]:
+        """Fastest rate ``link`` supports inside the concurrent set."""
+        ratio = self.sinr_in_set(link, links)
+        radio = self.network.radio
+        for rate in self.standalone_rates(link):
+            if ratio >= rate.sinr_linear:
+                return rate
+        return None
+
+    def max_rate_vector(
+        self, links: FrozenSet[Link]
+    ) -> Optional[Dict[Link, Rate]]:
+        link_list = list(links)
+        for i, link in enumerate(link_list):
+            for other in link_list[i + 1:]:
+                if link.shares_node_with(other):
+                    return None
+        vector: Dict[Link, Rate] = {}
+        for link in link_list:
+            best = self.max_rate_in_set(link, links)
+            if best is None:
+                return None
+            vector[link] = best
+        return vector
+
+    def is_independent(self, couples) -> bool:
+        """Exact cumulative test: every couple's rate must survive Eq. 3."""
+        couple_list = list(couples)
+        links = frozenset(c.link for c in couple_list)
+        if len(links) != len(couple_list):
+            return False
+        vector = self.max_rate_vector(links)
+        if vector is None:
+            return False
+        return all(c.rate.mbps <= vector[c.link].mbps for c in couple_list)
+
+    # -- pairwise specialisation ---------------------------------------------------
+
+    def _conflict(self, a: LinkRate, b: LinkRate) -> bool:
+        pair = frozenset((a.link, b.link))
+        return (
+            self.max_rate_in_set(a.link, pair) is None
+            or self.sinr_in_set(a.link, pair) < a.rate.sinr_linear
+            or self.sinr_in_set(b.link, pair) < b.rate.sinr_linear
+        )

@@ -1,0 +1,71 @@
+"""Protocol (pairwise) interference model.
+
+A couple ``(L_i, r_i)`` conflicts with ``(L_j, r_j)`` when, with both
+senders transmitting, either receiver misses its own rate's SINR threshold
+against the *other* sender alone (plus noise).  This is the single-
+interferer restriction of Eq. 3 and exactly the structure of the paper's
+Scenario II example: the interference a link suffers depends on *its own*
+rate (faster rates need higher SINR, so they conflict with more distant
+interferers), not on the interferer's rate.
+
+Being pairwise, this model supports conflict-graph enumeration of
+independent sets and cliques, which is how the evaluation-scale topologies
+are handled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.net.link import Link
+from repro.net.topology import Network
+from repro.phy.rates import Rate
+from repro.phy.sinr import sinr
+
+__all__ = ["ProtocolInterferenceModel"]
+
+
+class ProtocolInterferenceModel(InterferenceModel):
+    """Pairwise rate-coupled conflicts from single-interferer SINR tests."""
+
+    def __init__(self, network: Network):
+        super().__init__(network)
+        if not network.is_geometric:
+            raise ValueError(
+                "ProtocolInterferenceModel needs node coordinates; use "
+                "DeclaredInterferenceModel for abstract topologies"
+            )
+        self._standalone_cache: Dict[str, Tuple[Rate, ...]] = {}
+
+    def standalone_rates(self, link: Link) -> Tuple[Rate, ...]:
+        cached = self._standalone_cache.get(link.link_id)
+        if cached is not None:
+            return cached
+        radio = self.network.radio
+        rates = tuple(
+            rate
+            for rate in radio.rate_table
+            if radio.meets_sensitivity(rate, link.length_m)
+            and radio.received_mw(link.length_m) / radio.noise_mw
+            >= rate.sinr_linear
+        )
+        self._standalone_cache[link.link_id] = rates
+        return rates
+
+    def _receiver_survives(self, victim: LinkRate, interferer: Link) -> bool:
+        """SINR test at ``victim``'s receiver with one interfering sender."""
+        radio = self.network.radio
+        signal = radio.received_mw(victim.link.length_m)
+        interference = radio.received_mw(
+            self.network.distance(
+                interferer.sender.node_id, victim.link.receiver.node_id
+            )
+        )
+        return sinr(signal, interference, radio.noise_mw) >= victim.rate.sinr_linear
+
+    def _conflict(self, a: LinkRate, b: LinkRate) -> bool:
+        return not (
+            self._receiver_survives(a, b.link)
+            and self._receiver_survives(b, a.link)
+        )

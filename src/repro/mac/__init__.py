@@ -1,0 +1,27 @@
+"""Slotted CSMA/CA MAC simulator.
+
+The paper's Section 1/4 argue from the behaviour of a contention MAC
+(IEEE 802.11 [13]): nodes carrier-sense, defer, back off, and measure
+channel idleness — and that measured idleness systematically mis-estimates
+what an optimal scheduler could deliver (Scenario I).  This package is the
+packet-level substitute for the paper's unstated simulator: a slotted
+CSMA/CA model with DIFS deferral, binary exponential backoff, hidden- and
+exposed-terminal effects, and per-node busy/idle accounting whose output
+plugs directly into the Section 4 estimators.
+"""
+
+from repro.mac.config import CsmaConfig
+from repro.mac.simulator import CsmaSimulator, simulate_background
+from repro.mac.stats import LinkStats, MacReport
+from repro.mac.tdma import FlowStats, TdmaFlowReport, simulate_frame_flows
+
+__all__ = [
+    "CsmaConfig",
+    "CsmaSimulator",
+    "simulate_background",
+    "MacReport",
+    "LinkStats",
+    "FlowStats",
+    "TdmaFlowReport",
+    "simulate_frame_flows",
+]

@@ -1,0 +1,58 @@
+"""CSMA/CA simulator parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CsmaConfig"]
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """Slotted CSMA/CA knobs.
+
+    The defaults loosely follow 802.11 DCF proportions (a data frame lasts
+    tens of slots, DIFS a few, CW doubles from 16 up to 1024) without
+    modelling microsecond timings — every consumer of the simulator reads
+    *ratios* (idleness, delivered share), which are insensitive to the
+    absolute slot length.
+
+    Attributes:
+        packet_slots: Transmission duration of one frame, in slots.
+        difs_slots: Idle slots a station must observe before backoff
+            counts down.
+        cw_min, cw_max: Contention-window bounds (slots); the window
+            doubles after every failed attempt and resets on success.
+        max_retries: Attempts before a frame is dropped.
+        sim_slots: Simulated horizon.
+        warmup_slots: Leading slots excluded from statistics, letting
+            queues and windows reach steady state.
+        rts_cts: Enable the RTS/CTS handshake abstraction: stations also
+            defer to transmissions whose *receiver* they can hear (the
+            CTS establishes a NAV around the receiver), which suppresses
+            most hidden-terminal data collisions; only same-slot starts
+            of conflicting links still collide (RTS collision window).
+    """
+
+    packet_slots: int = 40
+    difs_slots: int = 3
+    cw_min: int = 16
+    cw_max: int = 1024
+    max_retries: int = 7
+    sim_slots: int = 200_000
+    warmup_slots: int = 10_000
+    rts_cts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.packet_slots < 1:
+            raise ConfigurationError("packet_slots must be >= 1")
+        if self.difs_slots < 0:
+            raise ConfigurationError("difs_slots must be >= 0")
+        if not 1 <= self.cw_min <= self.cw_max:
+            raise ConfigurationError("need 1 <= cw_min <= cw_max")
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+        if self.sim_slots <= self.warmup_slots:
+            raise ConfigurationError("sim_slots must exceed warmup_slots")

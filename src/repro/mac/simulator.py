@@ -1,0 +1,352 @@
+"""The slotted CSMA/CA simulator.
+
+A deliberately compact but honest DCF model: per-slot carrier sensing at
+the transmitter, DIFS deferral, uniform backoff drawn from a doubling
+contention window, fixed-length frames, collision on any slot overlap with
+a *conflicting* link (so hidden terminals collide and exposed terminals
+serialise — exactly the pathologies Scenario I builds on), retransmission
+up to a retry cap.
+
+What it measures is what Section 4 consumes: per-node channel idleness
+(the carrier-sense view of the world) and per-link delivered throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+from repro.errors import SimulationError
+from repro.interference.base import InterferenceModel, LinkRate
+from repro.mac.config import CsmaConfig
+from repro.mac.stats import LinkStats, MacReport
+from repro.net.link import Link
+from repro.net.path import Path
+from repro.net.topology import Network
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["CsmaSimulator", "simulate_background"]
+
+#: Queue capacity per link; arrivals beyond it are dropped silently, which
+#: only matters far past saturation.
+_QUEUE_CAP = 64
+
+
+@dataclass
+class _LinkState:
+    """Mutable per-link simulation state."""
+
+    link: Link
+    rate_mbps: float
+    arrival_prob: float
+    queue: int = 0
+    difs_progress: int = 0
+    backoff: int = -1  # -1: no backoff drawn yet
+    cw: int = 16
+    retries: int = 0
+    tx_remaining: int = 0
+    tx_corrupted: bool = False
+
+    @property
+    def transmitting(self) -> bool:
+        return self.tx_remaining > 0
+
+
+class CsmaSimulator:
+    """Simulate CSMA/CA contention among a set of loaded links.
+
+    Args:
+        network: The substrate (geometry decides hearing when available).
+        model: Interference model; decides which overlaps corrupt frames
+            and, on abstract networks, doubles as the hearing relation.
+        offered_load: Map from link id to offered airtime share in [0, 1]
+            (a share of 0.3 ≈ the link tries to occupy 30% of the channel,
+            the paper's λ).
+        config: MAC timing knobs.
+        seed: Randomness for arrivals and backoff draws.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        model: InterferenceModel,
+        offered_load: Mapping[str, float],
+        config: CsmaConfig = CsmaConfig(),
+        seed: SeedLike = None,
+    ):
+        self.network = network
+        self.model = model
+        self.config = config
+        self._rng = make_rng(seed)
+
+        self._states: List[_LinkState] = []
+        for link_id, share in sorted(offered_load.items()):
+            if not 0.0 <= share <= 1.0:
+                raise SimulationError(
+                    f"offered load for {link_id!r} must be in [0, 1]"
+                )
+            link = network.link(link_id)
+            rate = model.max_standalone_rate(link)
+            if rate is None:
+                raise SimulationError(
+                    f"link {link_id!r} supports no rate"
+                )
+            self._states.append(
+                _LinkState(
+                    link=link,
+                    rate_mbps=rate.mbps,
+                    arrival_prob=share / config.packet_slots,
+                    cw=config.cw_min,
+                )
+            )
+        self._conflicts = self._pairwise_conflicts()
+        self._sender_hears = self._hearing_matrix()
+        self._defers_to = self._deferral_matrix()
+
+    # -- precomputed relations ---------------------------------------------------
+
+    def _used_couple(self, state: _LinkState) -> LinkRate:
+        rate = self.model.max_standalone_rate(state.link)
+        return LinkRate(state.link, rate)
+
+    def _pairwise_conflicts(self) -> List[List[bool]]:
+        n = len(self._states)
+        couples = [self._used_couple(s) for s in self._states]
+        matrix = [[False] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                conflict = self.model.conflicts(couples[i], couples[j])
+                matrix[i][j] = conflict
+                matrix[j][i] = conflict
+        return matrix
+
+    def _hears(self, listener_node: str, transmitter_index: int) -> bool:
+        transmitter = self._states[transmitter_index].link.sender.node_id
+        if listener_node == transmitter:
+            return True
+        if self.network.is_geometric:
+            return self.network.can_hear(listener_node, transmitter)
+        # Abstract networks: hearing falls back to interference, as in the
+        # paper's textbook scenarios ("interferes with and hears").  All of
+        # the listener's links count, loaded or not — an unloaded link
+        # still makes its endpoints sense conflicting transmissions.
+        transmitting_couple = self._used_couple(
+            self._states[transmitter_index]
+        )
+        for own in self.network.links:
+            if listener_node not in own.endpoints:
+                continue
+            if own == transmitting_couple.link:
+                return True
+            own_rates = self.model.standalone_rates(own)
+            if own_rates and self.model.conflicts(
+                LinkRate(own, own_rates[-1]), transmitting_couple
+            ):
+                return True
+        return False
+
+    def _hearing_matrix(self) -> List[List[bool]]:
+        """``[i][j]``: sender of link i hears the transmission of link j."""
+        n = len(self._states)
+        matrix = [[False] * n for _ in range(n)]
+        for i, state in enumerate(self._states):
+            for j in range(n):
+                if i == j:
+                    matrix[i][j] = True
+                    continue
+                matrix[i][j] = self._hears(state.link.sender.node_id, j)
+        return matrix
+
+    def _deferral_matrix(self) -> List[List[bool]]:
+        """``[i][j]``: link i's sender defers while link j transmits.
+
+        Physical carrier sensing always defers to audible senders; with
+        RTS/CTS the receiver's CTS additionally silences every station in
+        *its* neighbourhood, so hearing link j's receiver defers too.
+        """
+        matrix = [row[:] for row in self._sender_hears]
+        if not self.config.rts_cts:
+            return matrix
+        n = len(self._states)
+        for i, state in enumerate(self._states):
+            sender = state.link.sender.node_id
+            for j, other in enumerate(self._states):
+                if matrix[i][j] or i == j:
+                    continue
+                receiver = other.link.receiver.node_id
+                if self.network.is_geometric:
+                    heard = self.network.can_hear(sender, receiver)
+                else:
+                    # Abstract fallback: hearing == interference, and the
+                    # conflict relation already encodes proximity to the
+                    # receiver.
+                    heard = self._conflicts[i][j]
+                matrix[i][j] = heard
+        return matrix
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self) -> MacReport:
+        config = self.config
+        states = self._states
+        n = len(states)
+        node_ids = [node.node_id for node in self.network.nodes]
+        node_busy = {node_id: 0 for node_id in node_ids}
+        stats = {
+            s.link.link_id: LinkStats(
+                link_id=s.link.link_id, rate_mbps=s.rate_mbps
+            )
+            for s in states
+        }
+        measured = 0
+        arrivals = self._rng.random((config.sim_slots, n))
+
+        for slot in range(config.sim_slots):
+            measuring = slot >= config.warmup_slots
+            if measuring:
+                measured += 1
+
+            # 1. Arrivals.
+            for i, state in enumerate(states):
+                if arrivals[slot, i] < state.arrival_prob:
+                    state.queue = min(_QUEUE_CAP, state.queue + 1)
+
+            transmitting = [i for i, s in enumerate(states) if s.transmitting]
+
+            # 2. Contention decisions, based on the channel as currently
+            #    occupied (carrier sensing sees ongoing frames, not the
+            #    ones about to start in this very slot — that race is what
+            #    makes same-slot starts collide).
+            starters: List[int] = []
+            for i, state in enumerate(states):
+                if state.transmitting or state.queue == 0:
+                    continue
+                busy = any(self._defers_to[i][j] for j in transmitting)
+                if busy:
+                    state.difs_progress = 0
+                    continue
+                if state.difs_progress < config.difs_slots:
+                    state.difs_progress += 1
+                    continue
+                if state.backoff < 0:
+                    state.backoff = int(self._rng.integers(0, state.cw))
+                if state.backoff > 0:
+                    state.backoff -= 1
+                    continue
+                starters.append(i)
+
+            for i in starters:
+                state = states[i]
+                state.backoff = -1
+                state.tx_remaining = config.packet_slots
+                state.tx_corrupted = False
+                if measuring:
+                    stats[state.link.link_id].attempts += 1
+
+            # 3. Corruption: any overlap between conflicting links corrupts
+            #    both frames (symmetric loss keeps the model simple and
+            #    conservative — 802.11 loses at least the victim's frame).
+            active = [i for i, s in enumerate(states) if s.transmitting]
+            for i in active:
+                if states[i].tx_corrupted:
+                    continue
+                for j in active:
+                    if j != i and self._conflicts[i][j]:
+                        states[i].tx_corrupted = True
+                        break
+
+            # 4. Node busy accounting.
+            if measuring and active:
+                for node_id in node_ids:
+                    heard = any(self._hears(node_id, j) for j in active)
+                    receiving = any(
+                        node_id in states[j].link.endpoints for j in active
+                    )
+                    if heard or receiving:
+                        node_busy[node_id] += 1
+
+            # 5. Advance transmissions.
+            for i in active:
+                state = states[i]
+                if measuring:
+                    stats[state.link.link_id].tx_slots += 1
+                state.tx_remaining -= 1
+                if state.tx_remaining == 0:
+                    self._finish_frame(state, stats, measuring, config)
+
+        if measured == 0:
+            raise SimulationError("simulation ended inside warmup")
+        for link_stats in stats.values():
+            link_stats._measured_slots = measured
+        idleness = {
+            node_id: 1.0 - busy / measured
+            for node_id, busy in node_busy.items()
+        }
+        return MacReport(
+            measured_slots=measured,
+            node_idleness=idleness,
+            per_link=stats,
+        )
+
+    def _finish_frame(
+        self,
+        state: _LinkState,
+        stats: Dict[str, LinkStats],
+        measuring: bool,
+        config: CsmaConfig,
+    ) -> None:
+        link_stats = stats[state.link.link_id]
+        if state.tx_corrupted:
+            if measuring:
+                link_stats.collisions += 1
+            state.retries += 1
+            state.cw = min(state.cw * 2, config.cw_max)
+            if state.retries > config.max_retries:
+                state.queue -= 1
+                state.retries = 0
+                state.cw = config.cw_min
+                if measuring:
+                    link_stats.drops += 1
+        else:
+            if measuring:
+                link_stats.successes += 1
+                link_stats.good_slots += config.packet_slots
+            state.queue -= 1
+            state.retries = 0
+            state.cw = config.cw_min
+        state.tx_corrupted = False
+
+
+def simulate_background(
+    network: Network,
+    model: InterferenceModel,
+    background: Sequence[Tuple[Path, float]],
+    config: CsmaConfig = CsmaConfig(),
+    seed: SeedLike = None,
+) -> MacReport:
+    """Run CSMA/CA with the background flows as offered load.
+
+    Each link of each background path offers ``demand / link_rate`` airtime
+    (the λ of the paper's scenarios).  The report's ``node_idleness`` is
+    the *measured* counterpart of
+    :func:`repro.estimation.node_idleness_from_schedule`.
+    """
+    offered: Dict[str, float] = {}
+    for path, demand in background:
+        for link in path:
+            rate = model.max_standalone_rate(link)
+            if rate is None:
+                raise SimulationError(f"link {link.link_id!r} unusable")
+            offered[link.link_id] = (
+                offered.get(link.link_id, 0.0) + demand / rate.mbps
+            )
+    for link_id, share in offered.items():
+        if share > 1.0:
+            raise SimulationError(
+                f"offered load on {link_id!r} exceeds the channel: {share:.2f}"
+            )
+    simulator = CsmaSimulator(
+        network, model, offered, config=config, seed=seed
+    )
+    return simulator.run()

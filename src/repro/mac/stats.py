@@ -1,0 +1,67 @@
+"""Result objects of the CSMA/CA simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["LinkStats", "MacReport"]
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters over the measured (post-warmup) horizon."""
+
+    link_id: str
+    rate_mbps: float
+    attempts: int = 0
+    successes: int = 0
+    collisions: int = 0
+    drops: int = 0
+    #: Slots spent transmitting (successful or not).
+    tx_slots: int = 0
+    #: Slots of successful transmissions only.
+    good_slots: int = 0
+
+    @property
+    def delivered_share(self) -> float:
+        """Fraction of measured time spent in successful transmission."""
+        return self.good_slots / max(1, self._measured_slots)
+
+    @property
+    def delivered_mbps(self) -> float:
+        """Throughput actually delivered: successful airtime × rate."""
+        return self.delivered_share * self.rate_mbps
+
+    @property
+    def collision_ratio(self) -> float:
+        return self.collisions / max(1, self.attempts)
+
+    # Set by the simulator when the run finishes.
+    _measured_slots: int = 1
+
+
+@dataclass
+class MacReport:
+    """Outcome of one CSMA/CA run."""
+
+    measured_slots: int
+    #: λ_idle per node: fraction of measured slots the node sensed the
+    #: channel idle (own activity counts as busy) — the quantity Section 4
+    #: builds every estimator on.
+    node_idleness: Dict[str, float]
+    per_link: Dict[str, LinkStats]
+
+    def delivered_mbps(self, link_id: str) -> float:
+        return self.per_link[link_id].delivered_mbps
+
+    def summary_lines(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"MacReport over {self.measured_slots} slots"]
+        for link_id in sorted(self.per_link):
+            stats = self.per_link[link_id]
+            lines.append(
+                f"  {link_id}: {stats.delivered_mbps:6.2f} Mbps delivered, "
+                f"{stats.collision_ratio:5.1%} collisions, "
+                f"{stats.drops} drops"
+            )
+        return "\n".join(lines)

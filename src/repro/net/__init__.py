@@ -1,0 +1,47 @@
+"""Network substrate: nodes, directed links, topologies and paths.
+
+Two kinds of topology coexist:
+
+* **Geometric** networks, where every node has coordinates and the radio's
+  path-loss model decides link rates and interference (the paper's random
+  topology, Section 5.2);
+* **Abstract** networks, where nodes have no coordinates and the conflict
+  structure is declared explicitly (the paper's Scenario I and II, whose
+  conflict relations are given, not derived).
+
+Both are represented by :class:`Network`; geometric queries raise a clear
+error on abstract networks.
+"""
+
+from repro.net.generators import (
+    chain_topology,
+    grid_topology,
+    ring_topology,
+)
+from repro.net.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.path import Path
+from repro.net.random_topology import RandomTopologyConfig, random_topology
+from repro.net.topology import Network
+
+__all__ = [
+    "Node",
+    "Link",
+    "Network",
+    "Path",
+    "RandomTopologyConfig",
+    "random_topology",
+    "chain_topology",
+    "grid_topology",
+    "ring_topology",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+]

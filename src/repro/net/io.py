@@ -1,0 +1,120 @@
+"""Topology serialisation: Network ↔ plain dict / JSON.
+
+Experiments that take hours to pick a placement (seed scans) need to pin
+the exact topology; serialising nodes, links and the radio
+parameterisation makes a placement a reviewable artifact rather than a
+(seed, library-version) pair.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import TopologyError
+from repro.net.topology import Network
+from repro.phy.propagation import LogDistancePathLoss
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import Rate, RateTable
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialisable description of a network.
+
+    Only log-distance path-loss models round-trip (they cover the paper
+    and every bundled experiment); other models raise.
+    """
+    radio = network.radio
+    path_loss = radio.path_loss
+    if not isinstance(path_loss, LogDistancePathLoss):
+        raise TopologyError(
+            "only log-distance path-loss models are serialisable, got "
+            f"{type(path_loss).__name__}"
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "name": network.name,
+        "radio": {
+            "tx_power_dbm": radio.tx_power_dbm,
+            "noise_mw": radio.noise_mw,
+            "carrier_sense_range_m": radio.carrier_sense_range_m,
+            "path_loss": {
+                "exponent": path_loss.exponent,
+                "reference_gain": path_loss.reference_gain,
+                "reference_distance_m": path_loss.reference_distance_m,
+            },
+            "rates": [
+                {
+                    "mbps": rate.mbps,
+                    "sinr_db": rate.sinr_db,
+                    "range_m": rate.range_m,
+                }
+                for rate in radio.rate_table
+            ],
+        },
+        "nodes": [
+            {"id": node.node_id, "x": node.x, "y": node.y}
+            for node in network.nodes
+        ],
+        "links": [
+            {
+                "id": link.link_id,
+                "sender": link.sender.node_id,
+                "receiver": link.receiver.node_id,
+            }
+            for link in network.links
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network serialised by :func:`network_to_dict`."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format {data.get('format')!r}"
+        )
+    radio_data = data["radio"]
+    rate_table = RateTable(
+        Rate(
+            mbps=entry["mbps"],
+            sinr_db=entry["sinr_db"],
+            range_m=entry["range_m"],
+        )
+        for entry in radio_data["rates"]
+    )
+    loss = radio_data["path_loss"]
+    radio = RadioConfig(
+        rate_table=rate_table,
+        path_loss=LogDistancePathLoss(
+            exponent=loss["exponent"],
+            reference_gain=loss["reference_gain"],
+            reference_distance_m=loss["reference_distance_m"],
+        ),
+        tx_power_dbm=radio_data["tx_power_dbm"],
+        noise_mw=radio_data["noise_mw"],
+        carrier_sense_range_m=radio_data["carrier_sense_range_m"],
+    )
+    network = Network(radio, name=data.get("name", "network"))
+    for node in data["nodes"]:
+        network.add_node(node["id"], x=node["x"], y=node["y"])
+    for link in data["links"]:
+        network.add_link(
+            link["sender"], link["receiver"], link_id=link["id"]
+        )
+    return network
+
+
+def save_network(network: Network, path: str) -> None:
+    """Write the network to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle, indent=2, sort_keys=True)
+
+
+def load_network(path: str) -> Network:
+    """Read a network written by :func:`save_network`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return network_from_dict(json.load(handle))

@@ -1,0 +1,59 @@
+"""Directed wireless links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LinkError
+from repro.net.node import Node
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link from ``sender`` to ``receiver``.
+
+    Links are directed because interference is asymmetric: what matters is
+    the SINR at the *receiver*, and the carrier a node senses depends on who
+    *transmits*.  Identity (hashing/equality) is by ``link_id``; a
+    :class:`~repro.net.Network` guarantees ids are unique and that at most
+    one link exists per ordered node pair.
+    """
+
+    link_id: str
+    sender: Node
+    receiver: Node
+
+    def __post_init__(self) -> None:
+        if self.sender.node_id == self.receiver.node_id:
+            raise LinkError(f"link {self.link_id!r} is a self loop")
+
+    @property
+    def length_m(self) -> float:
+        """Sender→receiver distance; geometric networks only."""
+        return self.sender.distance_to(self.receiver)
+
+    @property
+    def endpoints(self) -> frozenset:
+        """The two endpoint node ids, order-free (for half-duplex checks)."""
+        return frozenset((self.sender.node_id, self.receiver.node_id))
+
+    def shares_node_with(self, other: "Link") -> bool:
+        """True when the links have a common endpoint.
+
+        Two such links can never transmit concurrently: radios are
+        half-duplex and a node cannot serve two links in the same slot.
+        """
+        return bool(self.endpoints & other.endpoints)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Link):
+            return NotImplemented
+        return self.link_id == other.link_id
+
+    def __hash__(self) -> int:
+        return hash(self.link_id)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.link_id}({self.sender}->{self.receiver})"

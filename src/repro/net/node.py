@@ -1,0 +1,48 @@
+"""Network nodes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TopologyError
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A wireless node, optionally placed in the plane.
+
+    Attributes:
+        node_id: Unique identifier within a :class:`~repro.net.Network`.
+        x, y: Coordinates in metres, or ``None`` for abstract topologies
+            (Scenario I/II declare conflicts instead of geometry).
+    """
+
+    node_id: str
+    x: Optional[float] = None
+    y: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.x is None) != (self.y is None):
+            raise TopologyError(
+                f"node {self.node_id!r}: give both coordinates or neither"
+            )
+
+    @property
+    def has_position(self) -> bool:
+        return self.x is not None
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance in metres; requires both nodes placed."""
+        if not self.has_position or not other.has_position:
+            raise TopologyError(
+                f"distance between {self.node_id!r} and {other.node_id!r} "
+                "is undefined: abstract nodes have no coordinates"
+            )
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.node_id

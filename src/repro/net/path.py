@@ -1,0 +1,103 @@
+"""Paths: ordered sequences of links from a source to a destination."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import PathError
+from repro.net.link import Link
+from repro.net.node import Node
+
+__all__ = ["Path"]
+
+
+class Path:
+    """An ordered, contiguous, loop-free sequence of links.
+
+    Invariants checked at construction:
+
+    * at least one link;
+    * consecutive links chain: ``links[i].receiver == links[i+1].sender``;
+    * no node repeats (simple path), which every routing algorithm in the
+      library produces and the clique machinery assumes.
+    """
+
+    def __init__(self, links: Iterable[Link]):
+        link_list: Tuple[Link, ...] = tuple(links)
+        if not link_list:
+            raise PathError("a path needs at least one link")
+        for left, right in zip(link_list, link_list[1:]):
+            if left.receiver.node_id != right.sender.node_id:
+                raise PathError(
+                    f"links {left.link_id!r} and {right.link_id!r} do not "
+                    "chain: receiver of the former differs from sender of "
+                    "the latter"
+                )
+        node_ids = [link_list[0].sender.node_id]
+        node_ids.extend(link.receiver.node_id for link in link_list)
+        if len(set(node_ids)) != len(node_ids):
+            raise PathError(f"path visits a node twice: {node_ids}")
+        self._links = link_list
+
+    # -- container protocol ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __getitem__(self, index: int) -> Link:
+        return self._links[index]
+
+    def __contains__(self, link: Link) -> bool:
+        return link in self._links
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._links == other._links
+
+    def __hash__(self) -> int:
+        return hash(self._links)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        return self._links
+
+    @property
+    def source(self) -> Node:
+        return self._links[0].sender
+
+    @property
+    def destination(self) -> Node:
+        return self._links[-1].receiver
+
+    @property
+    def hop_count(self) -> int:
+        return len(self._links)
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes visited, source first."""
+        result: List[Node] = [self._links[0].sender]
+        result.extend(link.receiver for link in self._links)
+        return tuple(result)
+
+    def subpath(self, start: int, stop: int) -> "Path":
+        """Links ``start``..``stop-1`` as a new path (list-slice semantics)."""
+        return Path(self._links[start:stop])
+
+    def prefixes(self) -> Iterator["Path"]:
+        """All prefixes, shortest first — what each intermediate node sees
+        when estimating source-to-self bandwidth (Section 4)."""
+        for end in range(1, len(self._links) + 1):
+            yield Path(self._links[:end])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "->".join(node.node_id for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Path({self})"

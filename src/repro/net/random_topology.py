@@ -1,0 +1,84 @@
+"""Random topology generation (the paper's Section 5.2 setup).
+
+The paper places 30 nodes uniformly at random in a 400 m × 600 m rectangle,
+uses the four 802.11a rates with propagation exponent 4, and registers a
+link wherever two nodes are within transmission range of the slowest rate.
+:func:`random_topology` reproduces that construction for any seed and can
+optionally resample until the topology is strongly connected (flows between
+arbitrary endpoints then always have some route).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.topology import Network
+from repro.phy.radio import RadioConfig
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["RandomTopologyConfig", "random_topology"]
+
+
+@dataclass(frozen=True)
+class RandomTopologyConfig:
+    """Parameters of the random placement.
+
+    Defaults are the paper's: 30 nodes in 400 m × 600 m.
+    """
+
+    n_nodes: int = 30
+    width_m: float = 400.0
+    height_m: float = 600.0
+    require_connected: bool = True
+    max_attempts: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigurationError("need at least two nodes")
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ConfigurationError("area dimensions must be positive")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+
+
+def random_topology(
+    radio: RadioConfig,
+    config: RandomTopologyConfig = RandomTopologyConfig(),
+    seed: SeedLike = None,
+    name: str = "random",
+) -> Network:
+    """Generate a random geometric network.
+
+    Nodes are named ``n0`` ... ``n{N-1}``.  When
+    ``config.require_connected`` is set, placements whose link graph is not
+    strongly connected are redrawn (up to ``config.max_attempts`` times)
+    from the same random stream, so results stay reproducible per seed.
+
+    Raises:
+        TopologyError: if no connected placement is found within the
+            attempt budget — a sign the area is too large for the node
+            count and radio range, which is better surfaced than silently
+            returning a partitioned network.
+    """
+    rng = make_rng(seed)
+    for _ in range(config.max_attempts):
+        network = Network(radio, name=name)
+        for index in range(config.n_nodes):
+            network.add_node(
+                f"n{index}",
+                x=float(rng.uniform(0.0, config.width_m)),
+                y=float(rng.uniform(0.0, config.height_m)),
+            )
+        network.build_links_within_range()
+        if not config.require_connected:
+            return network
+        if nx.is_strongly_connected(network.to_digraph()):
+            return network
+    raise TopologyError(
+        f"no strongly connected placement of {config.n_nodes} nodes in "
+        f"{config.width_m:g}x{config.height_m:g} m after "
+        f"{config.max_attempts} attempts; enlarge the node count or range"
+    )

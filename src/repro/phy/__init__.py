@@ -1,0 +1,49 @@
+"""Physical-layer substrate: multirate tables, propagation, SINR.
+
+This package provides the constants and pure computations the rest of the
+library builds on:
+
+* :mod:`repro.phy.rates` — discrete rate sets with per-rate SINR thresholds
+  and transmission ranges (the paper uses four IEEE 802.11a rates);
+* :mod:`repro.phy.propagation` — path-loss models (the paper uses a
+  log-distance model with exponent 4);
+* :mod:`repro.phy.radio` — a radio configuration tying transmit power,
+  noise floor, carrier-sense range and a rate table together, with
+  calibrated receiver sensitivities;
+* :mod:`repro.phy.sinr` — numeric SINR helpers (Eq. 1 and Eq. 3 of the
+  paper, in their power-domain form).
+"""
+
+from repro.phy.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PathLossModel,
+    TwoRayGroundPathLoss,
+)
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import (
+    IEEE80211A_PAPER_RATES,
+    IEEE80211B_RATES,
+    Rate,
+    RateTable,
+)
+from repro.phy.sinr import (
+    max_rate_under_interference,
+    max_standalone_rate,
+    sinr,
+)
+
+__all__ = [
+    "PathLossModel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "TwoRayGroundPathLoss",
+    "RadioConfig",
+    "Rate",
+    "RateTable",
+    "IEEE80211A_PAPER_RATES",
+    "IEEE80211B_RATES",
+    "sinr",
+    "max_standalone_rate",
+    "max_rate_under_interference",
+]

@@ -1,0 +1,162 @@
+"""Path-loss models.
+
+The paper's evaluation uses a log-distance model with propagation exponent
+4 (Section 5.2).  We expose that as :class:`LogDistancePathLoss` and add two
+classic alternatives (free space, two-ray ground) so sensitivity studies can
+vary the channel without touching anything else.
+
+All models answer one question: the **linear path gain** ``g(d)`` such that
+``received_mw = tx_mw * g(d)``.  Gains are pure functions of distance; fading
+and shadowing are out of scope (the paper's model has neither).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PathLossModel",
+    "LogDistancePathLoss",
+    "FreeSpacePathLoss",
+    "TwoRayGroundPathLoss",
+]
+
+#: Distances below this are clamped to it, so co-located nodes do not produce
+#: infinite gains.  One decimetre is far below any distance the models are
+#: calibrated for.
+MIN_DISTANCE_M = 0.1
+
+
+class PathLossModel(ABC):
+    """Interface: linear path gain as a function of distance in metres."""
+
+    @abstractmethod
+    def gain(self, distance_m: float) -> float:
+        """Linear power gain (≤ its value at :data:`MIN_DISTANCE_M`)."""
+
+    def received_mw(self, tx_mw: float, distance_m: float) -> float:
+        """Received power in mW for a transmit power ``tx_mw``."""
+        return tx_mw * self.gain(distance_m)
+
+    def distance_for_gain(self, gain: float) -> float:
+        """Inverse of :meth:`gain`; subclasses with closed forms override.
+
+        The generic implementation bisects, which is enough for monotone
+        models and keeps new subclasses cheap to write.
+        """
+        if gain <= 0:
+            raise ConfigurationError("gain must be positive")
+        lo, hi = MIN_DISTANCE_M, 1e7
+        if self.gain(lo) < gain:
+            return lo
+        for _ in range(200):
+            mid = math.sqrt(lo * hi)  # geometric bisection suits power laws
+            if self.gain(mid) >= gain:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+class LogDistancePathLoss(PathLossModel):
+    """``g(d) = reference_gain * (reference_distance / d) ** exponent``.
+
+    With ``exponent=4`` this is the paper's channel.  ``reference_gain`` is
+    the linear gain at ``reference_distance`` (default 1 m); its default of
+    1e-3 (-30 dB at 1 m) is a conventional indoor/outdoor figure and only
+    shifts absolute powers — every result in the library depends on power
+    *ratios* plus the calibrated sensitivities, so the reference cancels.
+    """
+
+    def __init__(
+        self,
+        exponent: float = 4.0,
+        reference_gain: float = 1e-3,
+        reference_distance_m: float = 1.0,
+    ):
+        if exponent <= 0:
+            raise ConfigurationError("path-loss exponent must be positive")
+        if reference_gain <= 0:
+            raise ConfigurationError("reference gain must be positive")
+        if reference_distance_m <= 0:
+            raise ConfigurationError("reference distance must be positive")
+        self.exponent = float(exponent)
+        self.reference_gain = float(reference_gain)
+        self.reference_distance_m = float(reference_distance_m)
+
+    def gain(self, distance_m: float) -> float:
+        d = max(distance_m, MIN_DISTANCE_M)
+        return self.reference_gain * (self.reference_distance_m / d) ** self.exponent
+
+    def distance_for_gain(self, gain: float) -> float:
+        if gain <= 0:
+            raise ConfigurationError("gain must be positive")
+        d = self.reference_distance_m * (self.reference_gain / gain) ** (
+            1.0 / self.exponent
+        )
+        return max(d, MIN_DISTANCE_M)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogDistancePathLoss(exponent={self.exponent}, "
+            f"reference_gain={self.reference_gain}, "
+            f"reference_distance_m={self.reference_distance_m})"
+        )
+
+
+class FreeSpacePathLoss(LogDistancePathLoss):
+    """Free-space propagation: a log-distance model with exponent 2."""
+
+    def __init__(self, reference_gain: float = 1e-3, reference_distance_m: float = 1.0):
+        super().__init__(
+            exponent=2.0,
+            reference_gain=reference_gain,
+            reference_distance_m=reference_distance_m,
+        )
+
+
+class TwoRayGroundPathLoss(PathLossModel):
+    """Two-ray ground reflection: free space near, exponent 4 far.
+
+    The crossover distance ``d_c`` is where the two regimes meet; below it
+    the model is free space with ``near_reference_gain``, above it the gain
+    falls with the fourth power, continuous at the crossover.
+    """
+
+    def __init__(
+        self,
+        crossover_m: float = 100.0,
+        near_reference_gain: float = 1e-3,
+        reference_distance_m: float = 1.0,
+    ):
+        if crossover_m <= 0:
+            raise ConfigurationError("crossover distance must be positive")
+        self.crossover_m = float(crossover_m)
+        self._near = LogDistancePathLoss(
+            exponent=2.0,
+            reference_gain=near_reference_gain,
+            reference_distance_m=reference_distance_m,
+        )
+        gain_at_crossover = self._near.gain(crossover_m)
+        self._far = LogDistancePathLoss(
+            exponent=4.0,
+            reference_gain=gain_at_crossover,
+            reference_distance_m=crossover_m,
+        )
+
+    def gain(self, distance_m: float) -> float:
+        d = max(distance_m, MIN_DISTANCE_M)
+        if d <= self.crossover_m:
+            return self._near.gain(d)
+        return self._far.gain(d)
+
+    def distance_for_gain(self, gain: float) -> float:
+        if gain >= self._near.gain(self.crossover_m):
+            return self._near.distance_for_gain(gain)
+        return self._far.distance_for_gain(gain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TwoRayGroundPathLoss(crossover_m={self.crossover_m})"

@@ -1,0 +1,144 @@
+"""Radio configuration: power, noise, carrier sensing, calibrated sensitivities.
+
+A :class:`RadioConfig` ties together everything the interference layer needs
+to evaluate Eq. 1 and Eq. 3 of the paper:
+
+* the transmit power (uniform across nodes, as in the paper);
+* the path-loss model;
+* the rate table;
+* per-rate **receiver sensitivities**, calibrated so each rate's standalone
+  range equals the table's ``range_m`` exactly — the paper specifies ranges,
+  not sensitivities, so calibration from ranges reproduces its constants
+  bit-for-bit;
+* the noise floor, defaulting to a value low enough that a link operating at
+  its maximum standalone rate still meets that rate's SINR requirement at
+  full range with no interferers (otherwise the paper's range table would be
+  internally inconsistent);
+* the carrier-sense range used by the distributed idle-time machinery of
+  Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.phy.propagation import LogDistancePathLoss, PathLossModel
+from repro.phy.rates import IEEE80211A_PAPER_RATES, Rate, RateTable
+from repro.units import dbm_to_mw
+
+__all__ = ["RadioConfig"]
+
+#: Safety factor applied when deriving the default noise floor, so a link at
+#: exactly its maximum range has a small SNR margin over the threshold.
+_NOISE_MARGIN = 1.1
+
+
+class RadioConfig:
+    """Immutable radio parameterisation shared by all nodes.
+
+    Args:
+        rate_table: The discrete rate ladder.
+        path_loss: Channel model; defaults to the paper's log-distance
+            model with exponent 4.
+        tx_power_dbm: Transmit power, identical at every node (default
+            20 dBm = 100 mW, a common 802.11a figure; results depend only on
+            power ratios so this choice is not load-bearing).
+        noise_mw: Noise power; ``None`` derives the largest noise floor
+            consistent with the rate table's ranges (see module docstring).
+        carrier_sense_range_m: Distance within which a node senses the
+            channel busy while another node transmits.  ``None`` defaults to
+            the rate table's maximum transmission range, the common
+            "CS range = max TX range" assumption that also matches how the
+            paper's Scenario I links "hear" each other.
+    """
+
+    def __init__(
+        self,
+        rate_table: RateTable = IEEE80211A_PAPER_RATES,
+        path_loss: Optional[PathLossModel] = None,
+        tx_power_dbm: float = 20.0,
+        noise_mw: Optional[float] = None,
+        carrier_sense_range_m: Optional[float] = None,
+    ):
+        self.rate_table = rate_table
+        self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
+        self.tx_power_mw = dbm_to_mw(tx_power_dbm)
+        self.tx_power_dbm = float(tx_power_dbm)
+
+        # Sensitivity calibration: Pr(range_m) == sensitivity for each rate,
+        # so "Pr >= RX_se(k)" in Eq. 1 is exactly "distance <= range_m".
+        self._sensitivity_mw: Dict[float, float] = {
+            rate.mbps: self.tx_power_mw * self.path_loss.gain(rate.range_m)
+            for rate in rate_table
+        }
+
+        if noise_mw is None:
+            noise_mw = min(
+                self._sensitivity_mw[rate.mbps] / rate.sinr_linear
+                for rate in rate_table
+            ) / _NOISE_MARGIN
+        if noise_mw <= 0:
+            raise ConfigurationError("noise power must be positive")
+        self.noise_mw = float(noise_mw)
+
+        for rate in rate_table:
+            snr_at_range = self._sensitivity_mw[rate.mbps] / self.noise_mw
+            if snr_at_range < rate.sinr_linear:
+                raise ConfigurationError(
+                    f"noise floor {self.noise_mw:.3e} mW is too high: rate "
+                    f"{rate.mbps:g} Mbps cannot meet its SINR requirement at "
+                    f"its nominal range {rate.range_m:g} m"
+                )
+
+        if carrier_sense_range_m is None:
+            carrier_sense_range_m = rate_table.max_range_m
+        if carrier_sense_range_m <= 0:
+            raise ConfigurationError("carrier-sense range must be positive")
+        self.carrier_sense_range_m = float(carrier_sense_range_m)
+
+    # -- power queries --------------------------------------------------------
+
+    def received_mw(self, distance_m: float) -> float:
+        """Received power at ``distance_m`` from any transmitter."""
+        return self.path_loss.received_mw(self.tx_power_mw, distance_m)
+
+    def sensitivity_mw(self, rate: Rate) -> float:
+        """Calibrated receiver sensitivity for ``rate``."""
+        return self._sensitivity_mw[rate.mbps]
+
+    def meets_sensitivity(self, rate: Rate, distance_m: float) -> bool:
+        """Eq. 1, first condition: ``Pr >= RX_se(k)``.
+
+        Implemented on distances (exactly equivalent after calibration and
+        immune to floating-point drift at the range boundary).
+        """
+        return distance_m <= rate.range_m
+
+    def hears(self, distance_m: float) -> bool:
+        """Whether a node at ``distance_m`` from a transmitter senses it."""
+        return distance_m <= self.carrier_sense_range_m
+
+    # -- rate queries ----------------------------------------------------------
+
+    def max_standalone_rate(self, distance_m: float) -> Optional[Rate]:
+        """Fastest rate a lone link of length ``distance_m`` supports.
+
+        Checks both conditions of Eq. 1 with zero interference; with the
+        default noise calibration the sensitivity condition is binding.
+        """
+        for rate in self.rate_table:
+            if not self.meets_sensitivity(rate, distance_m):
+                continue
+            snr = self.received_mw(distance_m) / self.noise_mw
+            if snr >= rate.sinr_linear:
+                return rate
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RadioConfig(tx={self.tx_power_dbm:g}dBm, "
+            f"noise={self.noise_mw:.3e}mW, "
+            f"cs_range={self.carrier_sense_range_m:g}m, "
+            f"rates={[r.mbps for r in self.rate_table]})"
+        )

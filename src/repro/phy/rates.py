@@ -1,0 +1,248 @@
+"""Discrete rate sets for multirate radios.
+
+The paper evaluates with four IEEE 802.11a rates.  Section 5.2 gives the
+authoritative constants (sourced from [14] in the paper):
+
+==========  ================  ==================
+Rate        Range (γ = 4)     SINR requirement
+==========  ================  ==================
+54 Mbps     59 m              24.56 dB
+36 Mbps     79 m              18.80 dB
+18 Mbps     119 m             10.79 dB
+6 Mbps      158 m             6.02 dB
+==========  ================  ==================
+
+A :class:`Rate` couples the data rate with its SINR threshold and maximum
+transmission distance; a :class:`RateTable` is an ordered collection with
+the lookups the combinatorial layer needs ("fastest rate that works at this
+distance", "fastest rate whose threshold this SINR clears", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RateError
+from repro.units import db_to_linear
+
+__all__ = [
+    "Rate",
+    "RateTable",
+    "IEEE80211A_PAPER_RATES",
+    "IEEE80211B_RATES",
+    "paper_rate_table_for_exponent",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Rate:
+    """One entry of a multirate table.
+
+    Ordering is by ``mbps`` so ``max()``/``sorted()`` over rates do the
+    natural thing.
+
+    Attributes:
+        mbps: Data rate in Mbps.
+        sinr_db: Minimum SINR (dB) for a successful reception at this rate.
+        range_m: Maximum transmitter–receiver distance (m) at which the
+            rate works when the link transmits alone (the paper's
+            "transmission distance", which encodes the receiver
+            sensitivity through the path-loss model).
+    """
+
+    mbps: float
+    sinr_db: float
+    range_m: float
+
+    def __post_init__(self) -> None:
+        if self.mbps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.mbps}")
+        if self.range_m <= 0:
+            raise ConfigurationError(
+                f"range must be positive, got {self.range_m}"
+            )
+
+    @property
+    def sinr_linear(self) -> float:
+        """SINR threshold as a linear ratio."""
+        return db_to_linear(self.sinr_db)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mbps:g}Mbps"
+
+
+class RateTable:
+    """An immutable, descending-ordered set of :class:`Rate` entries.
+
+    Invariants enforced at construction:
+
+    * at least one rate;
+    * all ``mbps`` values distinct;
+    * monotonicity: a faster rate never has a *lower* SINR requirement nor a
+      *longer* range than a slower one (that is how real modulation ladders
+      behave and the combinatorial layer relies on it for dominance
+      arguments).
+    """
+
+    def __init__(self, rates: Iterable[Rate]):
+        ordered = sorted(rates, key=lambda r: r.mbps, reverse=True)
+        if not ordered:
+            raise ConfigurationError("a rate table needs at least one rate")
+        seen = set()
+        for rate in ordered:
+            if rate.mbps in seen:
+                raise ConfigurationError(
+                    f"duplicate rate {rate.mbps} Mbps in rate table"
+                )
+            seen.add(rate.mbps)
+        for faster, slower in zip(ordered, ordered[1:]):
+            if faster.sinr_db < slower.sinr_db:
+                raise ConfigurationError(
+                    f"rate {faster.mbps} Mbps has lower SINR requirement "
+                    f"than slower rate {slower.mbps} Mbps"
+                )
+            if faster.range_m > slower.range_m:
+                raise ConfigurationError(
+                    f"rate {faster.mbps} Mbps has longer range than slower "
+                    f"rate {slower.mbps} Mbps"
+                )
+        self._rates: Tuple[Rate, ...] = tuple(ordered)
+        self._by_mbps = {rate.mbps: rate for rate in ordered}
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Rate]:
+        return iter(self._rates)
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+    def __contains__(self, mbps: float) -> bool:
+        return float(mbps) in self._by_mbps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RateTable):
+            return NotImplemented
+        return self._rates == other._rates
+
+    def __hash__(self) -> int:
+        return hash(self._rates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(r) for r in self._rates)
+        return f"RateTable([{inner}])"
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def rates(self) -> Tuple[Rate, ...]:
+        """All rates, fastest first."""
+        return self._rates
+
+    @property
+    def fastest(self) -> Rate:
+        return self._rates[0]
+
+    @property
+    def slowest(self) -> Rate:
+        return self._rates[-1]
+
+    @property
+    def max_range_m(self) -> float:
+        """Longest transmission range across the table (the slowest rate's)."""
+        return self.slowest.range_m
+
+    def get(self, mbps: float) -> Rate:
+        """Return the :class:`Rate` with exactly ``mbps``; raise otherwise."""
+        try:
+            return self._by_mbps[float(mbps)]
+        except KeyError:
+            known = ", ".join(f"{r.mbps:g}" for r in self._rates)
+            raise RateError(
+                f"{mbps} Mbps is not in the rate table (known: {known})"
+            ) from None
+
+    def rates_at_distance(self, distance_m: float) -> Tuple[Rate, ...]:
+        """All rates usable at ``distance_m`` when transmitting alone."""
+        return tuple(r for r in self._rates if distance_m <= r.range_m)
+
+    def max_rate_at_distance(self, distance_m: float) -> Optional[Rate]:
+        """Fastest rate usable at ``distance_m``, or ``None`` if out of range."""
+        for rate in self._rates:
+            if distance_m <= rate.range_m:
+                return rate
+        return None
+
+    def max_rate_for_sinr(self, sinr_linear: float) -> Optional[Rate]:
+        """Fastest rate whose SINR threshold ``sinr_linear`` clears.
+
+        Returns ``None`` when even the slowest rate's threshold is missed
+        (the transmission fails entirely).
+        """
+        for rate in self._rates:
+            if sinr_linear >= rate.sinr_linear:
+                return rate
+        return None
+
+    def rates_not_faster_than(self, rate: Rate) -> Tuple[Rate, ...]:
+        """All table entries with ``mbps`` ≤ ``rate.mbps`` (rate fallbacks)."""
+        return tuple(r for r in self._rates if r.mbps <= rate.mbps)
+
+    def restrict(self, mbps_values: Sequence[float]) -> "RateTable":
+        """A new table containing only the listed rates.
+
+        Useful for scenario studies that allow a subset of the ladder (the
+        paper's Scenario II uses only 36 and 54 Mbps).
+        """
+        return RateTable([self.get(m) for m in mbps_values])
+
+
+def _paper_rates() -> List[Rate]:
+    return [
+        Rate(mbps=54.0, sinr_db=24.56, range_m=59.0),
+        Rate(mbps=36.0, sinr_db=18.80, range_m=79.0),
+        Rate(mbps=18.0, sinr_db=10.79, range_m=119.0),
+        Rate(mbps=6.0, sinr_db=6.02, range_m=158.0),
+    ]
+
+
+#: The four IEEE 802.11a rates with the exact constants of Section 5.2.
+IEEE80211A_PAPER_RATES = RateTable(_paper_rates())
+
+def paper_rate_table_for_exponent(exponent: float) -> RateTable:
+    """The paper's rate ladder re-ranged for a different path-loss exponent.
+
+    The paper's transmission distances (59/79/119/158 m) are stated for
+    exponent 4.  Keeping each rate's receiver sensitivity fixed and
+    changing the exponent γ rescales every range to ``d**(4/γ)`` (with the
+    1 m reference distance of the default channel): sensitivity =
+    ``P·C/d4**4`` and the new range solves ``P·C/d**γ = sensitivity``.
+    SINR requirements are modulation properties and stay unchanged.
+
+    Used by the propagation-sensitivity ablation; ``exponent=4`` returns a
+    table equal to :data:`IEEE80211A_PAPER_RATES`.
+    """
+    if exponent <= 0:
+        raise ConfigurationError("path-loss exponent must be positive")
+    return RateTable(
+        Rate(
+            mbps=rate.mbps,
+            sinr_db=rate.sinr_db,
+            range_m=rate.range_m ** (4.0 / exponent),
+        )
+        for rate in _paper_rates()
+    )
+
+
+#: An IEEE 802.11b ladder, provided for experiments beyond the paper's
+#: parameterisation.  Thresholds follow the same source family as [14];
+#: ranges are scaled consistently with a γ = 4 log-distance model.
+IEEE80211B_RATES = RateTable(
+    [
+        Rate(mbps=11.0, sinr_db=10.0, range_m=140.0),
+        Rate(mbps=5.5, sinr_db=8.0, range_m=160.0),
+        Rate(mbps=2.0, sinr_db=6.0, range_m=180.0),
+        Rate(mbps=1.0, sinr_db=4.0, range_m=200.0),
+    ]
+)

@@ -1,0 +1,64 @@
+"""Numeric SINR helpers (Eq. 1 and Eq. 3 of the paper).
+
+These are pure power-domain computations; geometry (who interferes with
+whom, at what distance) lives in :mod:`repro.interference`, which calls into
+these helpers once it has collected the relevant powers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import Rate
+
+__all__ = ["sinr", "max_standalone_rate", "max_rate_under_interference"]
+
+
+def sinr(signal_mw: float, interference_mw: float, noise_mw: float) -> float:
+    """Eq. 3: ``SINR = Pr_jj / (sum of interferer powers + P_N)``."""
+    denominator = interference_mw + noise_mw
+    if denominator <= 0:
+        return float("inf")
+    return signal_mw / denominator
+
+
+def max_standalone_rate(
+    radio: RadioConfig, link_distance_m: float
+) -> Optional[Rate]:
+    """Fastest rate a link supports with no concurrent transmissions.
+
+    Thin wrapper over :meth:`RadioConfig.max_standalone_rate`, kept here so
+    call sites that think in SINR terms have a matching vocabulary.
+    """
+    return radio.max_standalone_rate(link_distance_m)
+
+
+def max_rate_under_interference(
+    radio: RadioConfig,
+    link_distance_m: float,
+    interferer_powers_mw: Iterable[float],
+) -> Optional[Rate]:
+    """Fastest rate satisfying both conditions of Eq. 1 under interference.
+
+    Args:
+        radio: The shared radio configuration.
+        link_distance_m: Transmitter→receiver distance of the link under
+            test.
+        interferer_powers_mw: Received powers, at this link's receiver, of
+            every *other* concurrently transmitting node (Eq. 3's sum).
+
+    Returns:
+        The fastest supported :class:`Rate`, or ``None`` when even the
+        slowest rate fails — the link cannot be in this concurrent set
+        (Prop. 2 then removes it).
+    """
+    signal = radio.received_mw(link_distance_m)
+    interference = sum(interferer_powers_mw)
+    ratio = sinr(signal, interference, radio.noise_mw)
+    for rate in radio.rate_table:
+        if not radio.meets_sensitivity(rate, link_distance_m):
+            continue
+        if ratio >= rate.sinr_linear:
+            return rate
+    return None

@@ -1,0 +1,40 @@
+"""Seeded random-number helpers.
+
+Every stochastic component of the library (topology generation, flow
+selection, the CSMA/CA simulator) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps the
+"seed or generator" convention uniform and makes experiments reproducible by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "make_rng", "spawn_rng"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a nondeterministic generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged (so callers
+    can share a stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when one experiment needs several independent streams (e.g. node
+    placement vs. flow endpoints) that must not perturb each other when one
+    of them draws a different number of samples.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

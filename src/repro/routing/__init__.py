@@ -1,0 +1,51 @@
+"""QoS routing with background traffic (Section 4 / 5.2).
+
+Additive routing metrics (hop count, end-to-end transmission delay,
+average end-to-end delay) run through Dijkstra; the estimate-maximising
+"widest path" router implements the paper's proposal of using per-prefix
+available-bandwidth estimates as a distributed routing metric.  The
+sequential admission driver reproduces the Section 5.2 experiment: flows
+join one by one, each over the path its metric picks, until a demand
+cannot be met.
+"""
+
+from repro.routing.admission import (
+    AdmissionOutcome,
+    AdmissionReport,
+    run_sequential_admission,
+)
+from repro.routing.distance_vector import (
+    DistanceVectorTable,
+    run_distance_vector,
+)
+from repro.routing.joint import JointRouteResult, joint_widest_route
+from repro.routing.k_shortest import k_shortest_paths
+from repro.routing.metrics import (
+    METRICS,
+    AverageE2eDelayMetric,
+    E2eTransmissionDelayMetric,
+    HopCountMetric,
+    RoutingContext,
+    RoutingMetric,
+)
+from repro.routing.shortest_path import route
+from repro.routing.widest_path import widest_estimate_route
+
+__all__ = [
+    "RoutingMetric",
+    "RoutingContext",
+    "HopCountMetric",
+    "E2eTransmissionDelayMetric",
+    "AverageE2eDelayMetric",
+    "METRICS",
+    "route",
+    "widest_estimate_route",
+    "k_shortest_paths",
+    "joint_widest_route",
+    "JointRouteResult",
+    "run_distance_vector",
+    "DistanceVectorTable",
+    "run_sequential_admission",
+    "AdmissionOutcome",
+    "AdmissionReport",
+]

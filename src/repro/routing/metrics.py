@@ -1,0 +1,143 @@
+"""Routing metrics (Section 4, Eq. 14, and the Section 5.2 comparison).
+
+A metric assigns every link an additive weight; the best route minimises
+the sum.  Weights may depend on the distributed state — each link's
+effective rate and idleness ratio — carried by a :class:`RoutingContext`.
+
+The three metrics of Fig. 3:
+
+* **hop count** — the classical baseline, blind to both rates and load;
+* **e2eTD** (end-to-end transmission delay) — Σ 1/r_i, the reference [1]
+  metric, rate-aware but load-blind;
+* **average-e2eD** (average end-to-end delay, Eq. 14) — Σ 1/(λ_i·r_i),
+  both rate- and load-aware; the paper's recommendation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.estimation.idle_time import link_idleness
+from repro.interference.base import InterferenceModel
+from repro.net.link import Link
+from repro.phy.rates import Rate
+
+__all__ = [
+    "RoutingContext",
+    "RoutingMetric",
+    "HopCountMetric",
+    "E2eTransmissionDelayMetric",
+    "AverageE2eDelayMetric",
+    "METRICS",
+]
+
+#: Idleness below this is treated as a fully busy neighbourhood: the link
+#: is unusable for new traffic and gets an infinite weight.
+_MIN_IDLENESS = 1e-9
+
+
+@dataclass
+class RoutingContext:
+    """Distributed link state a metric may consult.
+
+    Attributes:
+        model: The interference model (supplies effective rates).
+        node_idleness: λ_idle per node id; ``None`` means a load-free
+            network (all idleness 1), which reduces average-e2eD to e2eTD.
+    """
+
+    model: InterferenceModel
+    node_idleness: Optional[Mapping[str, float]] = None
+    _rate_cache: Dict[str, Optional[Rate]] = field(default_factory=dict)
+
+    def link_rate(self, link: Link) -> Optional[Rate]:
+        """Effective data rate: the link's maximum standalone rate."""
+        if link.link_id not in self._rate_cache:
+            self._rate_cache[link.link_id] = self.model.max_standalone_rate(link)
+        return self._rate_cache[link.link_id]
+
+    def link_idleness(self, link: Link) -> float:
+        """Eq. 10's λ_i (1.0 when no idleness information is attached)."""
+        if self.node_idleness is None:
+            return 1.0
+        return link_idleness(link, self.node_idleness)
+
+
+class RoutingMetric(ABC):
+    """An additive link-weight routing metric."""
+
+    #: Machine name for registries and experiment tables.
+    name: str = "metric"
+    #: Paper display label.
+    label: str = "metric"
+
+    @abstractmethod
+    def weight(self, link: Link, context: RoutingContext) -> float:
+        """Additive weight of ``link``; ``math.inf`` excludes it."""
+
+    def path_cost(self, path, context: RoutingContext) -> float:
+        """Total metric value of a path (sum of link weights)."""
+        return sum(self.weight(link, context) for link in path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class HopCountMetric(RoutingMetric):
+    """Every usable link weighs 1."""
+
+    name = "hop-count"
+    label = "hop count"
+
+    def weight(self, link: Link, context: RoutingContext) -> float:
+        if context.link_rate(link) is None:
+            return math.inf
+        return 1.0
+
+
+class E2eTransmissionDelayMetric(RoutingMetric):
+    """e2eTD: transmission time per unit of traffic, Σ 1/r_i."""
+
+    name = "e2eTD"
+    label = "end-to-end transmission delay"
+
+    def weight(self, link: Link, context: RoutingContext) -> float:
+        rate = context.link_rate(link)
+        if rate is None:
+            return math.inf
+        return 1.0 / rate.mbps
+
+
+class AverageE2eDelayMetric(RoutingMetric):
+    """average-e2eD (Eq. 14): Σ 1/(λ_i·r_i).
+
+    The expected per-unit delay when only a λ_i share of the channel is
+    available to the link; heavily loaded neighbourhoods become expensive
+    and the route detours around background traffic.
+    """
+
+    name = "average-e2eD"
+    label = "average end-to-end delay"
+
+    def weight(self, link: Link, context: RoutingContext) -> float:
+        rate = context.link_rate(link)
+        if rate is None:
+            return math.inf
+        idleness = context.link_idleness(link)
+        if idleness <= _MIN_IDLENESS:
+            return math.inf
+        return 1.0 / (idleness * rate.mbps)
+
+
+#: The Fig. 3 metric line-up, in the paper's presentation order.
+METRICS: Dict[str, RoutingMetric] = {
+    metric.name: metric
+    for metric in (
+        HopCountMetric(),
+        E2eTransmissionDelayMetric(),
+        AverageE2eDelayMetric(),
+    )
+}

@@ -1,0 +1,80 @@
+"""Unit conversion helpers used across the library.
+
+The paper mixes engineering units: rates in Mbps, powers in dBm and mW, SINR
+thresholds in dB.  Internally the library stores
+
+* rates in **Mbps** (floats),
+* powers in **milliwatts** (linear), and
+* ratios (SINR, path gain) as **linear** dimensionless floats.
+
+The helpers here convert at the boundary.  They are deliberately plain
+functions — no unit-carrying types — because every quantity in the model has
+a single canonical unit and the conversion points are few.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "mbps",
+    "ZERO_MW",
+]
+
+#: Smallest representable power used to avoid log(0) in conversions.
+ZERO_MW = 1e-30
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts.
+
+    >>> dbm_to_mw(0.0)
+    1.0
+    >>> round(dbm_to_mw(20.0), 6)
+    100.0
+    """
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Powers at or below :data:`ZERO_MW` are clamped so the logarithm stays
+    finite; the result for those is a very large negative number rather than
+    ``-inf``, which keeps downstream arithmetic well defined.
+
+    >>> mw_to_dbm(1.0)
+    0.0
+    """
+    return 10.0 * math.log10(max(mw, ZERO_MW))
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a ratio expressed in dB to a linear ratio.
+
+    >>> db_to_linear(3.0)  # doctest: +ELLIPSIS
+    1.995...
+    """
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB; clamps non-positive ratios.
+
+    >>> linear_to_db(10.0)
+    10.0
+    """
+    return 10.0 * math.log10(max(ratio, ZERO_MW))
+
+
+def mbps(value: float) -> float:
+    """Identity helper documenting that a literal is a rate in Mbps.
+
+    Using ``mbps(54)`` at call sites makes the unit explicit without
+    introducing a wrapper type.
+    """
+    return float(value)

@@ -1,0 +1,152 @@
+"""Self-check: the paper's hard numbers, verified in seconds.
+
+``repro verify`` runs the analytically exact reproduction targets —
+everything with a closed-form or printed value in the paper — and reports
+PASS/FAIL per check.  It is the fastest way to confirm an installation
+reproduces the paper before running the heavier experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["VerificationCheck", "run_verification", "format_verification"]
+
+_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class VerificationCheck:
+    """One verified quantity."""
+
+    name: str
+    expected: float
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.measured - self.expected) <= _TOLERANCE
+
+
+def run_verification() -> List[VerificationCheck]:
+    """Compute every check; import-heavy work stays inside the call."""
+    from repro import available_path_bandwidth, scenario_one, scenario_two
+    from repro.core.bandwidth import tdma_schedule
+    from repro.core.bounds import (
+        clique_upper_bound,
+        fixed_rate_equal_throughput_bound,
+        hypothesis_min_clique_time,
+    )
+    from repro.core.cliques import RateClique
+    from repro.core.column_generation import solve_with_column_generation
+    from repro.estimation.estimators import BottleneckNodeBandwidth
+    from repro.estimation.idle_time import (
+        node_idleness_from_schedule,
+        path_state_for,
+    )
+
+    checks: List[VerificationCheck] = []
+
+    # Scenario II (Section 5.1).
+    s2 = scenario_two()
+    result = available_path_bandwidth(s2.model, s2.path)
+    checks.append(
+        VerificationCheck(
+            "Scenario II optimum f (Eq. 6)", 16.2, result.available_bandwidth
+        )
+    )
+    cg = solve_with_column_generation(s2.model, s2.path)
+    checks.append(
+        VerificationCheck(
+            "Scenario II via column generation",
+            16.2,
+            cg.result.available_bandwidth,
+        )
+    )
+    table = s2.network.radio.rate_table
+    demands = {link: 16.2 for link in s2.path}
+    c1 = RateClique.from_pairs(
+        (s2.network.link(f"L{i}"), table.get(54.0)) for i in range(1, 5)
+    )
+    c2 = RateClique.from_pairs(
+        [
+            (s2.network.link("L1"), table.get(36.0)),
+            (s2.network.link("L2"), table.get(54.0)),
+            (s2.network.link("L3"), table.get(54.0)),
+        ]
+    )
+    checks.append(
+        VerificationCheck(
+            "clique time over C1 at f*", 1.2, c1.transmission_time(demands)
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            "clique time over C2 at f*", 1.05, c2.transmission_time(demands)
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            "Eq. 7 bound over C1", 13.5, fixed_rate_equal_throughput_bound(c1)
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            "Eq. 7 bound over C2",
+            108.0 / 7.0,
+            fixed_rate_equal_throughput_bound(c2),
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            "Eq. 8 hypothesis value (must exceed 1)",
+            1.05,
+            hypothesis_min_clique_time(s2.model, list(s2.path.links), demands),
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            "Eq. 9 upper bound (tight here)",
+            16.2,
+            clique_upper_bound(s2.model, s2.path).upper_bound,
+        )
+    )
+
+    # Scenario I (Section 1) at λ = 0.3.
+    s1 = scenario_one(background_share=0.3)
+    optimum = available_path_bandwidth(
+        s1.model, s1.new_path, s1.background
+    )
+    checks.append(
+        VerificationCheck(
+            "Scenario I optimum share (1 − λ)",
+            0.7,
+            optimum.available_bandwidth / 54.0,
+        )
+    )
+    serialised = tdma_schedule(s1.model, s1.background)
+    idleness = node_idleness_from_schedule(s1.network, serialised, s1.model)
+    estimate = BottleneckNodeBandwidth().estimate(
+        path_state_for(s1.model, s1.new_path, idleness)
+    )
+    checks.append(
+        VerificationCheck(
+            "Scenario I idle-time share (1 − 2λ)", 0.4, estimate / 54.0
+        )
+    )
+    return checks
+
+
+def format_verification(checks: List[VerificationCheck]) -> str:
+    width = max(len(check.name) for check in checks)
+    lines = []
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(
+            f"  [{status}] {check.name:<{width}}  "
+            f"expected {check.expected:.6g}, measured {check.measured:.6g}"
+        )
+    passed = sum(1 for check in checks if check.passed)
+    lines.append(f"{passed}/{len(checks)} checks passed")
+    return "\n".join(lines)

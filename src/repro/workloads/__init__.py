@@ -1,0 +1,30 @@
+"""Workloads: flows and the paper's canonical scenarios."""
+
+from repro.workloads.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnOutcome,
+    simulate_churn,
+)
+from repro.workloads.flows import Flow, random_flow_endpoints
+from repro.workloads.scenarios import (
+    ScenarioOne,
+    ScenarioTwo,
+    paper_random_topology,
+    scenario_one,
+    scenario_two,
+)
+
+__all__ = [
+    "Flow",
+    "random_flow_endpoints",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnOutcome",
+    "simulate_churn",
+    "ScenarioOne",
+    "ScenarioTwo",
+    "scenario_one",
+    "scenario_two",
+    "paper_random_topology",
+]

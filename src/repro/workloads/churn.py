@@ -1,0 +1,238 @@
+"""Flow churn: arrivals and departures over time.
+
+The paper's evaluation admits a fixed batch of flows once.  Real networks
+see churn — flows arrive, hold, and leave — and an admission controller's
+quality shows up in two long-run numbers: how much traffic it *blocks*
+and how often it lets the network into an *overloaded* state (admitted
+demands that no schedule can deliver).  This module provides the workload
+generator and the churn simulation loop; the X3 experiment compares the
+Section 4 estimators (and the exact Eq. 6 test) as admission policies
+under identical churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.column_generation import (
+    min_airtime_column_generation,
+    solve_with_column_generation,
+)
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    RoutingError,
+)
+from repro.estimation.estimators import ESTIMATORS
+from repro.estimation.idle_time import node_idleness_from_schedule, path_state_for
+from repro.interference.base import InterferenceModel
+from repro.net.path import Path
+from repro.net.topology import Network
+from repro.routing.metrics import METRICS, RoutingContext
+from repro.routing.shortest_path import route
+from repro.rng import SeedLike, make_rng
+
+__all__ = ["ChurnConfig", "ChurnEvent", "ChurnOutcome", "simulate_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn workload parameters.
+
+    Time is abstract; only the ratio of inter-arrival to holding time
+    matters.  The defaults give a moderately loaded system (offered load
+    ≈ arrivals × holding × demand).
+    """
+
+    n_arrivals: int = 30
+    mean_interarrival: float = 1.0
+    mean_holding: float = 4.0
+    demand_mbps: float = 2.0
+    min_distance_m: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.n_arrivals < 1:
+            raise ConfigurationError("need at least one arrival")
+        if self.mean_interarrival <= 0 or self.mean_holding <= 0:
+            raise ConfigurationError("timescales must be positive")
+        if self.demand_mbps <= 0:
+            raise ConfigurationError("demand must be positive")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One arrival's fate."""
+
+    time: float
+    source: str
+    destination: str
+    admitted: bool
+    #: True when the exact Eq. 6 test would have admitted the flow on the
+    #: chosen path (regardless of what the policy decided).
+    truth_admits: bool
+    routed: bool
+
+
+@dataclass
+class ChurnOutcome:
+    """Long-run statistics of one policy under one churn trace."""
+
+    policy: str
+    events: List[ChurnEvent] = field(default_factory=list)
+    #: Admission decisions that let the carried set become undeliverable.
+    overload_admissions: int = 0
+
+    @property
+    def arrivals(self) -> int:
+        return len(self.events)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for event in self.events if event.admitted)
+
+    @property
+    def blocking_ratio(self) -> float:
+        return 1.0 - self.admitted / max(1, self.arrivals)
+
+    @property
+    def false_rejects(self) -> int:
+        return sum(
+            1
+            for event in self.events
+            if event.routed and not event.admitted and event.truth_admits
+        )
+
+    @property
+    def false_accepts(self) -> int:
+        return sum(
+            1
+            for event in self.events
+            if event.admitted and not event.truth_admits
+        )
+
+
+def _policy_decision(
+    policy: str,
+    model: InterferenceModel,
+    path: Path,
+    demand: float,
+    idleness: Dict[str, float],
+    background: List[Tuple[Path, float]],
+) -> bool:
+    if policy == "truth":
+        result = solve_with_column_generation(model, path, background)
+        return result.result.available_bandwidth + 1e-6 >= demand
+    estimator = ESTIMATORS[policy]
+    state = path_state_for(model, path, idleness)
+    return estimator.estimate(state) >= demand
+
+
+def simulate_churn(
+    network: Network,
+    model: InterferenceModel,
+    policy: str,
+    config: ChurnConfig = ChurnConfig(),
+    seed: SeedLike = 17,
+) -> ChurnOutcome:
+    """Run one churn trace under one admission policy.
+
+    Policies: ``"truth"`` (exact Eq. 6 test) or any estimator name from
+    :data:`repro.estimation.ESTIMATORS`.  The same seed produces the same
+    arrival sequence (endpoints, times, holding durations) for every
+    policy, so comparisons are paired.
+
+    Every admission is audited: after admitting, the carried demand set is
+    checked for deliverability (Eq. 4); an admission that breaks it counts
+    as an ``overload_admission`` — the real cost of over-estimating
+    policies.  Overloading flows are *kept* (the controller cannot know),
+    matching how a real false accept degrades the network.
+    """
+    if policy != "truth" and policy not in ESTIMATORS:
+        known = ", ".join(["truth"] + sorted(ESTIMATORS))
+        raise ConfigurationError(
+            f"unknown policy {policy!r} (known: {known})"
+        )
+    rng = make_rng(seed)
+    nodes = [node.node_id for node in network.nodes]
+    outcome = ChurnOutcome(policy=policy)
+    #: Carried flows: (departure time, path, demand).
+    carried: List[Tuple[float, Path, float]] = []
+    clock = 0.0
+    for _arrival in range(config.n_arrivals):
+        clock += float(rng.exponential(config.mean_interarrival))
+        holding = float(rng.exponential(config.mean_holding))
+        while True:
+            source, destination = rng.choice(nodes, size=2, replace=False)
+            if (
+                config.min_distance_m <= 0.0
+                or network.distance(str(source), str(destination))
+                >= config.min_distance_m
+            ):
+                break
+        source, destination = str(source), str(destination)
+
+        carried = [entry for entry in carried if entry[0] > clock]
+        background = [(path, demand) for _t, path, demand in carried]
+        if background:
+            # allow_overload: after a false accept the carried set may be
+            # undeliverable; the channel then saturates proportionally and
+            # idleness collapses, which is exactly what later arrivals see.
+            schedule = min_airtime_column_generation(
+                model, background, allow_overload=True
+            )
+            idleness = node_idleness_from_schedule(network, schedule, model)
+        else:
+            idleness = {node_id: 1.0 for node_id in nodes}
+        context = RoutingContext(model=model, node_idleness=idleness)
+        try:
+            path = route(
+                network, source, destination,
+                METRICS["average-e2eD"], context,
+            )
+        except RoutingError:
+            outcome.events.append(
+                ChurnEvent(
+                    time=clock,
+                    source=source,
+                    destination=destination,
+                    admitted=False,
+                    truth_admits=False,
+                    routed=False,
+                )
+            )
+            continue
+
+        try:
+            truth = solve_with_column_generation(model, path, background)
+            truth_admits = (
+                truth.result.available_bandwidth + 1e-6
+                >= config.demand_mbps
+            )
+        except InfeasibleProblemError:
+            # The network is already overloaded (an earlier false accept):
+            # nothing more fits.
+            truth_admits = False
+        if policy == "truth":
+            admitted = truth_admits
+        else:
+            admitted = _policy_decision(
+                policy, model, path, config.demand_mbps, idleness, background
+            )
+        outcome.events.append(
+            ChurnEvent(
+                time=clock,
+                source=source,
+                destination=destination,
+                admitted=admitted,
+                truth_admits=truth_admits,
+                routed=True,
+            )
+        )
+        if admitted:
+            if not truth_admits:
+                outcome.overload_admissions += 1
+            carried.append(
+                (clock + holding, path, config.demand_mbps)
+            )
+    return outcome

@@ -1,0 +1,151 @@
+"""The paper's canonical topologies (Fig. 1) and the Section 5.2 setup.
+
+* **Scenario I** — three links; the background pair L1/L2 do not conflict
+  with each other, the new link L3 conflicts with (and hears) both.  Used
+  to show channel idle time mis-estimates available bandwidth: the optimum
+  overlaps L1 and L2 in time, leaving 1−λ for L3, while idle-time
+  accounting only admits 1−2λ.
+* **Scenario II** — a four-link chain with rates {36, 54} Mbps where links
+  1 and 4 conflict only when link 1 transmits at 54 Mbps.  The worked
+  example of Section 5.1: optimum end-to-end throughput 16.2 Mbps, and the
+  feasible throughput vector violates every clique constraint.
+* **paper_random_topology** — 30 nodes in 400 m × 600 m with the paper's
+  802.11a parameterisation (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interference.declared import ConflictRule, DeclaredInterferenceModel
+from repro.net.path import Path
+from repro.net.random_topology import RandomTopologyConfig, random_topology
+from repro.net.topology import Network
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import IEEE80211A_PAPER_RATES
+from repro.rng import SeedLike
+
+__all__ = [
+    "ScenarioOne",
+    "ScenarioTwo",
+    "scenario_one",
+    "scenario_two",
+    "paper_random_topology",
+]
+
+
+@dataclass
+class ScenarioOne:
+    """Scenario I bundle: network, model, background flows, new path."""
+
+    network: Network
+    model: DeclaredInterferenceModel
+    #: Background (path, demand) pairs over L1 and L2, each loading its
+    #: link for ``background_share`` of the time.
+    background: List[Tuple[Path, float]]
+    #: One-hop path over L3 whose available bandwidth is the question.
+    new_path: Path
+    #: The per-link background time share λ.
+    background_share: float
+    #: The single rate (Mbps) all links use in this scenario.
+    rate_mbps: float
+
+
+def scenario_one(
+    background_share: float = 0.3, rate_mbps: float = 54.0
+) -> ScenarioOne:
+    """Build Scenario I of Fig. 1.
+
+    Six distinct nodes host three links (so no pair shares an endpoint);
+    conflicts are declared: L3 against both L1 and L2, L1/L2 mutually
+    clear.  Background demand on L1 and L2 is ``background_share`` of the
+    link rate each, matching the paper's time-share-λ description.
+    """
+    if not 0.0 <= background_share <= 0.5:
+        raise ConfigurationError(
+            "background share must be in [0, 0.5] (two background links "
+            "must fit in one period without overlap under idle-time rules)"
+        )
+    radio = RadioConfig(rate_table=IEEE80211A_PAPER_RATES.restrict([rate_mbps]))
+    network = Network(radio, name="scenario-one")
+    for node_id in ("a", "b", "c", "d", "e", "f"):
+        network.add_node(node_id)
+    network.add_link("a", "b", link_id="L1")
+    network.add_link("c", "d", link_id="L2")
+    network.add_link("e", "f", link_id="L3")
+    model = DeclaredInterferenceModel(
+        network,
+        rules=[
+            ConflictRule("L1", "L3"),
+            ConflictRule("L2", "L3"),
+        ],
+    )
+    demand = background_share * rate_mbps
+    background = [
+        (Path([network.link("L1")]), demand),
+        (Path([network.link("L2")]), demand),
+    ]
+    new_path = Path([network.link("L3")])
+    return ScenarioOne(
+        network=network,
+        model=model,
+        background=background,
+        new_path=new_path,
+        background_share=background_share,
+        rate_mbps=rate_mbps,
+    )
+
+
+@dataclass
+class ScenarioTwo:
+    """Scenario II bundle: network, model and the four-hop path."""
+
+    network: Network
+    model: DeclaredInterferenceModel
+    #: The multihop path L1, L2, L3, L4.
+    path: Path
+
+
+def scenario_two() -> ScenarioTwo:
+    """Build Scenario II of Fig. 1 / Section 5.1.
+
+    A five-node chain n0→…→n4 whose links may use 36 or 54 Mbps.  Declared
+    conflicts (on top of the automatic shared-node ones): L1–L3, L2–L4 at
+    every rate, and L1–L4 only when L1 transmits at 54 Mbps.
+    """
+    radio = RadioConfig(rate_table=IEEE80211A_PAPER_RATES.restrict([54.0, 36.0]))
+    network = Network(radio, name="scenario-two")
+    for index in range(5):
+        network.add_node(f"n{index}")
+    for index in range(1, 5):
+        network.add_link(f"n{index - 1}", f"n{index}", link_id=f"L{index}")
+    model = DeclaredInterferenceModel(
+        network,
+        rules=[
+            ConflictRule("L1", "L3"),
+            ConflictRule("L2", "L4"),
+            ConflictRule(
+                "L1", "L4", predicate=lambda r1, _r4: r1 == 54.0
+            ),
+        ],
+    )
+    path = Path([network.link(f"L{index}") for index in range(1, 5)])
+    return ScenarioTwo(network=network, model=model, path=path)
+
+
+def paper_random_topology(
+    seed: SeedLike = 7,
+    config: RandomTopologyConfig = RandomTopologyConfig(),
+    radio: RadioConfig = None,
+) -> Network:
+    """The Section 5.2 random topology: 30 nodes, 400 m × 600 m, 802.11a.
+
+    The default seed gives a strongly connected placement; any seed works,
+    absolute numbers shift with placement but the qualitative findings
+    (which the benchmarks assert) do not.
+    """
+    if radio is None:
+        radio = RadioConfig(rate_table=IEEE80211A_PAPER_RATES)
+    return random_topology(radio, config=config, seed=seed, name="paper-random")

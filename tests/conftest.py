@@ -1,0 +1,72 @@
+"""Shared fixtures: paper scenarios and small reusable networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Network,
+    ProtocolInterferenceModel,
+    RadioConfig,
+    paper_random_topology,
+)
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.workloads.scenarios import scenario_one, scenario_two
+
+
+@pytest.fixture
+def s1_bundle():
+    """Scenario I with the canonical λ = 0.3."""
+    return scenario_one(background_share=0.3)
+
+
+@pytest.fixture
+def s2_bundle():
+    """Scenario II (the Section 5.1 worked example)."""
+    return scenario_two()
+
+
+@pytest.fixture
+def radio():
+    """The paper's 802.11a radio."""
+    return RadioConfig()
+
+
+@pytest.fixture
+def line_network(radio):
+    """Five nodes on a line, 70 m apart (36 Mbps hops), fully linked."""
+    network = Network(radio, name="line")
+    for index in range(5):
+        network.add_node(f"n{index}", x=70.0 * index, y=0.0)
+    network.build_links_within_range()
+    return network
+
+
+@pytest.fixture
+def line_protocol(line_network):
+    return ProtocolInterferenceModel(line_network)
+
+
+@pytest.fixture
+def line_physical(line_network):
+    return PhysicalInterferenceModel(line_network)
+
+
+@pytest.fixture
+def pair_network(radio):
+    """Two far-apart link pairs that cannot interact."""
+    network = Network(radio, name="pairs")
+    network.add_node("a", x=0.0, y=0.0)
+    network.add_node("b", x=50.0, y=0.0)
+    network.add_node("c", x=3000.0, y=0.0)
+    network.add_node("d", x=3050.0, y=0.0)
+    network.add_link("a", "b")
+    network.add_link("c", "d")
+    return network
+
+
+@pytest.fixture(scope="session")
+def small_random_topology():
+    """The default Fig. 2/3 placement (session-cached: generation is
+    deterministic and read-only)."""
+    return paper_random_topology(seed=8)

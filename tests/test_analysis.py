@@ -1,0 +1,122 @@
+"""Summary statistics helpers."""
+
+import pytest
+
+from repro.analysis import Summary, bootstrap_ci, repeat, summarize
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_constant_sample(self):
+        summary = summarize([3.0, 3.0, 3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.0
+
+    def test_mean_and_std(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.std == pytest.approx(1.2909944)
+
+    def test_ci_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_ci_narrows_with_sample_size(self):
+        small = summarize([1.0, 5.0] * 3)
+        large = summarize([1.0, 5.0] * 30)
+        assert (large.ci_high - large.ci_low) < (
+            small.ci_high - small.ci_low
+        )
+
+    def test_single_value(self):
+        summary = summarize([42.0])
+        assert summary.mean == 42.0
+        assert summary.std == 0.0
+        assert summary.n == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestBootstrap:
+    def test_deterministic(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+
+
+class TestRepeat:
+    def test_runs_per_seed(self):
+        summary = repeat(lambda seed: float(seed * 2), seeds=[1, 2, 3])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(4.0)
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repeat(lambda seed: 0.0, seeds=[])
+
+    def test_with_mac_simulator(self, s1_bundle):
+        """Aggregate the Scenario I CSMA idleness over seeds: the mean
+        sits between the serialised (0.4) and optimal (0.7) bounds."""
+        from repro.mac import CsmaConfig, simulate_background
+
+        def idle_at_e(seed: int) -> float:
+            report = simulate_background(
+                s1_bundle.network,
+                s1_bundle.model,
+                s1_bundle.background,
+                config=CsmaConfig(sim_slots=12_000, warmup_slots=2_000),
+                seed=seed,
+            )
+            return report.node_idleness["e"]
+
+        summary = repeat(idle_at_e, seeds=[1, 2, 3, 4])
+        assert 0.4 <= summary.mean <= 0.7
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+class TestFrameLatency:
+    def test_max_service_gap(self, s2_bundle):
+        from repro import available_path_bandwidth
+        from repro.core.frame import realize_frame
+
+        result = available_path_bandwidth(s2_bundle.model, s2_bundle.path)
+        frame = realize_frame(result.schedule, 20)
+        for link in s2_bundle.path:
+            gap = frame.max_service_gap(link)
+            assert 0 <= gap < frame.frame_slots
+
+    def test_unserved_link_full_gap(self, s2_bundle):
+        from repro import available_path_bandwidth
+        from repro.core.bandwidth import min_airtime_schedule
+        from repro.core.frame import realize_frame
+        from repro import Path
+
+        schedule = min_airtime_schedule(
+            s2_bundle.model, [(Path([s2_bundle.network.link("L1")]), 10.0)]
+        )
+        frame = realize_frame(schedule, 10)
+        unserved = s2_bundle.network.link("L3")
+        assert frame.max_service_gap(unserved) == 10
+
+    def test_interleaving_beats_blocked_layout(self, s2_bundle):
+        """The stride interleaving should spread a link's slots, giving a
+        smaller max gap than a contiguous allocation would."""
+        from repro import available_path_bandwidth
+        from repro.core.frame import realize_frame
+
+        result = available_path_bandwidth(s2_bundle.model, s2_bundle.path)
+        frame = realize_frame(result.schedule, 40)
+        link2 = s2_bundle.network.link("L2")
+        # L2 holds 0.3 of a 40-slot frame = 12 slots; a contiguous block
+        # would leave a 28-slot gap.  Interleaving must do better.
+        assert frame.max_service_gap(link2) < 28

@@ -1,0 +1,40 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "e2", "a1"])
+        assert args.experiments == ["e2", "a1"]
+
+
+class TestMain:
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "a3" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_e2(self, capsys):
+        assert main(["run", "e2"]) == 0
+        out = capsys.readouterr().out
+        assert "16.200" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_mixed_known_unknown(self, capsys):
+        assert main(["run", "nope", "e2"]) == 2
+        captured = capsys.readouterr()
+        assert "16.200" in captured.out

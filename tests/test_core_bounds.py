@@ -1,0 +1,167 @@
+"""Upper/lower bounds (Section 3) — including the paper's refutation."""
+
+import pytest
+
+from repro import Path, available_path_bandwidth
+from repro.core.bounds import (
+    clique_upper_bound,
+    enumerate_rate_vectors,
+    fixed_rate_equal_throughput_bound,
+    greedy_column_subset,
+    hypothesis_min_clique_time,
+    lower_bound_from_subset,
+    max_clique_time,
+)
+from repro.core.cliques import RateClique
+from repro.core.independent_sets import enumerate_maximal_independent_sets
+from repro.errors import InterferenceError
+
+
+class TestFixedRateBound:
+    def test_paper_c1(self, s2_bundle):
+        table = s2_bundle.network.radio.rate_table
+        clique = RateClique.from_pairs(
+            (s2_bundle.network.link(f"L{i}"), table.get(54.0))
+            for i in range(1, 5)
+        )
+        assert fixed_rate_equal_throughput_bound(clique) == pytest.approx(13.5)
+
+    def test_paper_c2(self, s2_bundle):
+        table = s2_bundle.network.radio.rate_table
+        clique = RateClique.from_pairs(
+            [
+                (s2_bundle.network.link("L1"), table.get(36.0)),
+                (s2_bundle.network.link("L2"), table.get(54.0)),
+                (s2_bundle.network.link("L3"), table.get(54.0)),
+            ]
+        )
+        assert fixed_rate_equal_throughput_bound(clique) == pytest.approx(
+            108.0 / 7.0
+        )
+
+
+class TestRateVectors:
+    def test_count_is_product_of_choices(self, s2_bundle):
+        vectors = list(
+            enumerate_rate_vectors(s2_bundle.model, list(s2_bundle.path.links))
+        )
+        assert len(vectors) == 2 ** 4
+
+    def test_cap_enforced(self, s2_bundle):
+        with pytest.raises(InterferenceError, match="cap"):
+            list(
+                enumerate_rate_vectors(
+                    s2_bundle.model, list(s2_bundle.path.links), max_vectors=3
+                )
+            )
+
+
+class TestHypothesisRefutation:
+    def test_feasible_vector_violates_every_rate_vector(self, s2_bundle):
+        """The paper's central negative result: the feasible demand vector
+        y = (16.2, 16.2, 16.2, 16.2) has min_i T-hat_i = 1.05 > 1."""
+        demands = {link: 16.2 for link in s2_bundle.path}
+        value = hypothesis_min_clique_time(
+            s2_bundle.model, list(s2_bundle.path.links), demands
+        )
+        assert value == pytest.approx(1.05)
+        assert value > 1.0
+
+    def test_single_rate_network_keeps_hypothesis(self, s1_bundle):
+        """With one rate, the classical clique constraint holds: a
+        feasible vector has clique time <= 1."""
+        net = s1_bundle.network
+        demands = {net.link("L1"): 16.2, net.link("L2"): 16.2,
+                   net.link("L3"): 21.6}
+        value = hypothesis_min_clique_time(
+            s1_bundle.model, list(net.links), demands
+        )
+        assert value <= 1.0 + 1e-9
+
+    def test_max_clique_time_r1(self, s2_bundle):
+        net = s2_bundle.network
+        table = net.radio.rate_table
+        vector = {net.link(f"L{i}"): table.get(54.0) for i in range(1, 5)}
+        demands = {link: 16.2 for link in s2_bundle.path}
+        assert max_clique_time(
+            s2_bundle.model, vector, demands
+        ) == pytest.approx(1.2)
+
+
+class TestEq9UpperBound:
+    def test_upper_bound_dominates_exact(self, s2_bundle):
+        exact = available_path_bandwidth(
+            s2_bundle.model, s2_bundle.path
+        ).available_bandwidth
+        bound = clique_upper_bound(s2_bundle.model, s2_bundle.path)
+        assert bound.upper_bound + 1e-6 >= exact
+
+    def test_tight_on_scenario_two(self, s2_bundle):
+        """On the worked example the Eq. 9 bound is tight at 16.2."""
+        bound = clique_upper_bound(s2_bundle.model, s2_bundle.path)
+        assert bound.upper_bound == pytest.approx(16.2, abs=1e-6)
+
+    def test_with_background(self, s2_bundle):
+        background = [(Path([s2_bundle.network.link("L2")]), 10.0)]
+        exact = available_path_bandwidth(
+            s2_bundle.model, s2_bundle.path, background
+        ).available_bandwidth
+        bound = clique_upper_bound(
+            s2_bundle.model, s2_bundle.path, background
+        )
+        assert bound.upper_bound + 1e-6 >= exact
+
+    def test_gamma_sums_below_one(self, s2_bundle):
+        bound = clique_upper_bound(s2_bundle.model, s2_bundle.path)
+        assert sum(bound.gamma.values()) <= 1.0 + 1e-6
+
+
+class TestLowerBounds:
+    def test_subset_bound_below_exact(self, s2_bundle):
+        exact = available_path_bandwidth(
+            s2_bundle.model, s2_bundle.path
+        ).available_bandwidth
+        for size in (1, 2, 3, 4):
+            lower = lower_bound_from_subset(
+                s2_bundle.model, s2_bundle.path, subset_size=size
+            ).available_bandwidth
+            assert lower <= exact + 1e-9
+
+    def test_full_subset_recovers_exact(self, s2_bundle):
+        columns = enumerate_maximal_independent_sets(
+            s2_bundle.model, list(s2_bundle.path.links)
+        )
+        lower = lower_bound_from_subset(
+            s2_bundle.model, s2_bundle.path, columns=columns
+        ).available_bandwidth
+        assert lower == pytest.approx(16.2)
+
+    def test_monotone_in_subset_size(self, s2_bundle):
+        values = [
+            lower_bound_from_subset(
+                s2_bundle.model, s2_bundle.path, subset_size=size
+            ).available_bandwidth
+            for size in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_requires_columns_or_size(self, s2_bundle):
+        with pytest.raises(ValueError):
+            lower_bound_from_subset(s2_bundle.model, s2_bundle.path)
+
+
+class TestGreedySubset:
+    def test_respects_size(self, s2_bundle):
+        links = list(s2_bundle.path.links)
+        columns = enumerate_maximal_independent_sets(s2_bundle.model, links)
+        subset = greedy_column_subset(columns, links, 2)
+        assert len(subset) == 2
+
+    def test_covers_links_first(self, s2_bundle):
+        links = list(s2_bundle.path.links)
+        columns = enumerate_maximal_independent_sets(s2_bundle.model, links)
+        subset = greedy_column_subset(columns, links, 4)
+        covered = set()
+        for column in subset:
+            covered.update(l.link_id for l in column.links)
+        assert covered == {"L1", "L2", "L3", "L4"}

@@ -1,0 +1,86 @@
+"""Max-min fair allocation."""
+
+import pytest
+
+from repro import Path
+from repro.core.fairness import max_min_fair_allocation
+
+
+class TestScenarioOne:
+    def test_three_symmetric_flows(self, s1_bundle):
+        """L1 and L2 overlap; both serialise with L3: t/54 + t/54 = 1
+        gives 27 Mbps each."""
+        paths = [p for p, _d in s1_bundle.background] + [s1_bundle.new_path]
+        allocation = max_min_fair_allocation(s1_bundle.model, paths)
+        assert allocation.rates == pytest.approx([27.0, 27.0, 27.0])
+        assert allocation.schedule.total_airtime <= 1.0 + 1e-9
+
+    def test_non_conflicting_flows_get_full_rate(self, s1_bundle):
+        """L1 and L2 alone never conflict: both reach the link rate."""
+        paths = [p for p, _d in s1_bundle.background]
+        allocation = max_min_fair_allocation(s1_bundle.model, paths)
+        assert allocation.rates == pytest.approx([54.0, 54.0])
+
+    def test_lexicographic_upgrade(self, s1_bundle):
+        """Flows on L1 and L3: they conflict, but L2 is free — adding a
+        flow on L2 must not lower the other two (L2 rides along with L1)."""
+        net = s1_bundle.network
+        pair = max_min_fair_allocation(
+            s1_bundle.model,
+            [Path([net.link("L1")]), Path([net.link("L3")])],
+        )
+        triple = max_min_fair_allocation(
+            s1_bundle.model,
+            [
+                Path([net.link("L1")]),
+                Path([net.link("L3")]),
+                Path([net.link("L2")]),
+            ],
+        )
+        assert pair.rates == pytest.approx([27.0, 27.0])
+        assert triple.rates[0] == pytest.approx(27.0)
+        assert triple.rates[1] == pytest.approx(27.0)
+        # L2 conflicts with L3 only, and can overlap L1's share: it also
+        # ends at 27 (it must not exceed what L3's share leaves).
+        assert triple.rates[2] == pytest.approx(27.0)
+
+
+class TestScenarioTwo:
+    def test_single_flow_recovers_eq6(self, s2_bundle):
+        allocation = max_min_fair_allocation(s2_bundle.model, [s2_bundle.path])
+        assert allocation.rates == pytest.approx([16.2])
+
+    def test_schedule_delivers_allocation(self, s2_bundle):
+        allocation = max_min_fair_allocation(s2_bundle.model, [s2_bundle.path])
+        for link in s2_bundle.path:
+            assert allocation.schedule.throughput_of(link) + 1e-6 >= 16.2
+
+    def test_two_flows_fair_split(self, s2_bundle):
+        net = s2_bundle.network
+        allocation = max_min_fair_allocation(
+            s2_bundle.model, [s2_bundle.path, Path([net.link("L2")])]
+        )
+        assert allocation.rates[0] == pytest.approx(allocation.rates[1])
+        # Sharing can only lower the multihop flow below its solo 16.2.
+        assert allocation.rates[0] < 16.2
+
+    def test_min_rate_is_maximal(self, s2_bundle):
+        """No allocation can push the minimum above the max-min level:
+        check against the joint-scale LP, whose θ·demand equals the
+        max-min level for symmetric demands."""
+        from repro.core.bandwidth import joint_admission_scale
+
+        net = s2_bundle.network
+        paths = [s2_bundle.path, Path([net.link("L2")])]
+        allocation = max_min_fair_allocation(s2_bundle.model, paths)
+        theta, _schedule = joint_admission_scale(
+            s2_bundle.model, [(p, 1.0) for p in paths]
+        )
+        assert allocation.min_rate == pytest.approx(theta)
+
+
+class TestEdgeCases:
+    def test_no_flows(self, s2_bundle):
+        allocation = max_min_fair_allocation(s2_bundle.model, [])
+        assert allocation.rates == []
+        assert allocation.rounds == 0

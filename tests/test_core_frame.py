@@ -1,0 +1,78 @@
+"""TDMA frame realisation."""
+
+import pytest
+
+from repro import available_path_bandwidth
+from repro.core.frame import TdmaFrame, realize_frame
+from repro.core.schedule import LinkSchedule
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def s2_schedule(s2_bundle):
+    return available_path_bandwidth(s2_bundle.model, s2_bundle.path).schedule
+
+
+class TestRealize:
+    def test_exact_at_multiple_of_shares(self, s2_bundle, s2_schedule):
+        """The Scenario II shares are multiples of 0.1: a 10-slot frame
+        realises them with zero quantisation error."""
+        frame = realize_frame(s2_schedule, 10)
+        errors = frame.quantisation_error(s2_schedule)
+        for link_id, error in errors.items():
+            assert error == pytest.approx(0.0, abs=1e-9), link_id
+
+    def test_error_shrinks_with_frame_size(self, s2_bundle, s2_schedule):
+        coarse = realize_frame(s2_schedule, 7)
+        fine = realize_frame(s2_schedule, 700)
+        def worst(frame):
+            return max(
+                abs(e) for e in frame.quantisation_error(s2_schedule).values()
+            )
+        assert worst(fine) <= worst(coarse) + 1e-12
+        assert worst(fine) < 0.1
+
+    def test_slot_count(self, s2_schedule):
+        frame = realize_frame(s2_schedule, 25)
+        assert frame.frame_slots == 25
+
+    def test_idle_airtime_stays_idle(self, s1_bundle):
+        from repro.core.bandwidth import min_airtime_schedule
+
+        schedule = min_airtime_schedule(s1_bundle.model, s1_bundle.background)
+        frame = realize_frame(schedule, 10)
+        # 0.3 airtime -> 3 active slots, 7 idle.
+        assert frame.idle_slots == 7
+
+    def test_too_small_frame_rejected(self, s2_schedule):
+        with pytest.raises(ScheduleError):
+            realize_frame(s2_schedule, 2)
+
+    def test_zero_slots_rejected(self, s2_schedule):
+        with pytest.raises(ScheduleError):
+            realize_frame(s2_schedule, 0)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ScheduleError):
+            TdmaFrame(slots=())
+
+
+class TestFrameQueries:
+    def test_slots_of(self, s2_bundle, s2_schedule):
+        frame = realize_frame(s2_schedule, 10)
+        link1 = s2_bundle.network.link("L1")
+        # L1 transmits in 0.1 + 0.3 = 0.4 of the period: 4 slots of 10.
+        assert len(frame.slots_of(link1)) == 4
+
+    def test_throughput_matches_schedule(self, s2_bundle, s2_schedule):
+        frame = realize_frame(s2_schedule, 10)
+        for link in s2_bundle.path:
+            assert frame.throughput_of(link) == pytest.approx(
+                s2_schedule.throughput_of(link)
+            )
+
+    def test_active_links(self, s2_bundle, s2_schedule):
+        frame = realize_frame(s2_schedule, 10)
+        assert {l.link_id for l in frame.active_links()} == {
+            "L1", "L2", "L3", "L4",
+        }

@@ -1,0 +1,99 @@
+"""The LP wrapper."""
+
+import pytest
+
+from repro.core.lp import LinearProgram
+from repro.errors import InfeasibleProblemError, SolverError
+
+
+class TestBasics:
+    def test_simple_maximisation(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_constraint_le({x: 1.0}, 5.0)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(5.0)
+        assert solution["x"] == pytest.approx(5.0)
+
+    def test_upper_bound(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, upper_bound=3.0)
+        assert lp.solve().objective == pytest.approx(3.0)
+
+    def test_ge_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=-1.0)  # minimise x
+        lp.add_constraint_ge({x: 1.0}, 2.0)
+        solution = lp.solve()
+        assert solution["x"] == pytest.approx(2.0)
+
+    def test_two_variable_program(self):
+        # max x + 2y  s.t.  x + y <= 4, y <= 3
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        y = lp.add_variable("y", objective=2.0)
+        lp.add_constraint_le({x: 1.0, y: 1.0}, 4.0)
+        lp.add_constraint_le({y: 1.0}, 3.0)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(7.0)
+        assert solution["x"] == pytest.approx(1.0)
+        assert solution["y"] == pytest.approx(3.0)
+
+
+class TestErrors:
+    def test_duplicate_variable(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolverError):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        with pytest.raises(SolverError):
+            lp.add_constraint_le({"ghost": 1.0}, 1.0)
+
+    def test_no_variables(self):
+        with pytest.raises(SolverError):
+            LinearProgram().solve()
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_constraint_le({x: 1.0}, 1.0)
+        lp.add_constraint_ge({x: 1.0}, 2.0)
+        with pytest.raises(InfeasibleProblemError):
+            lp.solve()
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0)
+        with pytest.raises(SolverError, match="unbounded"):
+            lp.solve()
+
+
+class TestDuals:
+    def test_binding_constraint_has_positive_dual(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_constraint_le({x: 1.0}, 5.0, name="cap")
+        solution = lp.solve()
+        # Raising the cap by 1 raises the max by 1.
+        assert solution.duals["cap"] == pytest.approx(1.0)
+
+    def test_slack_constraint_has_zero_dual(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0, upper_bound=1.0)
+        lp.add_constraint_le({x: 1.0}, 100.0, name="loose")
+        solution = lp.solve()
+        assert solution.duals["loose"] == pytest.approx(0.0)
+
+    def test_constraint_coefficients_accumulate(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        # {x: 2} written as two mentions of x in one dict is impossible,
+        # but the builder must accumulate repeated indices safely when
+        # coefficients come in via names mapping to the same column.
+        name = lp.add_constraint_le({x: 2.0}, 10.0)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(5.0)
+        assert name in solution.duals

@@ -1,0 +1,143 @@
+"""Link schedules (Eq. 2 objects)."""
+
+import pytest
+
+from repro.core.independent_sets import RateIndependentSet
+from repro.core.schedule import LinkSchedule, ScheduleEntry
+from repro.errors import ScheduleError
+from repro.interference.base import LinkRate
+
+
+def singleton(network, link_id, mbps):
+    table = network.radio.rate_table
+    return RateIndependentSet(
+        frozenset({LinkRate(network.link(link_id), table.get(mbps))})
+    )
+
+
+@pytest.fixture
+def s1_schedule(s1_bundle):
+    """The optimal Scenario I schedule: L1 and L2 overlap for 0.3."""
+    net = s1_bundle.network
+    table = net.radio.rate_table
+    overlap = RateIndependentSet(
+        frozenset(
+            {
+                LinkRate(net.link("L1"), table.get(54.0)),
+                LinkRate(net.link("L2"), table.get(54.0)),
+            }
+        )
+    )
+    return LinkSchedule([ScheduleEntry(overlap, 0.3)])
+
+
+class TestValidation:
+    def test_negative_share_rejected(self, s1_bundle):
+        entry_set = singleton(s1_bundle.network, "L1", 54.0)
+        with pytest.raises(ScheduleError):
+            ScheduleEntry(entry_set, -0.1)
+
+    def test_airtime_above_one_rejected(self, s1_bundle):
+        entry_set = singleton(s1_bundle.network, "L1", 54.0)
+        with pytest.raises(ScheduleError, match="airtime"):
+            LinkSchedule(
+                [ScheduleEntry(entry_set, 0.7), ScheduleEntry(entry_set, 0.5)]
+            )
+
+    def test_epsilon_entries_dropped(self, s1_bundle):
+        entry_set = singleton(s1_bundle.network, "L1", 54.0)
+        schedule = LinkSchedule(
+            [ScheduleEntry(entry_set, 1e-15), ScheduleEntry(entry_set, 0.5)]
+        )
+        assert len(schedule) == 1
+
+    def test_validate_against_model(self, s1_bundle, s1_schedule):
+        s1_schedule.validate(s1_bundle.model)  # L1 + L2 is independent
+
+    def test_validate_rejects_conflicting_entry(self, s1_bundle):
+        net = s1_bundle.network
+        table = net.radio.rate_table
+        clash = RateIndependentSet(
+            frozenset(
+                {
+                    LinkRate(net.link("L1"), table.get(54.0)),
+                    LinkRate(net.link("L3"), table.get(54.0)),
+                }
+            )
+        )
+        schedule = LinkSchedule([ScheduleEntry(clash, 0.2)])
+        with pytest.raises(ScheduleError, match="not an independent set"):
+            schedule.validate(s1_bundle.model)
+
+
+class TestAccounting:
+    def test_throughput_of(self, s1_bundle, s1_schedule):
+        net = s1_bundle.network
+        assert s1_schedule.throughput_of(net.link("L1")) == pytest.approx(16.2)
+        assert s1_schedule.throughput_of(net.link("L3")) == 0.0
+
+    def test_total_airtime_and_idle(self, s1_schedule):
+        assert s1_schedule.total_airtime == pytest.approx(0.3)
+        assert s1_schedule.idle_share == pytest.approx(0.7)
+
+    def test_delivers(self, s1_bundle, s1_schedule):
+        net = s1_bundle.network
+        assert s1_schedule.delivers({net.link("L1"): 16.2})
+        assert not s1_schedule.delivers({net.link("L1"): 17.0})
+
+    def test_throughput_vector(self, s1_bundle, s1_schedule):
+        net = s1_bundle.network
+        links = [net.link("L1"), net.link("L2"), net.link("L3")]
+        vector = s1_schedule.throughput_vector(links)
+        assert vector == pytest.approx((16.2, 16.2, 0.0))
+
+    def test_active_links(self, s1_bundle, s1_schedule):
+        ids = {link.link_id for link in s1_schedule.active_links()}
+        assert ids == {"L1", "L2"}
+
+    def test_empty_schedule(self):
+        schedule = LinkSchedule(())
+        assert schedule.total_airtime == 0.0
+        assert schedule.idle_share == 1.0
+        assert schedule.delivers({})
+
+
+class TestNodeShares:
+    def test_transmit_share(self, s1_bundle, s1_schedule):
+        assert s1_schedule.node_transmit_share("a") == pytest.approx(0.3)
+        assert s1_schedule.node_transmit_share("e") == 0.0
+
+    def test_scaled(self, s1_bundle, s1_schedule):
+        half = s1_schedule.scaled(0.5)
+        net = s1_bundle.network
+        assert half.throughput_of(net.link("L1")) == pytest.approx(8.1)
+
+    def test_scaled_negative_rejected(self, s1_schedule):
+        with pytest.raises(ScheduleError):
+            s1_schedule.scaled(-1.0)
+
+    def test_geometric_busy_share(self, line_protocol):
+        """On a geometric network, nodes within carrier-sense range of an
+        active sender are busy."""
+        net = line_protocol.network
+        table = net.radio.rate_table
+        entry_set = RateIndependentSet(
+            frozenset({LinkRate(net.link_between("n0", "n1"), table.get(36.0))})
+        )
+        schedule = LinkSchedule([ScheduleEntry(entry_set, 0.4)])
+        # n2 is 140 m from sender n0: inside the 158 m CS range.
+        assert schedule.node_busy_share(net, "n2") == pytest.approx(0.4)
+        # n4 is 280 m away: idle.
+        assert schedule.node_busy_share(net, "n4") == 0.0
+
+
+class TestNanHardening:
+    def test_nan_time_share_rejected(self, s1_bundle):
+        entry_set = singleton(s1_bundle.network, "L1", 54.0)
+        with pytest.raises(ScheduleError, match="non-finite"):
+            ScheduleEntry(entry_set, float("nan"))
+
+    def test_inf_time_share_rejected(self, s1_bundle):
+        entry_set = singleton(s1_bundle.network, "L1", 54.0)
+        with pytest.raises(ScheduleError, match="non-finite"):
+            ScheduleEntry(entry_set, float("inf"))

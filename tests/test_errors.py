@@ -1,0 +1,65 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError), name
+
+    def test_value_error_mixins(self):
+        """Configuration/topology/rate/schedule errors double as
+        ValueError so generic callers can catch them idiomatically."""
+        for name in (
+            "ConfigurationError",
+            "TopologyError",
+            "LinkError",
+            "PathError",
+            "RateError",
+            "ScheduleError",
+        ):
+            assert issubclass(getattr(errors, name), ValueError), name
+
+    def test_runtime_error_mixins(self):
+        assert issubclass(errors.SolverError, RuntimeError)
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_link_and_path_are_topology_errors(self):
+        assert issubclass(errors.LinkError, errors.TopologyError)
+        assert issubclass(errors.PathError, errors.TopologyError)
+
+
+class TestPayloads:
+    def test_infeasible_carries_residual(self):
+        exc = errors.InfeasibleProblemError("too much", residual=0.25)
+        assert exc.residual == 0.25
+
+    def test_infeasible_default_residual_nan(self):
+        import math
+
+        exc = errors.InfeasibleProblemError("unknown")
+        assert math.isnan(exc.residual)
+
+    def test_routing_error_carries_endpoints(self):
+        exc = errors.RoutingError("no way", source="a", destination="b")
+        assert exc.source == "a"
+        assert exc.destination == "b"
+
+
+class TestCatchability:
+    def test_one_base_catches_everything(self, s2_bundle):
+        from repro import available_path_bandwidth
+        from repro.net.path import Path
+
+        with pytest.raises(errors.ReproError):
+            available_path_bandwidth(
+                s2_bundle.model,
+                s2_bundle.path,
+                [(Path([s2_bundle.network.link("L2")]), 1000.0)],
+            )

@@ -1,0 +1,159 @@
+"""The five Section 4 estimators (Eq. 10–15)."""
+
+import pytest
+
+from repro import Path
+from repro.errors import EstimationError
+from repro.estimation.estimators import (
+    ESTIMATORS,
+    BottleneckNodeBandwidth,
+    CliqueConstraint,
+    ConservativeCliqueConstraint,
+    ExpectedCliqueTransmissionTime,
+    MinCliqueBottleneck,
+    PathState,
+)
+from repro.phy.rates import IEEE80211A_PAPER_RATES
+
+
+def make_state(s2_bundle, idleness, rates_mbps=(54.0, 54.0, 54.0, 54.0),
+               cliques=((0, 1, 2, 3),)):
+    table = IEEE80211A_PAPER_RATES
+    return PathState(
+        path=s2_bundle.path,
+        rates=tuple(table.get(m) for m in rates_mbps),
+        idleness=tuple(idleness),
+        cliques=tuple(tuple(c) for c in cliques),
+    )
+
+
+class TestPathStateValidation:
+    def test_misaligned_rates_rejected(self, s2_bundle):
+        table = IEEE80211A_PAPER_RATES
+        with pytest.raises(EstimationError):
+            PathState(
+                path=s2_bundle.path,
+                rates=(table.get(54.0),),
+                idleness=(1.0, 1.0, 1.0, 1.0),
+                cliques=((0,),),
+            )
+
+    def test_idleness_out_of_range_rejected(self, s2_bundle):
+        with pytest.raises(EstimationError):
+            make_state(s2_bundle, (1.5, 1.0, 1.0, 1.0))
+
+    def test_clique_index_out_of_range_rejected(self, s2_bundle):
+        with pytest.raises(EstimationError):
+            make_state(s2_bundle, (1.0,) * 4, cliques=((0, 9),))
+
+
+class TestBottleneck:
+    def test_eq10(self, s2_bundle):
+        state = make_state(s2_bundle, (0.5, 1.0, 1.0, 0.8))
+        assert BottleneckNodeBandwidth().estimate(state) == pytest.approx(27.0)
+
+    def test_idle_network(self, s2_bundle):
+        state = make_state(s2_bundle, (1.0,) * 4)
+        assert BottleneckNodeBandwidth().estimate(state) == pytest.approx(54.0)
+
+
+class TestCliqueConstraint:
+    def test_eq11_uniform(self, s2_bundle):
+        state = make_state(s2_bundle, (1.0,) * 4)
+        assert CliqueConstraint().estimate(state) == pytest.approx(13.5)
+
+    def test_ignores_idleness(self, s2_bundle):
+        busy = make_state(s2_bundle, (0.1,) * 4)
+        idle = make_state(s2_bundle, (1.0,) * 4)
+        assert CliqueConstraint().estimate(busy) == CliqueConstraint().estimate(idle)
+
+    def test_min_over_cliques(self, s2_bundle):
+        state = make_state(
+            s2_bundle,
+            (1.0,) * 4,
+            rates_mbps=(36.0, 54.0, 54.0, 54.0),
+            cliques=((0, 1, 2), (1, 2, 3)),
+        )
+        # first clique: 1/(1/36+2/54) = 108/7; second: 54/3 = 18.
+        assert CliqueConstraint().estimate(state) == pytest.approx(108.0 / 7.0)
+
+
+class TestMinCliqueBottleneck:
+    def test_eq12_combines(self, s2_bundle):
+        state = make_state(s2_bundle, (0.2, 1.0, 1.0, 1.0))
+        value = MinCliqueBottleneck().estimate(state)
+        assert value == pytest.approx(min(13.5, 0.2 * 54.0))
+
+    def test_never_above_either_bound(self, s2_bundle):
+        state = make_state(s2_bundle, (0.6, 0.9, 0.8, 1.0))
+        value = MinCliqueBottleneck().estimate(state)
+        assert value <= CliqueConstraint().estimate(state) + 1e-9
+        assert value <= BottleneckNodeBandwidth().estimate(state) + 1e-9
+
+
+class TestConservative:
+    def test_eq13_uniform_idleness(self, s2_bundle):
+        """With equal idleness λ the bound is λ / (k/r) at the full
+        prefix: λ·13.5 for the all-54 clique."""
+        state = make_state(s2_bundle, (0.8,) * 4)
+        assert ConservativeCliqueConstraint().estimate(state) == pytest.approx(
+            0.8 * 13.5
+        )
+
+    def test_eq13_sorted_prefixes(self, s2_bundle):
+        """Hand-computed: λ = (0.2, 0.4, 1.0, 1.0), all rates 54.
+        Sorted prefixes: 0.2/(1/54)=10.8, 0.4/(2/54)=10.8,
+        1.0/(3/54)=18, 1.0/(4/54)=13.5 → min 10.8."""
+        state = make_state(s2_bundle, (0.2, 0.4, 1.0, 1.0))
+        assert ConservativeCliqueConstraint().estimate(state) == pytest.approx(10.8)
+
+    def test_below_min_clique_bottleneck(self, s2_bundle):
+        """Eq. 13 is strictly more conservative than Eq. 12."""
+        state = make_state(s2_bundle, (0.5, 0.7, 0.9, 0.6))
+        assert (
+            ConservativeCliqueConstraint().estimate(state)
+            <= MinCliqueBottleneck().estimate(state) + 1e-9
+        )
+
+
+class TestExpectedCtt:
+    def test_eq15_uniform(self, s2_bundle):
+        """Σ 1/(λ r) = 4/(0.5·54) → f = 0.5·54/4 = 6.75."""
+        state = make_state(s2_bundle, (0.5,) * 4)
+        assert ExpectedCliqueTransmissionTime().estimate(state) == pytest.approx(6.75)
+
+    def test_zero_idleness_gives_zero(self, s2_bundle):
+        state = make_state(s2_bundle, (0.0, 1.0, 1.0, 1.0))
+        assert ExpectedCliqueTransmissionTime().estimate(state) == 0.0
+
+    def test_no_cliques_raises(self, s2_bundle):
+        state = make_state(s2_bundle, (1.0,) * 4, cliques=())
+        with pytest.raises(EstimationError):
+            ExpectedCliqueTransmissionTime().estimate(state)
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(ESTIMATORS) == {
+            "clique",
+            "bottleneck",
+            "min-clique-bottleneck",
+            "conservative",
+            "expected-ctt",
+        }
+
+    def test_callable_protocol(self, s2_bundle):
+        state = make_state(s2_bundle, (1.0,) * 4)
+        for estimator in ESTIMATORS.values():
+            assert estimator(state) == estimator.estimate(state)
+
+    def test_ordering_on_idle_network(self, s2_bundle):
+        """On an idle network Eq. 13 and Eq. 15 coincide with Eq. 11, and
+        Eq. 12 never exceeds Eq. 10."""
+        state = make_state(s2_bundle, (1.0,) * 4)
+        clique = ESTIMATORS["clique"](state)
+        assert ESTIMATORS["conservative"](state) == pytest.approx(clique)
+        assert ESTIMATORS["expected-ctt"](state) == pytest.approx(clique)
+        assert ESTIMATORS["min-clique-bottleneck"](state) <= ESTIMATORS[
+            "bottleneck"
+        ](state)

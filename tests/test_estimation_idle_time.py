@@ -1,0 +1,89 @@
+"""Idleness ratios and PathState assembly."""
+
+import pytest
+
+from repro.core.bandwidth import min_airtime_schedule, tdma_schedule
+from repro.core.schedule import LinkSchedule
+from repro.errors import EstimationError
+from repro.estimation.idle_time import (
+    link_idleness,
+    node_idleness_from_schedule,
+    path_state_for,
+)
+
+
+class TestNodeIdleness:
+    def test_scenario_one_optimal_schedule(self, s1_bundle):
+        schedule = min_airtime_schedule(s1_bundle.model, s1_bundle.background)
+        idleness = node_idleness_from_schedule(
+            s1_bundle.network, schedule, s1_bundle.model
+        )
+        # Overlapped background: every node senses 0.3 busy.
+        for node_id in ("a", "b", "c", "d", "e", "f"):
+            assert idleness[node_id] == pytest.approx(0.7)
+
+    def test_scenario_one_serialised_schedule(self, s1_bundle):
+        schedule = tdma_schedule(s1_bundle.model, s1_bundle.background)
+        idleness = node_idleness_from_schedule(
+            s1_bundle.network, schedule, s1_bundle.model
+        )
+        # L3's endpoints hear both L1 and L2: busy 0.6.
+        assert idleness["e"] == pytest.approx(0.4)
+        assert idleness["f"] == pytest.approx(0.4)
+        # L1's endpoints hear only L1 (L2 does not conflict with L1).
+        assert idleness["a"] == pytest.approx(0.7)
+
+    def test_abstract_network_needs_model(self, s1_bundle):
+        schedule = LinkSchedule(())
+        with pytest.raises(EstimationError, match="interference model"):
+            node_idleness_from_schedule(s1_bundle.network, schedule)
+
+    def test_geometric_network_uses_carrier_sense(self, line_protocol):
+        background = []
+        from repro import Path
+
+        net = line_protocol.network
+        background = [(Path([net.link_between("n0", "n1")]), 18.0)]
+        schedule = min_airtime_schedule(line_protocol, background)
+        idleness = node_idleness_from_schedule(net, schedule)
+        # 18 Mbps on a 36 Mbps link = 0.5 airtime; n2 (140 m from the
+        # sender n0) hears it, n4 (280 m) does not.
+        assert idleness["n2"] == pytest.approx(0.5)
+        assert idleness["n4"] == pytest.approx(1.0)
+
+
+class TestLinkIdleness:
+    def test_min_of_endpoints(self, s1_bundle):
+        link = s1_bundle.network.link("L1")
+        assert link_idleness(link, {"a": 0.8, "b": 0.5}) == 0.5
+
+    def test_missing_node_raises(self, s1_bundle):
+        link = s1_bundle.network.link("L1")
+        with pytest.raises(EstimationError):
+            link_idleness(link, {"a": 0.8})
+
+
+class TestPathState:
+    def test_default_rates_are_max_standalone(self, s1_bundle):
+        idleness = {n.node_id: 1.0 for n in s1_bundle.network.nodes}
+        state = path_state_for(s1_bundle.model, s1_bundle.new_path, idleness)
+        assert state.rates[0].mbps == 54.0
+        assert state.idleness == (1.0,)
+
+    def test_rate_override(self, s1_bundle):
+        idleness = {n.node_id: 1.0 for n in s1_bundle.network.nodes}
+        state = path_state_for(
+            s1_bundle.model,
+            s1_bundle.new_path,
+            idleness,
+            rates_mbps={"L3": 54.0},
+        )
+        assert state.rates[0].mbps == 54.0
+
+    def test_cliques_cover_path(self, s2_bundle):
+        idleness = {n.node_id: 1.0 for n in s2_bundle.network.nodes}
+        state = path_state_for(s2_bundle.model, s2_bundle.path, idleness)
+        covered = set()
+        for clique in state.cliques:
+            covered.update(clique)
+        assert covered == {0, 1, 2, 3}

@@ -1,0 +1,79 @@
+"""Local interference cliques along a path."""
+
+import pytest
+
+from repro.estimation.local_cliques import local_interference_cliques
+
+
+def rates_for(model, path):
+    return {
+        link.link_id: model.max_standalone_rate(link) for link in path
+    }
+
+
+class TestScenarioTwo:
+    def test_rate_dependent_runs(self, s2_bundle):
+        """At max standalone rates (all 54), all four links are mutually
+        conflicting: one local clique of the whole path."""
+        rates = rates_for(s2_bundle.model, s2_bundle.path)
+        cliques = local_interference_cliques(
+            s2_bundle.model, s2_bundle.path, rates
+        )
+        assert cliques == [[0, 1, 2, 3]]
+
+    def test_lower_rate_splits_clique(self, s2_bundle):
+        """With L1 pinned to 36, L1 no longer conflicts with L4: two
+        overlapping runs of three."""
+        table = s2_bundle.network.radio.rate_table
+        rates = rates_for(s2_bundle.model, s2_bundle.path)
+        rates["L1"] = table.get(36.0)
+        cliques = local_interference_cliques(
+            s2_bundle.model, s2_bundle.path, rates
+        )
+        assert cliques == [[0, 1, 2], [1, 2, 3]]
+
+
+class TestLineNetwork:
+    def test_three_hop_interference(self, line_protocol, line_network):
+        """On the 70 m line at 36 Mbps, consecutive links conflict but the
+        runs stay short enough that every link is covered."""
+        from repro import Path
+
+        path = Path(
+            [
+                line_network.link_between(f"n{i}", f"n{i+1}")
+                for i in range(4)
+            ]
+        )
+        rates = rates_for(line_protocol, path)
+        cliques = local_interference_cliques(line_protocol, path, rates)
+        assert cliques  # non-empty
+        covered = set()
+        for clique in cliques:
+            covered.update(clique)
+            # consecutive indices only
+            assert clique == list(range(clique[0], clique[-1] + 1))
+        assert covered == {0, 1, 2, 3}
+
+    def test_single_link_path(self, line_protocol, line_network):
+        from repro import Path
+
+        path = Path([line_network.link_between("n0", "n1")])
+        rates = rates_for(line_protocol, path)
+        assert local_interference_cliques(line_protocol, path, rates) == [[0]]
+
+    def test_runs_are_maximal(self, line_protocol, line_network):
+        from repro import Path
+
+        path = Path(
+            [
+                line_network.link_between(f"n{i}", f"n{i+1}")
+                for i in range(4)
+            ]
+        )
+        rates = rates_for(line_protocol, path)
+        cliques = local_interference_cliques(line_protocol, path, rates)
+        for clique in cliques:
+            for other in cliques:
+                if clique is not other:
+                    assert not set(clique) < set(other)

@@ -1,0 +1,68 @@
+"""Per-prefix distributed estimation."""
+
+import pytest
+
+from repro.estimation.estimators import ESTIMATORS
+from repro.estimation.prefix import bottleneck_prefix, prefix_estimates
+
+
+@pytest.fixture
+def idleness(s2_bundle):
+    return {node.node_id: 1.0 for node in s2_bundle.network.nodes}
+
+
+class TestPrefixEstimates:
+    def test_one_entry_per_hop(self, s2_bundle, idleness):
+        estimates = prefix_estimates(
+            s2_bundle.model, s2_bundle.path, ESTIMATORS["conservative"],
+            idleness,
+        )
+        assert len(estimates) == s2_bundle.path.hop_count
+        assert [node for node, _v in estimates] == ["n1", "n2", "n3", "n4"]
+
+    def test_monotone_non_increasing(self, s2_bundle, idleness):
+        for name in ESTIMATORS:
+            estimates = prefix_estimates(
+                s2_bundle.model, s2_bundle.path, ESTIMATORS[name], idleness
+            )
+            values = [v for _n, v in estimates]
+            assert values == sorted(values, reverse=True), name
+
+    def test_full_path_estimate_matches_direct(self, s2_bundle, idleness):
+        from repro.estimation.idle_time import path_state_for
+
+        estimator = ESTIMATORS["conservative"]
+        estimates = prefix_estimates(
+            s2_bundle.model, s2_bundle.path, estimator, idleness
+        )
+        state = path_state_for(s2_bundle.model, s2_bundle.path, idleness)
+        assert estimates[-1][1] == pytest.approx(estimator.estimate(state))
+
+    def test_first_prefix_is_single_link(self, s2_bundle, idleness):
+        estimates = prefix_estimates(
+            s2_bundle.model, s2_bundle.path, ESTIMATORS["clique"], idleness
+        )
+        assert estimates[0][1] == pytest.approx(54.0)
+
+
+class TestBottleneck:
+    def test_uniform_case_bottleneck_at_saturation_point(
+        self, s2_bundle, idleness
+    ):
+        node, value = bottleneck_prefix(
+            s2_bundle.model, s2_bundle.path, ESTIMATORS["clique"], idleness
+        )
+        estimates = prefix_estimates(
+            s2_bundle.model, s2_bundle.path, ESTIMATORS["clique"], idleness
+        )
+        assert value == pytest.approx(min(v for _n, v in estimates))
+
+    def test_busy_middle_pins_bottleneck(self, s2_bundle):
+        idleness = {node.node_id: 1.0 for node in s2_bundle.network.nodes}
+        idleness["n2"] = 0.1  # endpoint of L2 and L3
+        node, value = bottleneck_prefix(
+            s2_bundle.model, s2_bundle.path, ESTIMATORS["bottleneck"],
+            idleness,
+        )
+        assert node == "n2"
+        assert value == pytest.approx(0.1 * 54.0)

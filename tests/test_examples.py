@@ -1,0 +1,42 @@
+"""Every bundled example runs end to end and prints its headline."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+#: (script, substring its output must contain).
+EXAMPLES = [
+    ("quickstart.py", "16.2 Mbps"),
+    ("idle_time_pitfall.py", "37.8"),
+    ("campus_streaming.py", "admit"),
+    ("video_surveillance.py", "exact decision"),
+    ("schedule_deployment.py", "max-min fairness"),
+    ("churn_admission.py", "overloads"),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES)
+def test_example_runs(script, expected):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert expected in completed.stdout, completed.stdout
+
+
+def test_all_examples_are_tested():
+    scripts = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert scripts == {script for script, _e in EXAMPLES}

@@ -1,0 +1,72 @@
+"""ASCII topology rendering."""
+
+import pytest
+
+from repro import Path
+from repro.errors import TopologyError
+from repro.experiments.ascii_map import _line_cells, render_topology
+
+
+class TestRender:
+    def test_all_nodes_visible(self, line_network):
+        output = render_topology(line_network, width=40, height=5)
+        body = [line for line in output.splitlines() if line.startswith("|")]
+        digits = sum(ch.isdigit() for line in body for ch in line)
+        assert digits == len(line_network.nodes)
+
+    def test_grid_dimensions(self, line_network):
+        output = render_topology(line_network, width=30, height=8)
+        lines = output.splitlines()
+        assert lines[0] == "+" + "-" * 30 + "+"
+        assert len([l for l in lines if l.startswith("|")]) == 8
+
+    def test_path_traced_and_legended(self, line_network):
+        path = Path(
+            [
+                line_network.link_between("n0", "n1"),
+                line_network.link_between("n1", "n2"),
+            ]
+        )
+        output = render_topology(line_network, [path], width=40, height=5)
+        assert "*" in output
+        assert "n0->n1->n2" in output
+
+    def test_multiple_paths_distinct_marks(self, line_network):
+        a = Path([line_network.link_between("n0", "n1")])
+        b = Path([line_network.link_between("n3", "n4")])
+        output = render_topology(line_network, [a, b], width=60, height=5)
+        assert "*" in output and "+" in output
+
+    def test_abstract_network_rejected(self, s1_bundle):
+        with pytest.raises(TopologyError):
+            render_topology(s1_bundle.network)
+
+    def test_tiny_grid_rejected(self, line_network):
+        with pytest.raises(TopologyError):
+            render_topology(line_network, width=1, height=5)
+
+
+class TestLineCells:
+    def test_horizontal(self):
+        assert list(_line_cells((0, 0), (0, 3))) == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+        ]
+
+    def test_vertical(self):
+        assert list(_line_cells((0, 0), (3, 0))) == [
+            (0, 0), (1, 0), (2, 0), (3, 0),
+        ]
+
+    def test_diagonal(self):
+        assert list(_line_cells((0, 0), (2, 2))) == [
+            (0, 0), (1, 1), (2, 2),
+        ]
+
+    def test_single_cell(self):
+        assert list(_line_cells((1, 1), (1, 1))) == [(1, 1)]
+
+    def test_endpoints_always_included(self):
+        for end in ((4, 1), (1, 4), (3, 3), (0, 5)):
+            cells = list(_line_cells((0, 0), end))
+            assert cells[0] == (0, 0)
+            assert cells[-1] == end

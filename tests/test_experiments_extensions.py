@@ -1,0 +1,61 @@
+"""Extension experiments X1/X2 (reduced configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_admission_accuracy,
+    run_joint_routing,
+)
+from repro.experiments.fig3_routing import Fig3Config
+
+REDUCED = Fig3Config(n_flows=4)
+
+
+class TestAdmissionAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_admission_accuracy(REDUCED)
+
+    def test_decision_counts_consistent(self, result):
+        for name, (correct, fa, fr) in result.decisions.items():
+            assert correct + fa + fr == result.trials, name
+
+    def test_all_estimators_scored(self, result):
+        assert set(result.decisions) == {
+            "clique",
+            "bottleneck",
+            "min-clique-bottleneck",
+            "conservative",
+            "expected-ctt",
+        }
+
+    def test_conservative_at_least_as_accurate_as_clique(self, result):
+        conservative = result.decisions["conservative"][0]
+        clique = result.decisions["clique"][0]
+        assert conservative >= clique
+
+    def test_table_renders(self, result):
+        assert "admission controllers" in result.table()
+
+
+class TestJointRouting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_joint_routing(REDUCED, k=2)
+
+    def test_joint_never_worse(self, result):
+        assert result.joint_never_worse()
+
+    def test_rows_have_all_columns(self, result):
+        for _flow, values in result.rows:
+            assert set(values) == {
+                "hop-count", "e2eTD", "average-e2eD", "joint",
+            }
+
+    def test_candidate_pool_nontrivial(self, result):
+        assert all(count >= 1 for count in result.candidate_counts)
+
+    def test_table_renders(self, result):
+        assert "joint" in result.table()

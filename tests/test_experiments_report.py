@@ -1,0 +1,41 @@
+"""The table formatter."""
+
+import math
+
+from repro.experiments.report import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_rounded(self):
+        assert format_cell(1.23456, precision=3) == "1.235"
+
+    def test_nan_is_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_cell(math.inf) == "inf"
+
+    def test_strings_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_ints_not_treated_as_floats(self):
+        assert format_cell(7) == "7"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            headers=["name", "value"],
+            rows=[["a", 1.0], ["longer", 22.5]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_title_prepended(self):
+        table = format_table(["h"], [["x"]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_separator_row(self):
+        table = format_table(["head"], [["x"]])
+        assert "----" in table.splitlines()[1]

@@ -1,0 +1,37 @@
+"""Seed-robustness study (reduced)."""
+
+import pytest
+
+from repro.experiments.seed_study import run_seed_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_seed_study(seeds=(8, 9), n_flows=4)
+
+
+class TestSeedStudy:
+    def test_all_seeds_evaluated(self, result):
+        assert result.seeds_evaluated == 2
+        assert result.skipped_seeds == []
+
+    def test_counts_within_bounds(self, result):
+        for _seed, counts in result.per_seed:
+            for name, count in counts.items():
+                assert 0 <= count <= 4, name
+
+    def test_no_ordering_violation(self, result):
+        assert result.ordering_violations() == 0
+
+    def test_mean_admitted_ordering(self, result):
+        means = result.mean_admitted()
+        assert (
+            means["hop-count"]
+            <= means["e2eTD"]
+            <= means["average-e2eD"]
+        )
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "ordering violations" in text
+        assert "mean" in text

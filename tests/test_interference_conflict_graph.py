@@ -1,0 +1,65 @@
+"""Link–rate conflict graph construction."""
+
+import pytest
+
+from repro.interference.base import LinkRate
+from repro.interference.conflict_graph import (
+    build_link_rate_conflict_graph,
+    link_rate_vertices,
+)
+
+
+class TestVertices:
+    def test_one_vertex_per_standalone_rate(self, s2_bundle):
+        vertices = link_rate_vertices(
+            s2_bundle.model, list(s2_bundle.path.links)
+        )
+        # 4 links x 2 rates (table restricted to 36/54).
+        assert len(vertices) == 8
+
+    def test_unusable_links_skipped(self, line_protocol):
+        links = list(line_protocol.network.links)
+        vertices = link_rate_vertices(line_protocol, links)
+        for vertex in vertices:
+            assert vertex.rate in line_protocol.standalone_rates(vertex.link)
+
+
+class TestGraph:
+    def test_same_link_edges_present_by_default(self, s2_bundle):
+        graph = build_link_rate_conflict_graph(
+            s2_bundle.model, list(s2_bundle.path.links)
+        )
+        net = s2_bundle.network
+        table = net.radio.rate_table
+        a = LinkRate(net.link("L1"), table.get(54.0))
+        b = LinkRate(net.link("L1"), table.get(36.0))
+        assert graph.has_edge(a, b)
+
+    def test_same_link_edges_optional(self, s2_bundle):
+        graph = build_link_rate_conflict_graph(
+            s2_bundle.model, list(s2_bundle.path.links), same_link_edges=False
+        )
+        net = s2_bundle.network
+        table = net.radio.rate_table
+        a = LinkRate(net.link("L1"), table.get(54.0))
+        b = LinkRate(net.link("L1"), table.get(36.0))
+        assert not graph.has_edge(a, b)
+
+    def test_scenario_two_rate_coupled_edge(self, s2_bundle):
+        graph = build_link_rate_conflict_graph(
+            s2_bundle.model, list(s2_bundle.path.links)
+        )
+        net = s2_bundle.network
+        table = net.radio.rate_table
+        l1_54 = LinkRate(net.link("L1"), table.get(54.0))
+        l1_36 = LinkRate(net.link("L1"), table.get(36.0))
+        l4_54 = LinkRate(net.link("L4"), table.get(54.0))
+        assert graph.has_edge(l1_54, l4_54)
+        assert not graph.has_edge(l1_36, l4_54)
+
+    def test_edges_symmetric_model_conflicts(self, line_protocol):
+        links = list(line_protocol.network.links)[:6]
+        graph = build_link_rate_conflict_graph(line_protocol, links)
+        for a, b in graph.edges:
+            if a.link != b.link:
+                assert line_protocol.conflicts(a, b)

@@ -1,0 +1,134 @@
+"""Declared interference model and the paper's textbook scenarios."""
+
+import pytest
+
+from repro import ConflictRule, DeclaredInterferenceModel, Network, RadioConfig
+from repro.errors import InterferenceError, TopologyError
+from repro.interference.base import LinkRate
+
+
+@pytest.fixture
+def abstract_net(radio):
+    network = Network(radio)
+    for node in ("a", "b", "c", "d", "e", "f"):
+        network.add_node(node)
+    network.add_link("a", "b", link_id="L1")
+    network.add_link("c", "d", link_id="L2")
+    network.add_link("e", "f", link_id="L3")
+    return network
+
+
+def couple(network, link_id, mbps):
+    return LinkRate(
+        network.link(link_id), network.radio.rate_table.get(mbps)
+    )
+
+
+class TestConflictRule:
+    def test_self_rule_rejected(self):
+        with pytest.raises(InterferenceError):
+            ConflictRule("L1", "L1")
+
+    def test_unknown_link_rejected(self, abstract_net):
+        with pytest.raises(TopologyError):
+            DeclaredInterferenceModel(
+                abstract_net, rules=[ConflictRule("L1", "missing")]
+            )
+
+    def test_symmetric_application(self, abstract_net):
+        model = DeclaredInterferenceModel(
+            abstract_net, rules=[ConflictRule("L1", "L2")]
+        )
+        a = couple(abstract_net, "L1", 54.0)
+        b = couple(abstract_net, "L2", 54.0)
+        assert model.conflicts(a, b)
+        assert model.conflicts(b, a)
+
+    def test_rate_predicate_receives_declared_order(self, abstract_net):
+        # Conflict only when L1 is at 54, regardless of L2's rate —
+        # also when queried with arguments swapped.
+        rule = ConflictRule("L1", "L2", predicate=lambda r1, _r2: r1 == 54.0)
+        model = DeclaredInterferenceModel(abstract_net, rules=[rule])
+        assert model.conflicts(
+            couple(abstract_net, "L2", 6.0), couple(abstract_net, "L1", 54.0)
+        )
+        assert not model.conflicts(
+            couple(abstract_net, "L2", 54.0), couple(abstract_net, "L1", 36.0)
+        )
+
+
+class TestStandaloneRates:
+    def test_default_full_table(self, abstract_net):
+        model = DeclaredInterferenceModel(abstract_net)
+        rates = model.standalone_rates(abstract_net.link("L1"))
+        assert [r.mbps for r in rates] == [54.0, 36.0, 18.0, 6.0]
+
+    def test_explicit_restriction(self, abstract_net):
+        model = DeclaredInterferenceModel(
+            abstract_net, standalone_mbps={"L1": [36.0, 54.0]}
+        )
+        rates = model.standalone_rates(abstract_net.link("L1"))
+        assert [r.mbps for r in rates] == [54.0, 36.0]
+
+    def test_unknown_link_in_standalone_map(self, abstract_net):
+        with pytest.raises(TopologyError, match="unknown links"):
+            DeclaredInterferenceModel(
+                abstract_net, standalone_mbps={"nope": [54.0]}
+            )
+
+
+class TestMaxRateVector:
+    def test_rate_independent_rules_ok(self, abstract_net):
+        model = DeclaredInterferenceModel(
+            abstract_net, rules=[ConflictRule("L1", "L3")]
+        )
+        links = frozenset(
+            {abstract_net.link("L1"), abstract_net.link("L2")}
+        )
+        vector = model.max_rate_vector(links)
+        assert {rate.mbps for rate in vector.values()} == {54.0}
+
+    def test_rate_dependent_rule_refuses(self, abstract_net):
+        rule = ConflictRule("L1", "L2", predicate=lambda r1, r2: r1 == 54.0)
+        model = DeclaredInterferenceModel(abstract_net, rules=[rule])
+        links = frozenset(
+            {abstract_net.link("L1"), abstract_net.link("L2")}
+        )
+        with pytest.raises(InterferenceError, match="ill-defined"):
+            model.max_rate_vector(links)
+
+    def test_conflicting_pair_returns_none(self, abstract_net):
+        model = DeclaredInterferenceModel(
+            abstract_net, rules=[ConflictRule("L1", "L2")]
+        )
+        links = frozenset(
+            {abstract_net.link("L1"), abstract_net.link("L2")}
+        )
+        assert model.max_rate_vector(links) is None
+
+
+class TestScenarioStructures:
+    def test_scenario_one_conflicts(self, s1_bundle):
+        model, net = s1_bundle.model, s1_bundle.network
+        l1 = couple(net, "L1", 54.0)
+        l2 = couple(net, "L2", 54.0)
+        l3 = couple(net, "L3", 54.0)
+        assert not model.conflicts(l1, l2)
+        assert model.conflicts(l1, l3)
+        assert model.conflicts(l2, l3)
+
+    def test_scenario_two_rate_coupled_pair(self, s2_bundle):
+        model, net = s2_bundle.model, s2_bundle.network
+        l1_54 = couple(net, "L1", 54.0)
+        l1_36 = couple(net, "L1", 36.0)
+        l4_54 = couple(net, "L4", 54.0)
+        assert model.conflicts(l1_54, l4_54)
+        assert not model.conflicts(l1_36, l4_54)
+
+    def test_scenario_two_triangles(self, s2_bundle):
+        model, net = s2_bundle.model, s2_bundle.network
+        for a, b in (("L1", "L2"), ("L1", "L3"), ("L2", "L3"),
+                     ("L2", "L4"), ("L3", "L4")):
+            assert model.conflicts(
+                couple(net, a, 36.0), couple(net, b, 36.0)
+            ), f"{a} vs {b}"

@@ -1,0 +1,158 @@
+"""Protocol (pairwise SINR) interference model."""
+
+import pytest
+
+from repro import Network, ProtocolInterferenceModel, RadioConfig
+from repro.interference.base import LinkRate
+
+
+@pytest.fixture
+def far_pair_model(radio):
+    """Two 50 m links, 5 km apart — no interaction possible."""
+    network = Network(radio)
+    network.add_node("a", x=0.0, y=0.0)
+    network.add_node("b", x=50.0, y=0.0)
+    network.add_node("c", x=5000.0, y=0.0)
+    network.add_node("d", x=5050.0, y=0.0)
+    network.add_link("a", "b")
+    network.add_link("c", "d")
+    return ProtocolInterferenceModel(network)
+
+
+@pytest.fixture
+def near_pair_model(radio):
+    """Two 50 m links whose senders sit 120 m from the other receiver."""
+    network = Network(radio)
+    network.add_node("a", x=0.0, y=0.0)
+    network.add_node("b", x=50.0, y=0.0)
+    network.add_node("c", x=170.0, y=0.0)
+    network.add_node("d", x=120.0, y=0.0)
+    network.add_link("a", "b")
+    network.add_link("c", "d")
+    return ProtocolInterferenceModel(network)
+
+
+def couple(model, sender, receiver, mbps):
+    link = model.network.link_between(sender, receiver)
+    return LinkRate(link, model.network.radio.rate_table.get(mbps))
+
+
+class TestStandaloneRates:
+    def test_all_rates_for_short_link(self, far_pair_model):
+        link = far_pair_model.network.link_between("a", "b")
+        assert [r.mbps for r in far_pair_model.standalone_rates(link)] == [
+            54.0,
+            36.0,
+            18.0,
+            6.0,
+        ]
+
+    def test_fastest_first_cached(self, far_pair_model):
+        link = far_pair_model.network.link_between("a", "b")
+        first = far_pair_model.standalone_rates(link)
+        assert far_pair_model.standalone_rates(link) is first
+
+    def test_long_link_fewer_rates(self, radio):
+        network = Network(radio)
+        network.add_node("a", x=0.0, y=0.0)
+        network.add_node("b", x=130.0, y=0.0)
+        network.add_link("a", "b")
+        model = ProtocolInterferenceModel(network)
+        rates = model.standalone_rates(network.link_between("a", "b"))
+        assert [r.mbps for r in rates] == [6.0]
+
+
+class TestConflicts:
+    def test_far_links_never_conflict(self, far_pair_model):
+        a = couple(far_pair_model, "a", "b", 54.0)
+        b = couple(far_pair_model, "c", "d", 54.0)
+        assert not far_pair_model.conflicts(a, b)
+
+    def test_same_link_always_conflicts(self, far_pair_model):
+        a = couple(far_pair_model, "a", "b", 54.0)
+        b = couple(far_pair_model, "a", "b", 36.0)
+        assert far_pair_model.conflicts(a, b)
+
+    def test_shared_node_always_conflicts(self, line_protocol):
+        a = couple(line_protocol, "n0", "n1", 6.0)
+        b = couple(line_protocol, "n1", "n2", 6.0)
+        assert line_protocol.conflicts(a, b)
+
+    def test_rate_coupling(self, near_pair_model):
+        """The paper's key structure: conflict depends on the victim's rate.
+
+        Interferer at 120 m from a 50 m link's receiver: SINR = (120/50)^4
+        = 33.2 — above the 18 Mbps threshold (11.99) but below the 36 Mbps
+        one (75.86).
+        """
+        fast = near_pair_model.conflicts(
+            couple(near_pair_model, "a", "b", 36.0),
+            couple(near_pair_model, "c", "d", 18.0),
+        )
+        slow = near_pair_model.conflicts(
+            couple(near_pair_model, "a", "b", 18.0),
+            couple(near_pair_model, "c", "d", 18.0),
+        )
+        assert fast and not slow
+
+    def test_symmetry(self, near_pair_model):
+        a = couple(near_pair_model, "a", "b", 36.0)
+        b = couple(near_pair_model, "c", "d", 6.0)
+        assert near_pair_model.conflicts(a, b) == near_pair_model.conflicts(b, a)
+
+
+class TestIndependence:
+    def test_far_pair_independent(self, far_pair_model):
+        couples = [
+            couple(far_pair_model, "a", "b", 54.0),
+            couple(far_pair_model, "c", "d", 54.0),
+        ]
+        assert far_pair_model.is_independent(couples)
+
+    def test_near_pair_independence_follows_rates(self, near_pair_model):
+        assert near_pair_model.is_independent(
+            [
+                couple(near_pair_model, "a", "b", 18.0),
+                couple(near_pair_model, "c", "d", 18.0),
+            ]
+        )
+        assert not near_pair_model.is_independent(
+            [
+                couple(near_pair_model, "a", "b", 36.0),
+                couple(near_pair_model, "c", "d", 18.0),
+            ]
+        )
+
+
+class TestMaxRateVector:
+    def test_far_pair_keeps_max_rates(self, far_pair_model):
+        net = far_pair_model.network
+        links = frozenset(
+            {net.link_between("a", "b"), net.link_between("c", "d")}
+        )
+        vector = far_pair_model.max_rate_vector(links)
+        assert {rate.mbps for rate in vector.values()} == {54.0}
+
+    def test_near_pair_degrades(self, near_pair_model):
+        net = near_pair_model.network
+        links = frozenset(
+            {net.link_between("a", "b"), net.link_between("c", "d")}
+        )
+        vector = near_pair_model.max_rate_vector(links)
+        assert vector[net.link_between("a", "b")].mbps == 18.0
+
+    def test_shared_node_set_is_invalid(self, line_protocol):
+        net = line_protocol.network
+        links = frozenset(
+            {net.link_between("n0", "n1"), net.link_between("n1", "n2")}
+        )
+        assert line_protocol.max_rate_vector(links) is None
+
+
+def test_requires_geometry(radio):
+    network = Network(radio)
+    network.add_node("a")
+    network.add_node("b")
+    network.add_link("a", "b")
+    with pytest.raises(ValueError, match="coordinates"):
+        ProtocolInterferenceModel(network)

@@ -1,0 +1,57 @@
+"""MAC report objects."""
+
+import pytest
+
+from repro.mac.stats import LinkStats, MacReport
+
+
+class TestLinkStats:
+    def test_delivered_share(self):
+        stats = LinkStats(link_id="L", rate_mbps=54.0)
+        stats.good_slots = 500
+        stats._measured_slots = 1000
+        assert stats.delivered_share == pytest.approx(0.5)
+        assert stats.delivered_mbps == pytest.approx(27.0)
+
+    def test_zero_measured_guard(self):
+        stats = LinkStats(link_id="L", rate_mbps=54.0)
+        assert stats.delivered_share == 0.0
+
+    def test_collision_ratio(self):
+        stats = LinkStats(link_id="L", rate_mbps=6.0)
+        stats.attempts = 10
+        stats.collisions = 3
+        assert stats.collision_ratio == pytest.approx(0.3)
+
+    def test_collision_ratio_no_attempts(self):
+        stats = LinkStats(link_id="L", rate_mbps=6.0)
+        assert stats.collision_ratio == 0.0
+
+
+class TestMacReport:
+    def test_delivered_lookup(self):
+        stats = LinkStats(link_id="L", rate_mbps=54.0)
+        stats.good_slots = 100
+        stats._measured_slots = 200
+        report = MacReport(
+            measured_slots=200,
+            node_idleness={"a": 0.5},
+            per_link={"L": stats},
+        )
+        assert report.delivered_mbps("L") == pytest.approx(27.0)
+
+    def test_summary_lines_mentions_links(self):
+        stats = LinkStats(link_id="L9", rate_mbps=54.0)
+        stats._measured_slots = 10
+        report = MacReport(
+            measured_slots=10, node_idleness={}, per_link={"L9": stats}
+        )
+        assert "L9" in report.summary_lines()
+
+
+class TestRunnerSpec:
+    def test_spec_run_delegates(self):
+        from repro.experiments.runner import ExperimentSpec
+
+        spec = ExperimentSpec("t", "test", lambda: 42)
+        assert spec.run() == 42

@@ -1,0 +1,116 @@
+"""Frame-driven flow simulation: the model's claims, packet by packet."""
+
+import pytest
+
+from repro import Path, available_path_bandwidth
+from repro.core.frame import realize_frame
+from repro.errors import SimulationError
+from repro.mac.tdma import simulate_frame_flows
+
+
+@pytest.fixture
+def s2_frame(s2_bundle):
+    schedule = available_path_bandwidth(s2_bundle.model, s2_bundle.path).schedule
+    return realize_frame(schedule, 10)
+
+
+class TestFeasibleFlow:
+    def test_delivers_the_optimum(self, s2_bundle, s2_frame):
+        """A flow at exactly the Eq. 6 optimum (16.2) is fully delivered."""
+        report = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 16.2)], frames_to_run=300,
+            warmup_frames=50,
+        )
+        stats = report.per_flow[0]
+        assert stats.delivery_ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_bounded_backlog(self, s2_bundle, s2_frame):
+        short = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 16.2)], frames_to_run=100,
+            warmup_frames=10,
+        )
+        long = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 16.2)], frames_to_run=400,
+            warmup_frames=10,
+        )
+        # Stable queue: running 4x longer must not grow the backlog.
+        assert long.per_flow[0].final_backlog <= (
+            short.per_flow[0].final_backlog + 1e-6
+        )
+
+    def test_light_flow_trivially_served(self, s2_bundle, s2_frame):
+        report = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 2.0)], frames_to_run=100,
+            warmup_frames=10,
+        )
+        assert report.all_delivered(tolerance=0.02)
+
+
+class TestInfeasibleFlow:
+    def test_delivery_caps_at_capacity(self, s2_bundle, s2_frame):
+        report = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 20.0)], frames_to_run=300,
+            warmup_frames=50,
+        )
+        stats = report.per_flow[0]
+        assert stats.delivered_mbps == pytest.approx(16.2, abs=0.2)
+        assert not report.all_delivered()
+
+    def test_backlog_grows_without_bound(self, s2_bundle, s2_frame):
+        short = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 20.0)], frames_to_run=100,
+            warmup_frames=10,
+        )
+        long = simulate_frame_flows(
+            s2_frame, [(s2_bundle.path, 20.0)], frames_to_run=300,
+            warmup_frames=10,
+        )
+        assert (
+            long.per_flow[0].final_backlog
+            > short.per_flow[0].final_backlog * 2
+        )
+
+
+class TestSharing:
+    def test_two_flows_share_capacity(self, s1_bundle):
+        """Scenario I: background L1/L2 plus the new L3 flow at the exact
+        optimum all fit together."""
+        from repro.core.bandwidth import available_path_bandwidth
+
+        result = available_path_bandwidth(
+            s1_bundle.model, s1_bundle.new_path, s1_bundle.background
+        )
+        flows = list(s1_bundle.background) + [
+            (s1_bundle.new_path, result.available_bandwidth)
+        ]
+        frame = realize_frame(result.schedule, 20)
+        report = simulate_frame_flows(
+            frame, flows, frames_to_run=200, warmup_frames=20
+        )
+        assert report.all_delivered(tolerance=0.03)
+
+    def test_sub_slot_fair_share(self, s2_bundle, s2_frame):
+        """Two flows on the same path split the capacity evenly."""
+        report = simulate_frame_flows(
+            s2_frame,
+            [(s2_bundle.path, 8.1), (s2_bundle.path, 8.1)],
+            frames_to_run=300,
+            warmup_frames=50,
+        )
+        assert report.per_flow[0].delivered_mbps == pytest.approx(
+            report.per_flow[1].delivered_mbps, rel=0.02
+        )
+        assert report.all_delivered(tolerance=0.02)
+
+
+class TestValidation:
+    def test_negative_demand_rejected(self, s2_bundle, s2_frame):
+        with pytest.raises(SimulationError):
+            simulate_frame_flows(s2_frame, [(s2_bundle.path, -1.0)])
+
+    def test_bad_horizon_rejected(self, s2_bundle, s2_frame):
+        with pytest.raises(SimulationError):
+            simulate_frame_flows(
+                s2_frame, [(s2_bundle.path, 1.0)], frames_to_run=5,
+                warmup_frames=5,
+            )

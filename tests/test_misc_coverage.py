@@ -1,0 +1,94 @@
+"""Final coverage batch: doctests, CLI subprocess, small accessors."""
+
+import doctest
+import subprocess
+import sys
+
+import pytest
+
+
+class TestDoctests:
+    def test_units_doctests(self):
+        import repro.units
+
+        results = doctest.testmod(repro.units)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+
+class TestCliSubprocess:
+    def test_module_invocation_lists(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "e2" in completed.stdout
+
+    def test_console_help(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "--topology-seed" in completed.stdout
+
+
+class TestLpSolutionAccess:
+    def test_getitem(self):
+        from repro.core.lp import LinearProgram
+
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, upper_bound=2.0)
+        solution = lp.solve()
+        assert solution["x"] == pytest.approx(2.0)
+
+    def test_counts(self):
+        from repro.core.lp import LinearProgram
+
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.add_constraint_le({x: 1.0}, 1.0)
+        assert lp.num_variables == 1
+        assert lp.num_constraints == 1
+        assert lp.has_variable("x")
+        assert not lp.has_variable("y")
+
+
+class TestJointWithLoadedContext:
+    def test_context_shapes_candidates_not_scores(self, line_network,
+                                                  line_protocol):
+        """Scores come from the exact LP regardless of the context; a
+        loaded context may change the candidate pool but never produces a
+        best value above the unloaded run's (same background)."""
+        from repro.routing.joint import joint_widest_route
+        from repro.routing.metrics import RoutingContext
+
+        free = joint_widest_route(
+            line_network, line_protocol, "n0", "n4", k=2,
+            use_column_generation=False,
+        )
+        idleness = {node.node_id: 0.5 for node in line_network.nodes}
+        context = RoutingContext(
+            model=line_protocol, node_idleness=idleness
+        )
+        shaped = joint_widest_route(
+            line_network, line_protocol, "n0", "n4", k=2,
+            context=context, use_column_generation=False,
+        )
+        assert shaped.best_bandwidth <= free.best_bandwidth + 1e-6
+
+
+class TestFig3Accessors:
+    def test_first_failure_none_when_all_admitted(self):
+        from repro.experiments.fig3_routing import Fig3Config, run_fig3
+
+        result = run_fig3(Fig3Config(n_flows=1, metrics=("e2eTD",)))
+        if result.reports["e2eTD"].admitted_count == 1:
+            assert result.first_failure("e2eTD") is None
+        text = result.table()
+        assert "fails at" in text

@@ -1,0 +1,98 @@
+"""Topology generators."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.generators import chain_topology, grid_topology, ring_topology
+
+
+class TestChain:
+    def test_node_count_and_positions(self):
+        network = chain_topology(5, 70.0)
+        assert len(network.nodes) == 5
+        assert network.node("n3").x == pytest.approx(210.0)
+
+    def test_links_respect_range(self):
+        network = chain_topology(5, 70.0)
+        assert network.has_link("n0", "n2")      # 140 m
+        assert not network.has_link("n0", "n3")  # 210 m
+
+    def test_hop_rate_by_spacing(self):
+        from repro.interference.protocol import ProtocolInterferenceModel
+
+        for spacing, expected in ((50.0, 54.0), (70.0, 36.0), (110.0, 18.0)):
+            network = chain_topology(3, spacing)
+            model = ProtocolInterferenceModel(network)
+            link = network.link_between("n0", "n1")
+            assert model.max_standalone_rate(link).mbps == expected
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_nodes": 1, "spacing_m": 50.0},
+        {"n_nodes": 3, "spacing_m": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            chain_topology(**kwargs)
+
+
+class TestGrid:
+    def test_shape(self):
+        network = grid_topology(3, 4, 70.0)
+        assert len(network.nodes) == 12
+        node = network.node("r2c3")
+        assert node.x == pytest.approx(210.0)
+        assert node.y == pytest.approx(140.0)
+
+    def test_diagonals_within_range(self):
+        network = grid_topology(2, 2, 70.0)
+        # diagonal of 99 m <= 158: linked.
+        assert network.has_link("r0c0", "r1c1")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rows": 0, "columns": 3, "spacing_m": 50.0},
+        {"rows": 1, "columns": 1, "spacing_m": 50.0},
+        {"rows": 2, "columns": 2, "spacing_m": -1.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            grid_topology(**kwargs)
+
+
+class TestRing:
+    def test_on_circle(self):
+        network = ring_topology(8, 200.0)
+        for node in network.nodes:
+            assert math.hypot(node.x, node.y) == pytest.approx(200.0)
+
+    def test_neighbours_linked(self):
+        # chord between neighbours: 2R sin(pi/8) ~ 153 m <= 158.
+        network = ring_topology(8, 200.0)
+        assert network.has_link("n0", "n1")
+        assert not network.has_link("n0", "n4")  # diameter 400 m
+
+    def test_spatial_reuse_possible(self):
+        """Opposite arcs of a big ring can transmit together.
+
+        12 nodes on a 280 m ring: neighbour chords of ~145 m (6 Mbps
+        links), opposite arcs half a kilometre apart — far beyond the
+        6 Mbps clearance of ~1.41 x 145 m.
+        """
+        from repro.core.independent_sets import (
+            enumerate_maximal_independent_sets,
+        )
+        from repro.interference.protocol import ProtocolInterferenceModel
+
+        network = ring_topology(12, 280.0)
+        model = ProtocolInterferenceModel(network)
+        near = network.link_between("n0", "n1")
+        far = network.link_between("n6", "n7")
+        sets = enumerate_maximal_independent_sets(model, [near, far])
+        assert any(iset.size == 2 for iset in sets)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ring_topology(2, 100.0)
+        with pytest.raises(ConfigurationError):
+            ring_topology(6, 0.0)

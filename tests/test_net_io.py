@@ -1,0 +1,85 @@
+"""Topology serialisation round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.phy.propagation import TwoRayGroundPathLoss
+from repro.phy.radio import RadioConfig
+from repro import Network
+
+
+class TestRoundTrip:
+    def test_nodes_and_links_preserved(self, line_network):
+        rebuilt = network_from_dict(network_to_dict(line_network))
+        assert {n.node_id for n in rebuilt.nodes} == {
+            n.node_id for n in line_network.nodes
+        }
+        assert {l.link_id for l in rebuilt.links} == {
+            l.link_id for l in line_network.links
+        }
+        for node in line_network.nodes:
+            twin = rebuilt.node(node.node_id)
+            assert twin.x == node.x and twin.y == node.y
+
+    def test_radio_preserved(self, line_network):
+        rebuilt = network_from_dict(network_to_dict(line_network))
+        original = line_network.radio
+        assert rebuilt.radio.tx_power_dbm == original.tx_power_dbm
+        assert rebuilt.radio.noise_mw == pytest.approx(original.noise_mw)
+        assert (
+            rebuilt.radio.carrier_sense_range_m
+            == original.carrier_sense_range_m
+        )
+        assert rebuilt.radio.rate_table == original.rate_table
+
+    def test_model_results_identical(self, line_network, line_protocol):
+        from repro import Path, ProtocolInterferenceModel, available_path_bandwidth
+
+        rebuilt = network_from_dict(network_to_dict(line_network))
+        model = ProtocolInterferenceModel(rebuilt)
+        path_original = Path(
+            [
+                line_network.link_between("n0", "n1"),
+                line_network.link_between("n1", "n2"),
+            ]
+        )
+        path_rebuilt = Path(
+            [
+                rebuilt.link_between("n0", "n1"),
+                rebuilt.link_between("n1", "n2"),
+            ]
+        )
+        a = available_path_bandwidth(line_protocol, path_original)
+        b = available_path_bandwidth(model, path_rebuilt)
+        assert a.available_bandwidth == pytest.approx(b.available_bandwidth)
+
+    def test_file_round_trip(self, line_network, tmp_path):
+        target = str(tmp_path / "topology.json")
+        save_network(line_network, target)
+        rebuilt = load_network(target)
+        assert len(rebuilt.links) == len(line_network.links)
+        with open(target, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["format"] == 1
+
+
+class TestErrors:
+    def test_unsupported_path_loss_rejected(self):
+        radio = RadioConfig(path_loss=TwoRayGroundPathLoss())
+        network = Network(radio)
+        with pytest.raises(TopologyError, match="log-distance"):
+            network_to_dict(network)
+
+    def test_unknown_format_rejected(self, line_network):
+        data = network_to_dict(line_network)
+        data["format"] = 99
+        with pytest.raises(TopologyError, match="format"):
+            network_from_dict(data)

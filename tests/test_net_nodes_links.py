@@ -1,0 +1,80 @@
+"""Nodes and links."""
+
+import pytest
+
+from repro.errors import LinkError, TopologyError
+from repro.net.link import Link
+from repro.net.node import Node
+
+
+class TestNode:
+    def test_distance(self):
+        a = Node("a", x=0.0, y=0.0)
+        b = Node("b", x=3.0, y=4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_abstract_node_has_no_position(self):
+        node = Node("a")
+        assert not node.has_position
+
+    def test_half_specified_position_rejected(self):
+        with pytest.raises(TopologyError):
+            Node("a", x=1.0)
+
+    def test_distance_between_abstract_nodes_raises(self):
+        with pytest.raises(TopologyError):
+            Node("a").distance_to(Node("b"))
+
+    def test_frozen(self):
+        node = Node("a", x=0.0, y=0.0)
+        with pytest.raises(AttributeError):
+            node.x = 5.0
+
+
+class TestLink:
+    def _link(self, link_id="L1"):
+        return Link(
+            link_id=link_id,
+            sender=Node("a", x=0.0, y=0.0),
+            receiver=Node("b", x=30.0, y=40.0),
+        )
+
+    def test_length(self):
+        assert self._link().length_m == pytest.approx(50.0)
+
+    def test_self_loop_rejected(self):
+        node = Node("a")
+        with pytest.raises(LinkError):
+            Link(link_id="L", sender=node, receiver=node)
+
+    def test_endpoints(self):
+        assert self._link().endpoints == frozenset({"a", "b"})
+
+    def test_shares_node(self):
+        ab = self._link()
+        bc = Link(
+            link_id="L2",
+            sender=Node("b", x=30.0, y=40.0),
+            receiver=Node("c", x=60.0, y=80.0),
+        )
+        cd = Link(
+            link_id="L3",
+            sender=Node("c", x=60.0, y=80.0),
+            receiver=Node("d", x=90.0, y=80.0),
+        )
+        assert ab.shares_node_with(bc)
+        assert not ab.shares_node_with(cd)
+
+    def test_identity_by_link_id(self):
+        a = self._link()
+        b = self._link()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != self._link("other")
+
+    def test_reverse_links_share_node(self):
+        forward = self._link()
+        backward = Link(
+            link_id="rev", sender=forward.receiver, receiver=forward.sender
+        )
+        assert forward.shares_node_with(backward)

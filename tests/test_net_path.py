@@ -1,0 +1,81 @@
+"""Path invariants."""
+
+import pytest
+
+from repro import Path
+from repro.errors import PathError
+
+
+def chain_path(network, *node_ids):
+    links = [
+        network.link_between(u, v) for u, v in zip(node_ids, node_ids[1:])
+    ]
+    return Path(links)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(PathError):
+            Path([])
+
+    def test_single_link(self, line_network):
+        path = chain_path(line_network, "n0", "n1")
+        assert path.hop_count == 1
+        assert path.source.node_id == "n0"
+        assert path.destination.node_id == "n1"
+
+    def test_multi_hop(self, line_network):
+        path = chain_path(line_network, "n0", "n1", "n2", "n3")
+        assert path.hop_count == 3
+        assert [n.node_id for n in path.nodes] == ["n0", "n1", "n2", "n3"]
+
+    def test_disconnected_rejected(self, line_network):
+        links = [
+            line_network.link_between("n0", "n1"),
+            line_network.link_between("n2", "n3"),
+        ]
+        with pytest.raises(PathError, match="chain"):
+            Path(links)
+
+    def test_loop_rejected(self, line_network):
+        links = [
+            line_network.link_between("n0", "n1"),
+            line_network.link_between("n1", "n0"),
+        ]
+        with pytest.raises(PathError, match="twice"):
+            Path(links)
+
+
+class TestAccessors:
+    def test_iteration_and_indexing(self, line_network):
+        path = chain_path(line_network, "n0", "n1", "n2")
+        assert len(path) == 2
+        assert path[0].link_id == "n0->n1"
+        assert [l.link_id for l in path] == ["n0->n1", "n1->n2"]
+
+    def test_contains(self, line_network):
+        path = chain_path(line_network, "n0", "n1", "n2")
+        assert line_network.link_between("n0", "n1") in path
+        assert line_network.link_between("n2", "n3") not in path
+
+    def test_equality_and_hash(self, line_network):
+        a = chain_path(line_network, "n0", "n1", "n2")
+        b = chain_path(line_network, "n0", "n1", "n2")
+        c = chain_path(line_network, "n0", "n2")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_subpath(self, line_network):
+        path = chain_path(line_network, "n0", "n1", "n2", "n3")
+        middle = path.subpath(1, 3)
+        assert [l.link_id for l in middle] == ["n1->n2", "n2->n3"]
+
+    def test_prefixes(self, line_network):
+        path = chain_path(line_network, "n0", "n1", "n2", "n3")
+        prefixes = list(path.prefixes())
+        assert [p.hop_count for p in prefixes] == [1, 2, 3]
+        assert prefixes[-1] == path
+
+    def test_str(self, line_network):
+        assert str(chain_path(line_network, "n0", "n1", "n2")) == "n0->n1->n2"

@@ -1,0 +1,82 @@
+"""Random topology generation (Section 5.2 parameters)."""
+
+import networkx as nx
+import pytest
+
+from repro import RandomTopologyConfig, random_topology
+from repro.errors import ConfigurationError, TopologyError
+
+
+class TestConfigValidation:
+    def test_defaults_are_papers(self):
+        config = RandomTopologyConfig()
+        assert config.n_nodes == 30
+        assert config.width_m == 400.0
+        assert config.height_m == 600.0
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ConfigurationError):
+            RandomTopologyConfig(n_nodes=1)
+
+    def test_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            RandomTopologyConfig(width_m=0.0)
+
+    def test_bad_attempts(self):
+        with pytest.raises(ConfigurationError):
+            RandomTopologyConfig(max_attempts=0)
+
+
+class TestGeneration:
+    def test_node_count_and_bounds(self, radio):
+        network = random_topology(radio, seed=8)
+        assert len(network.nodes) == 30
+        for node in network.nodes:
+            assert 0.0 <= node.x <= 400.0
+            assert 0.0 <= node.y <= 600.0
+
+    def test_deterministic_per_seed(self, radio):
+        a = random_topology(radio, seed=8)
+        b = random_topology(radio, seed=8)
+        assert [(n.x, n.y) for n in a.nodes] == [(n.x, n.y) for n in b.nodes]
+
+    def test_different_seeds_differ(self, radio):
+        a = random_topology(radio, seed=8)
+        b = random_topology(radio, seed=9)
+        assert [(n.x, n.y) for n in a.nodes] != [(n.x, n.y) for n in b.nodes]
+
+    def test_links_respect_max_range(self, radio):
+        network = random_topology(radio, seed=8)
+        for link in network.links:
+            assert link.length_m <= radio.rate_table.max_range_m
+
+    def test_all_in_range_pairs_linked(self, radio):
+        network = random_topology(radio, seed=8)
+        nodes = list(network.nodes)
+        for a in nodes:
+            for b in nodes:
+                if a.node_id == b.node_id:
+                    continue
+                if a.distance_to(b) <= radio.rate_table.max_range_m:
+                    assert network.has_link(a.node_id, b.node_id)
+
+    def test_strongly_connected_by_default(self, radio):
+        network = random_topology(radio, seed=8)
+        assert nx.is_strongly_connected(network.to_digraph())
+
+    def test_unconnected_allowed_when_requested(self, radio):
+        config = RandomTopologyConfig(
+            n_nodes=2, width_m=2000.0, height_m=2000.0, require_connected=False
+        )
+        network = random_topology(radio, config=config, seed=1)
+        assert len(network.nodes) == 2
+
+    def test_impossible_connectivity_raises(self, radio):
+        config = RandomTopologyConfig(
+            n_nodes=2,
+            width_m=50_000.0,
+            height_m=50_000.0,
+            max_attempts=3,
+        )
+        with pytest.raises(TopologyError, match="strongly connected"):
+            random_topology(radio, config=config, seed=1)

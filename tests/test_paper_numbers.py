@@ -1,0 +1,181 @@
+"""Integration: every concrete number in the paper, in one file.
+
+These are the acceptance tests of the reproduction: each asserts a value
+printed in the paper (Sections 1, 3.1, 5.1) against the implementation.
+"""
+
+import pytest
+
+from repro import (
+    available_path_bandwidth,
+    scenario_one,
+    scenario_two,
+    solve_with_column_generation,
+)
+from repro.core.bounds import (
+    clique_upper_bound,
+    fixed_rate_equal_throughput_bound,
+    hypothesis_min_clique_time,
+)
+from repro.core.cliques import RateClique, maximal_cliques_with_maximum_rates
+from repro.core.independent_sets import enumerate_maximal_independent_sets
+
+
+class TestScenarioOneNumbers:
+    """Section 1: optimum 1-λ vs idle-time 1-2λ."""
+
+    @pytest.mark.parametrize("share", [0.1, 0.2, 0.3, 0.4])
+    def test_optimum_is_one_minus_lambda(self, share):
+        bundle = scenario_one(background_share=share)
+        result = available_path_bandwidth(
+            bundle.model, bundle.new_path, bundle.background
+        )
+        assert result.available_bandwidth / 54.0 == pytest.approx(1.0 - share)
+
+    @pytest.mark.parametrize("share", [0.1, 0.3])
+    def test_idle_time_admits_one_minus_two_lambda(self, share):
+        from repro.core.bandwidth import tdma_schedule
+        from repro.estimation.estimators import BottleneckNodeBandwidth
+        from repro.estimation.idle_time import (
+            node_idleness_from_schedule,
+            path_state_for,
+        )
+
+        bundle = scenario_one(background_share=share)
+        schedule = tdma_schedule(bundle.model, bundle.background)
+        idleness = node_idleness_from_schedule(
+            bundle.network, schedule, bundle.model
+        )
+        state = path_state_for(bundle.model, bundle.new_path, idleness)
+        estimate = BottleneckNodeBandwidth().estimate(state)
+        assert estimate / 54.0 == pytest.approx(1.0 - 2.0 * share)
+
+
+class TestScenarioTwoNumbers:
+    """Section 5.1's worked example, number by number."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        bundle = scenario_two()
+        return bundle, available_path_bandwidth(bundle.model, bundle.path)
+
+    def test_f_equals_16_2(self, result):
+        _bundle, solved = result
+        assert solved.available_bandwidth == pytest.approx(16.2)
+
+    def test_schedule_lambda_0_1_0_3_0_3_0_3(self, result):
+        _bundle, solved = result
+        shares = sorted(e.time_share for e in solved.schedule.entries)
+        assert shares == pytest.approx([0.1, 0.3, 0.3, 0.3])
+
+    def test_schedule_composition(self, result):
+        """λ=0.1 goes to {L1@54}; λ=0.3 each to {L2@54}, {L3@54} and
+        {(L1,36),(L4,54)} — the paper's S."""
+        bundle, solved = result
+        by_share = {}
+        for entry in solved.schedule.entries:
+            key = frozenset(
+                (c.link.link_id, c.rate.mbps)
+                for c in entry.independent_set
+            )
+            by_share[key] = entry.time_share
+        assert by_share[frozenset({("L1", 54.0)})] == pytest.approx(0.1)
+        assert by_share[frozenset({("L1", 36.0), ("L4", 54.0)})] == pytest.approx(0.3)
+        assert by_share[frozenset({("L2", 54.0)})] == pytest.approx(0.3)
+        assert by_share[frozenset({("L3", 54.0)})] == pytest.approx(0.3)
+
+    def test_clique_c1_sum_1_2(self, result):
+        bundle, solved = result
+        table = bundle.network.radio.rate_table
+        c1 = RateClique.from_pairs(
+            (bundle.network.link(f"L{i}"), table.get(54.0))
+            for i in range(1, 5)
+        )
+        demands = {link: 16.2 for link in bundle.path}
+        assert c1.transmission_time(demands) == pytest.approx(1.2)
+
+    def test_clique_c2_sum_1_05(self, result):
+        bundle, solved = result
+        table = bundle.network.radio.rate_table
+        c2 = RateClique.from_pairs(
+            [
+                (bundle.network.link("L1"), table.get(36.0)),
+                (bundle.network.link("L2"), table.get(54.0)),
+                (bundle.network.link("L3"), table.get(54.0)),
+            ]
+        )
+        demands = {link: 16.2 for link in bundle.path}
+        assert c2.transmission_time(demands) == pytest.approx(1.05)
+
+    def test_fixed_rate_bound_r1_13_5(self, result):
+        bundle, _solved = result
+        table = bundle.network.radio.rate_table
+        c1 = RateClique.from_pairs(
+            (bundle.network.link(f"L{i}"), table.get(54.0))
+            for i in range(1, 5)
+        )
+        assert fixed_rate_equal_throughput_bound(c1) == pytest.approx(13.5)
+
+    def test_fixed_rate_bound_r2_108_over_7(self, result):
+        bundle, _solved = result
+        table = bundle.network.radio.rate_table
+        c2 = RateClique.from_pairs(
+            [
+                (bundle.network.link("L1"), table.get(36.0)),
+                (bundle.network.link("L2"), table.get(54.0)),
+                (bundle.network.link("L3"), table.get(54.0)),
+            ]
+        )
+        bound = fixed_rate_equal_throughput_bound(c2)
+        assert bound == pytest.approx(108.0 / 7.0)
+        assert bound == pytest.approx(15.43, abs=0.01)
+
+    def test_both_fixed_rate_bounds_below_f(self, result):
+        """The paper's punchline: 13.5 < 16.2 and 15.43 < 16.2."""
+        _bundle, solved = result
+        assert 13.5 < solved.available_bandwidth
+        assert 108.0 / 7.0 < solved.available_bandwidth
+
+    def test_eq8_hypothesis_refuted(self, result):
+        bundle, _solved = result
+        demands = {link: 16.2 for link in bundle.path}
+        value = hypothesis_min_clique_time(
+            bundle.model, list(bundle.path.links), demands
+        )
+        assert value > 1.0
+        assert value == pytest.approx(1.05)
+
+    def test_section_31_maximal_cliques_with_max_rates(self, result):
+        """Section 3.1 names the two maximal cliques with maximum rates."""
+        bundle, _solved = result
+        cliques = {
+            frozenset((c.link.link_id, c.rate.mbps) for c in clique)
+            for clique in maximal_cliques_with_maximum_rates(
+                bundle.model, list(bundle.path.links)
+            )
+        }
+        assert frozenset(
+            {("L1", 54.0), ("L2", 54.0), ("L3", 54.0), ("L4", 54.0)}
+        ) in cliques
+        assert frozenset(
+            {("L1", 36.0), ("L2", 54.0), ("L3", 54.0)}
+        ) in cliques
+
+    def test_column_generation_agrees(self, result):
+        bundle, solved = result
+        cg = solve_with_column_generation(bundle.model, bundle.path)
+        assert cg.result.available_bandwidth == pytest.approx(
+            solved.available_bandwidth
+        )
+
+    def test_eq9_bound_sandwiches(self, result):
+        bundle, solved = result
+        upper = clique_upper_bound(bundle.model, bundle.path).upper_bound
+        assert upper + 1e-6 >= solved.available_bandwidth
+
+    def test_independent_set_family_size(self, result):
+        bundle, _solved = result
+        sets = enumerate_maximal_independent_sets(
+            bundle.model, list(bundle.path.links)
+        )
+        assert len(sets) == 4

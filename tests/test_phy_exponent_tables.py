@@ -1,0 +1,58 @@
+"""Exponent-derived rate tables (A4 support)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.rates import (
+    IEEE80211A_PAPER_RATES,
+    paper_rate_table_for_exponent,
+)
+
+
+class TestDerivedTables:
+    def test_exponent_four_is_identity(self):
+        assert paper_rate_table_for_exponent(4.0) == IEEE80211A_PAPER_RATES
+
+    def test_ranges_scale_as_power(self):
+        table = paper_rate_table_for_exponent(2.0)
+        for derived, original in zip(table, IEEE80211A_PAPER_RATES):
+            assert derived.range_m == pytest.approx(original.range_m ** 2.0)
+
+    def test_lower_exponent_longer_ranges(self):
+        table = paper_rate_table_for_exponent(3.0)
+        for derived, original in zip(table, IEEE80211A_PAPER_RATES):
+            assert derived.range_m > original.range_m
+
+    def test_higher_exponent_shorter_ranges(self):
+        table = paper_rate_table_for_exponent(5.0)
+        for derived, original in zip(table, IEEE80211A_PAPER_RATES):
+            assert derived.range_m < original.range_m
+
+    def test_sinr_requirements_unchanged(self):
+        table = paper_rate_table_for_exponent(3.0)
+        assert [r.sinr_db for r in table] == [
+            r.sinr_db for r in IEEE80211A_PAPER_RATES
+        ]
+
+    def test_ladder_monotonicity_preserved(self):
+        # Construction would raise if the ladder inverted.
+        for exponent in (2.5, 3.0, 3.5, 4.5, 6.0):
+            table = paper_rate_table_for_exponent(exponent)
+            assert len(table) == 4
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            paper_rate_table_for_exponent(0.0)
+
+    def test_radio_accepts_derived_table(self):
+        from repro.phy.propagation import LogDistancePathLoss
+        from repro.phy.radio import RadioConfig
+
+        table = paper_rate_table_for_exponent(3.0)
+        radio = RadioConfig(
+            rate_table=table,
+            path_loss=LogDistancePathLoss(exponent=3.0),
+        )
+        for rate in table:
+            assert radio.meets_sensitivity(rate, rate.range_m)
+            assert not radio.meets_sensitivity(rate, rate.range_m + 0.01)

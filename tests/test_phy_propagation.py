@@ -1,0 +1,84 @@
+"""Path-loss models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.propagation import (
+    MIN_DISTANCE_M,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    TwoRayGroundPathLoss,
+)
+
+
+class TestLogDistance:
+    def test_gain_at_reference(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_gain=1e-3)
+        assert model.gain(1.0) == pytest.approx(1e-3)
+
+    def test_fourth_power_decay(self):
+        model = LogDistancePathLoss(exponent=4.0)
+        assert model.gain(10.0) / model.gain(20.0) == pytest.approx(16.0)
+
+    def test_second_power_decay(self):
+        model = LogDistancePathLoss(exponent=2.0)
+        assert model.gain(10.0) / model.gain(20.0) == pytest.approx(4.0)
+
+    def test_received_power(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_gain=1e-3)
+        assert model.received_mw(100.0, 1.0) == pytest.approx(0.1)
+
+    def test_distance_clamped_near_zero(self):
+        model = LogDistancePathLoss()
+        assert model.gain(0.0) == model.gain(MIN_DISTANCE_M)
+
+    def test_inverse_closed_form(self):
+        model = LogDistancePathLoss(exponent=4.0)
+        for distance in (5.0, 59.0, 158.0, 400.0):
+            gain = model.gain(distance)
+            assert model.distance_for_gain(gain) == pytest.approx(distance)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(reference_gain=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(reference_distance_m=-1.0)
+
+    def test_inverse_rejects_nonpositive_gain(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss().distance_for_gain(0.0)
+
+
+class TestFreeSpace:
+    def test_is_exponent_two(self):
+        assert FreeSpacePathLoss().exponent == 2.0
+
+
+class TestTwoRay:
+    def test_continuous_at_crossover(self):
+        model = TwoRayGroundPathLoss(crossover_m=100.0)
+        below = model.gain(100.0 - 1e-9)
+        above = model.gain(100.0 + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_near_is_free_space(self):
+        model = TwoRayGroundPathLoss(crossover_m=100.0)
+        assert model.gain(10.0) / model.gain(20.0) == pytest.approx(4.0)
+
+    def test_far_is_fourth_power(self):
+        model = TwoRayGroundPathLoss(crossover_m=100.0)
+        assert model.gain(200.0) / model.gain(400.0) == pytest.approx(16.0)
+
+    def test_generic_inverse_bisection(self):
+        model = TwoRayGroundPathLoss(crossover_m=100.0)
+        for distance in (30.0, 150.0, 500.0):
+            gain = model.gain(distance)
+            assert model.distance_for_gain(gain) == pytest.approx(
+                distance, rel=1e-5
+            )
+
+    def test_invalid_crossover(self):
+        with pytest.raises(ConfigurationError):
+            TwoRayGroundPathLoss(crossover_m=0.0)

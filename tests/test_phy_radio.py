@@ -1,0 +1,77 @@
+"""Radio configuration: calibration, noise, carrier sensing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import IEEE80211A_PAPER_RATES
+
+
+class TestSensitivityCalibration:
+    def test_ranges_reproduced_exactly(self, radio):
+        """Eq. 1's sensitivity condition equals 'distance <= range'."""
+        for rate in radio.rate_table:
+            assert radio.meets_sensitivity(rate, rate.range_m)
+            assert not radio.meets_sensitivity(rate, rate.range_m + 0.001)
+
+    def test_sensitivity_equals_power_at_range(self, radio):
+        for rate in radio.rate_table:
+            assert radio.sensitivity_mw(rate) == pytest.approx(
+                radio.received_mw(rate.range_m)
+            )
+
+    def test_faster_rate_higher_sensitivity(self, radio):
+        rates = list(radio.rate_table)
+        for faster, slower in zip(rates, rates[1:]):
+            assert radio.sensitivity_mw(faster) > radio.sensitivity_mw(slower)
+
+
+class TestNoiseFloor:
+    def test_default_noise_allows_full_range(self, radio):
+        """At its maximum range, each rate must clear its SINR threshold
+        on noise alone (otherwise the paper's range table is inconsistent)."""
+        for rate in radio.rate_table:
+            snr = radio.received_mw(rate.range_m) / radio.noise_mw
+            assert snr >= rate.sinr_linear
+
+    def test_explicit_noise_too_high_rejected(self, radio):
+        with pytest.raises(ConfigurationError, match="noise floor"):
+            RadioConfig(noise_mw=radio.noise_mw * 10.0)
+
+    def test_nonpositive_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(noise_mw=0.0)
+
+
+class TestStandaloneRates:
+    @pytest.mark.parametrize(
+        "distance,expected",
+        [(30.0, 54.0), (70.0, 36.0), (110.0, 18.0), (150.0, 6.0)],
+    )
+    def test_max_standalone_rate(self, radio, distance, expected):
+        assert radio.max_standalone_rate(distance).mbps == expected
+
+    def test_out_of_range_is_none(self, radio):
+        assert radio.max_standalone_rate(200.0) is None
+
+
+class TestCarrierSense:
+    def test_default_cs_range_is_max_tx_range(self, radio):
+        assert radio.carrier_sense_range_m == IEEE80211A_PAPER_RATES.max_range_m
+
+    def test_hears_within_range(self, radio):
+        assert radio.hears(158.0)
+        assert not radio.hears(158.1)
+
+    def test_custom_cs_range(self):
+        radio = RadioConfig(carrier_sense_range_m=250.0)
+        assert radio.hears(200.0)
+
+    def test_nonpositive_cs_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(carrier_sense_range_m=0.0)
+
+
+def test_tx_power_units():
+    radio = RadioConfig(tx_power_dbm=20.0)
+    assert radio.tx_power_mw == pytest.approx(100.0)

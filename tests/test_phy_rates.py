@@ -1,0 +1,150 @@
+"""Rate tables and the paper's 802.11a constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RateError
+from repro.phy.rates import IEEE80211A_PAPER_RATES, IEEE80211B_RATES, Rate, RateTable
+
+
+class TestRate:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            Rate(mbps=0.0, sinr_db=5.0, range_m=100.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ConfigurationError):
+            Rate(mbps=6.0, sinr_db=5.0, range_m=0.0)
+
+    def test_ordering_by_mbps(self):
+        slow = Rate(mbps=6.0, sinr_db=6.02, range_m=158.0)
+        fast = Rate(mbps=54.0, sinr_db=24.56, range_m=59.0)
+        assert fast > slow
+        assert max([slow, fast]) is fast
+
+    def test_sinr_linear(self):
+        rate = Rate(mbps=6.0, sinr_db=6.02, range_m=158.0)
+        assert rate.sinr_linear == pytest.approx(4.0, rel=1e-3)
+
+
+class TestPaperTable:
+    def test_four_rates_descending(self):
+        assert [r.mbps for r in IEEE80211A_PAPER_RATES] == [54.0, 36.0, 18.0, 6.0]
+
+    def test_paper_ranges(self):
+        assert [r.range_m for r in IEEE80211A_PAPER_RATES] == [
+            59.0,
+            79.0,
+            119.0,
+            158.0,
+        ]
+
+    def test_paper_sinr_requirements(self):
+        assert [r.sinr_db for r in IEEE80211A_PAPER_RATES] == [
+            24.56,
+            18.80,
+            10.79,
+            6.02,
+        ]
+
+    def test_fastest_slowest(self):
+        assert IEEE80211A_PAPER_RATES.fastest.mbps == 54.0
+        assert IEEE80211A_PAPER_RATES.slowest.mbps == 6.0
+        assert IEEE80211A_PAPER_RATES.max_range_m == 158.0
+
+
+class TestRateTableValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateTable([])
+
+    def test_duplicate_rates_rejected(self):
+        rate = Rate(mbps=6.0, sinr_db=6.0, range_m=158.0)
+        with pytest.raises(ConfigurationError):
+            RateTable([rate, Rate(mbps=6.0, sinr_db=7.0, range_m=150.0)])
+
+    def test_inverted_sinr_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateTable(
+                [
+                    Rate(mbps=54.0, sinr_db=5.0, range_m=59.0),
+                    Rate(mbps=6.0, sinr_db=6.0, range_m=158.0),
+                ]
+            )
+
+    def test_inverted_range_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateTable(
+                [
+                    Rate(mbps=54.0, sinr_db=25.0, range_m=200.0),
+                    Rate(mbps=6.0, sinr_db=6.0, range_m=158.0),
+                ]
+            )
+
+
+class TestRateTableLookups:
+    def test_get_exact(self):
+        assert IEEE80211A_PAPER_RATES.get(36.0).sinr_db == 18.80
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(RateError, match="54"):
+            IEEE80211A_PAPER_RATES.get(24.0)
+
+    def test_contains(self):
+        assert 54.0 in IEEE80211A_PAPER_RATES
+        assert 24.0 not in IEEE80211A_PAPER_RATES
+
+    @pytest.mark.parametrize(
+        "distance,expected",
+        [
+            (10.0, 54.0),
+            (59.0, 54.0),
+            (59.1, 36.0),
+            (79.0, 36.0),
+            (100.0, 18.0),
+            (119.0, 18.0),
+            (120.0, 6.0),
+            (158.0, 6.0),
+        ],
+    )
+    def test_max_rate_at_distance(self, distance, expected):
+        assert IEEE80211A_PAPER_RATES.max_rate_at_distance(distance).mbps == expected
+
+    def test_max_rate_beyond_range_is_none(self):
+        assert IEEE80211A_PAPER_RATES.max_rate_at_distance(158.1) is None
+
+    def test_rates_at_distance_monotone(self):
+        near = IEEE80211A_PAPER_RATES.rates_at_distance(50.0)
+        far = IEEE80211A_PAPER_RATES.rates_at_distance(150.0)
+        assert len(near) == 4
+        assert len(far) == 1
+        assert {r.mbps for r in far} <= {r.mbps for r in near}
+
+    @pytest.mark.parametrize(
+        "sinr,expected",
+        [(300.0, 54.0), (80.0, 36.0), (12.0, 18.0), (4.5, 6.0)],
+    )
+    def test_max_rate_for_sinr(self, sinr, expected):
+        assert IEEE80211A_PAPER_RATES.max_rate_for_sinr(sinr).mbps == expected
+
+    def test_max_rate_for_tiny_sinr_is_none(self):
+        assert IEEE80211A_PAPER_RATES.max_rate_for_sinr(1.0) is None
+
+    def test_rates_not_faster_than(self):
+        rate36 = IEEE80211A_PAPER_RATES.get(36.0)
+        slower = IEEE80211A_PAPER_RATES.rates_not_faster_than(rate36)
+        assert [r.mbps for r in slower] == [36.0, 18.0, 6.0]
+
+    def test_restrict(self):
+        restricted = IEEE80211A_PAPER_RATES.restrict([54.0, 36.0])
+        assert len(restricted) == 2
+        assert restricted.slowest.mbps == 36.0
+
+    def test_restrict_unknown_raises(self):
+        with pytest.raises(RateError):
+            IEEE80211A_PAPER_RATES.restrict([11.0])
+
+    def test_equality_and_hash(self):
+        again = RateTable(list(IEEE80211A_PAPER_RATES))
+        assert again == IEEE80211A_PAPER_RATES
+        assert hash(again) == hash(IEEE80211A_PAPER_RATES)
+        assert IEEE80211B_RATES != IEEE80211A_PAPER_RATES

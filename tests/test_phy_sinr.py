@@ -1,0 +1,56 @@
+"""SINR helpers (Eq. 1 / Eq. 3 numerics)."""
+
+import math
+
+import pytest
+
+from repro.phy.radio import RadioConfig
+from repro.phy.sinr import max_rate_under_interference, max_standalone_rate, sinr
+
+
+class TestSinr:
+    def test_basic_ratio(self):
+        assert sinr(10.0, 4.0, 1.0) == pytest.approx(2.0)
+
+    def test_no_interference(self):
+        assert sinr(10.0, 0.0, 2.0) == pytest.approx(5.0)
+
+    def test_zero_denominator_is_infinite(self):
+        assert math.isinf(sinr(10.0, 0.0, 0.0))
+
+
+class TestMaxRates:
+    def test_standalone_matches_radio(self, radio):
+        assert max_standalone_rate(radio, 50.0).mbps == 54.0
+        assert max_standalone_rate(radio, 250.0) is None
+
+    def test_interference_degrades_rate(self, radio):
+        # A 50 m link runs at 54 Mbps alone; add interference strong enough
+        # to push SINR below 24.56 dB but not below 18.80 dB -> 36 Mbps.
+        signal = radio.received_mw(50.0)
+        threshold54 = radio.rate_table.get(54.0).sinr_linear
+        threshold36 = radio.rate_table.get(36.0).sinr_linear
+        interference = signal / ((threshold54 + threshold36) / 2.0)
+        rate = max_rate_under_interference(radio, 50.0, [interference])
+        assert rate.mbps == 36.0
+
+    def test_overwhelming_interference_kills_link(self, radio):
+        signal = radio.received_mw(50.0)
+        rate = max_rate_under_interference(radio, 50.0, [signal * 10.0])
+        assert rate is None
+
+    def test_interference_sums(self, radio):
+        """Two half-strength interferers equal one full-strength one."""
+        signal = radio.received_mw(50.0)
+        threshold = radio.rate_table.get(54.0).sinr_linear
+        just_blocking = signal / threshold * 1.01
+        one = max_rate_under_interference(radio, 50.0, [just_blocking])
+        two = max_rate_under_interference(
+            radio, 50.0, [just_blocking / 2.0, just_blocking / 2.0]
+        )
+        assert one == two
+
+    def test_sensitivity_still_binds(self, radio):
+        """No interference can help a link beyond a rate's range."""
+        rate = max_rate_under_interference(radio, 100.0, [])
+        assert rate.mbps == 18.0

@@ -1,0 +1,113 @@
+"""Property-based tests on the core model's invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Path, available_path_bandwidth
+from repro.core.bandwidth import min_airtime_schedule
+from repro.core.bounds import lower_bound_from_subset
+from repro.core.feasibility import required_airtime
+from repro.core.independent_sets import enumerate_maximal_independent_sets
+from repro.workloads.scenarios import scenario_one, scenario_two
+
+# Scenario bundles are deterministic; build once at module scope.
+S2 = scenario_two()
+S2_SETS = enumerate_maximal_independent_sets(S2.model, list(S2.path.links))
+
+
+@given(demand=st.floats(min_value=0.0, max_value=15.0))
+@settings(max_examples=25, deadline=None)
+def test_background_monotonically_shrinks_availability(demand):
+    """More background traffic can never increase available bandwidth."""
+    background = [(Path([S2.network.link("L2")]), demand)]
+    loaded = available_path_bandwidth(
+        S2.model, S2.path, background, independent_sets=S2_SETS
+    ).available_bandwidth
+    free = available_path_bandwidth(
+        S2.model, S2.path, independent_sets=S2_SETS
+    ).available_bandwidth
+    assert loaded <= free + 1e-6
+
+
+@given(
+    d1=st.floats(min_value=0.0, max_value=7.0),
+    d2=st.floats(min_value=0.0, max_value=7.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_availability_plus_background_is_feasible(d1, d2):
+    """Whatever Eq. 6 reports must itself be schedulable: adding the new
+    flow at the reported bandwidth keeps required airtime <= 1."""
+    background = [
+        (Path([S2.network.link("L1")]), d1),
+        (Path([S2.network.link("L3")]), d2),
+    ]
+    result = available_path_bandwidth(
+        S2.model, S2.path, background, independent_sets=S2_SETS
+    )
+    demands = dict(result.background_demands)
+    for link in S2.path:
+        demands[link] = demands.get(link, 0.0) + result.available_bandwidth
+    airtime = required_airtime(S2.model, demands, independent_sets=S2_SETS)
+    assert airtime <= 1.0 + 1e-6
+
+
+@given(demand=st.floats(min_value=0.1, max_value=16.0))
+@settings(max_examples=25, deadline=None)
+def test_min_airtime_scales_linearly(demand):
+    schedule = min_airtime_schedule(
+        S2.model, [(S2.path, demand)], independent_sets=S2_SETS
+    )
+    unit = min_airtime_schedule(
+        S2.model, [(S2.path, 1.0)], independent_sets=S2_SETS
+    )
+    assert math.isclose(
+        schedule.total_airtime,
+        demand * unit.total_airtime,
+        rel_tol=1e-6,
+        abs_tol=1e-9,
+    )
+
+
+@given(subset_size=st.integers(min_value=1, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_subset_lower_bounds_never_exceed_optimum(subset_size):
+    lower = lower_bound_from_subset(
+        S2.model, S2.path, subset_size=subset_size
+    ).available_bandwidth
+    assert lower <= 16.2 + 1e-6
+
+
+@given(share=st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=25, deadline=None)
+def test_scenario_one_closed_form(share):
+    """For any λ in [0, 0.5], Scenario I's optimum is exactly (1-λ)·54."""
+    bundle = scenario_one(background_share=share)
+    result = available_path_bandwidth(
+        bundle.model, bundle.new_path, bundle.background
+    )
+    assert math.isclose(
+        result.available_bandwidth, (1.0 - share) * 54.0, abs_tol=1e-6
+    )
+
+
+@given(
+    shares=st.lists(
+        st.floats(min_value=0.0, max_value=0.2), min_size=2, max_size=2
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_schedule_throughput_meets_every_demand(shares):
+    """The schedule returned by Eq. 6 delivers background + new flow."""
+    bundle = scenario_one(background_share=0.3)
+    background = [
+        (path, share * 54.0)
+        for (path, _d), share in zip(bundle.background, shares)
+    ]
+    result = available_path_bandwidth(
+        bundle.model, bundle.new_path, background
+    )
+    demands = dict(result.background_demands)
+    link3 = bundle.network.link("L3")
+    demands[link3] = demands.get(link3, 0.0) + result.available_bandwidth
+    assert result.schedule.delivers(demands, tolerance=1e-6)

@@ -1,0 +1,90 @@
+"""Property-based tests on the Section 4 estimators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation.estimators import ESTIMATORS, PathState
+from repro.phy.rates import IEEE80211A_PAPER_RATES
+from repro.workloads.scenarios import scenario_two
+
+S2 = scenario_two()
+RATE_CHOICES = [54.0, 36.0, 18.0, 6.0]
+
+
+def build_state(idleness, rates):
+    table = IEEE80211A_PAPER_RATES
+    return PathState(
+        path=S2.path,
+        rates=tuple(table.get(m) for m in rates),
+        idleness=tuple(idleness),
+        cliques=((0, 1, 2, 3),),
+    )
+
+
+state_strategy = st.builds(
+    build_state,
+    idleness=st.lists(
+        st.floats(min_value=0.01, max_value=1.0), min_size=4, max_size=4
+    ),
+    rates=st.lists(st.sampled_from(RATE_CHOICES), min_size=4, max_size=4),
+)
+
+
+@given(state=state_strategy)
+@settings(max_examples=80, deadline=None)
+def test_all_estimates_positive_and_finite(state):
+    for name, estimator in ESTIMATORS.items():
+        value = estimator.estimate(state)
+        assert value > 0.0, name
+        assert value <= 54.0 + 1e-9, name
+
+
+@given(state=state_strategy)
+@settings(max_examples=80, deadline=None)
+def test_conservative_below_min_clique_bottleneck(state):
+    """Eq. 13 adds a constraint on top of Eq. 12's two, so it can only be
+    tighter."""
+    assert (
+        ESTIMATORS["conservative"].estimate(state)
+        <= ESTIMATORS["min-clique-bottleneck"].estimate(state) + 1e-9
+    )
+
+
+@given(state=state_strategy)
+@settings(max_examples=80, deadline=None)
+def test_expected_ctt_below_conservative(state):
+    """Eq. 15 charges every hop its expected 1/(λ·r) even where idle
+    periods could be shared, so it is at most Eq. 13."""
+    assert (
+        ESTIMATORS["expected-ctt"].estimate(state)
+        <= ESTIMATORS["conservative"].estimate(state) + 1e-9
+    )
+
+
+@given(state=state_strategy)
+@settings(max_examples=80, deadline=None)
+def test_min_combination_is_min(state):
+    value = ESTIMATORS["min-clique-bottleneck"].estimate(state)
+    assert value <= ESTIMATORS["clique"].estimate(state) + 1e-9
+    assert value <= ESTIMATORS["bottleneck"].estimate(state) + 1e-9
+
+
+@given(
+    idleness=st.lists(
+        st.floats(min_value=0.01, max_value=0.99), min_size=4, max_size=4
+    ),
+    rates=st.lists(st.sampled_from(RATE_CHOICES), min_size=4, max_size=4),
+    boost=st.floats(min_value=1.01, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimators_monotone_in_idleness(idleness, rates, boost):
+    """More idle time never lowers any idleness-aware estimate."""
+    lower = build_state(idleness, rates)
+    raised = build_state(
+        [min(1.0, lam * boost) for lam in idleness], rates
+    )
+    for name in ("bottleneck", "min-clique-bottleneck", "conservative",
+                 "expected-ctt"):
+        assert (
+            ESTIMATORS[name].estimate(raised)
+            >= ESTIMATORS[name].estimate(lower) - 1e-9
+        ), name

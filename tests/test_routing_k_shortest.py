@@ -1,0 +1,79 @@
+"""Yen's k-shortest paths."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.k_shortest import k_shortest_paths
+from repro.routing.metrics import METRICS, RoutingContext
+
+
+@pytest.fixture
+def context(line_protocol):
+    return RoutingContext(model=line_protocol)
+
+
+class TestBasics:
+    def test_first_path_is_shortest(self, line_network, context):
+        paths = k_shortest_paths(
+            line_network, "n0", "n4", METRICS["hop-count"], context, k=1
+        )
+        assert len(paths) == 1
+        assert str(paths[0]) == "n0->n2->n4"
+
+    def test_costs_non_decreasing(self, line_network, context):
+        metric = METRICS["e2eTD"]
+        paths = k_shortest_paths(
+            line_network, "n0", "n4", metric, context, k=5
+        )
+        costs = [metric.path_cost(p, context) for p in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_distinct_and_simple(self, line_network, context):
+        paths = k_shortest_paths(
+            line_network, "n0", "n4", METRICS["hop-count"], context, k=6
+        )
+        assert len(set(paths)) == len(paths)
+        for path in paths:
+            node_ids = [n.node_id for n in path.nodes]
+            assert len(set(node_ids)) == len(node_ids)
+
+    def test_endpoints_correct(self, line_network, context):
+        for path in k_shortest_paths(
+            line_network, "n0", "n3", METRICS["e2eTD"], context, k=4
+        ):
+            assert path.source.node_id == "n0"
+            assert path.destination.node_id == "n3"
+
+    def test_fewer_paths_than_k_is_ok(self, line_network, context):
+        # n0 -> n1 in the line network: only so many simple paths exist.
+        paths = k_shortest_paths(
+            line_network, "n0", "n1", METRICS["hop-count"], context, k=50
+        )
+        assert 1 <= len(paths) <= 50
+
+    def test_k_below_one_rejected(self, line_network, context):
+        with pytest.raises(RoutingError):
+            k_shortest_paths(
+                line_network, "n0", "n4", METRICS["hop-count"], context, k=0
+            )
+
+    def test_no_route_raises(self, radio, context):
+        from repro import Network, ProtocolInterferenceModel
+        from repro.routing.metrics import RoutingContext
+
+        network = Network(radio)
+        network.add_node("a", x=0.0, y=0.0)
+        network.add_node("b", x=1000.0, y=0.0)
+        model = ProtocolInterferenceModel(network)
+        ctx = RoutingContext(model=model)
+        with pytest.raises(RoutingError):
+            k_shortest_paths(
+                network, "a", "b", METRICS["hop-count"], ctx, k=2
+            )
+
+    def test_second_path_differs_from_first(self, line_network, context):
+        paths = k_shortest_paths(
+            line_network, "n0", "n4", METRICS["hop-count"], context, k=2
+        )
+        if len(paths) == 2:
+            assert paths[0] != paths[1]

@@ -1,0 +1,93 @@
+"""Routing metrics (hop count, e2eTD, average-e2eD)."""
+
+import math
+
+import pytest
+
+from repro import Path
+from repro.routing.metrics import (
+    METRICS,
+    AverageE2eDelayMetric,
+    E2eTransmissionDelayMetric,
+    HopCountMetric,
+    RoutingContext,
+)
+
+
+@pytest.fixture
+def context(line_protocol):
+    return RoutingContext(model=line_protocol)
+
+
+@pytest.fixture
+def loaded_context(line_protocol, line_network):
+    idleness = {node.node_id: 0.5 for node in line_network.nodes}
+    idleness["n0"] = 0.25
+    return RoutingContext(model=line_protocol, node_idleness=idleness)
+
+
+class TestHopCount:
+    def test_unit_weight(self, line_network, context):
+        link = line_network.link_between("n0", "n1")
+        assert HopCountMetric().weight(link, context) == 1.0
+
+    def test_path_cost(self, line_network, context):
+        path = Path(
+            [
+                line_network.link_between("n0", "n1"),
+                line_network.link_between("n1", "n2"),
+            ]
+        )
+        assert HopCountMetric().path_cost(path, context) == 2.0
+
+
+class TestE2eTD:
+    def test_inverse_rate(self, line_network, context):
+        # 70 m hop -> 36 Mbps; 140 m hop -> 6 Mbps.
+        short = line_network.link_between("n0", "n1")
+        long = line_network.link_between("n0", "n2")
+        metric = E2eTransmissionDelayMetric()
+        assert metric.weight(short, context) == pytest.approx(1.0 / 36.0)
+        assert metric.weight(long, context) == pytest.approx(1.0 / 6.0)
+
+    def test_ignores_idleness(self, line_network, context, loaded_context):
+        link = line_network.link_between("n0", "n1")
+        metric = E2eTransmissionDelayMetric()
+        assert metric.weight(link, context) == metric.weight(
+            link, loaded_context
+        )
+
+
+class TestAverageE2eD:
+    def test_eq14_weight(self, line_network, loaded_context):
+        link = line_network.link_between("n0", "n1")
+        # min idleness of (n0, n1) = 0.25; rate 36.
+        expected = 1.0 / (0.25 * 36.0)
+        assert AverageE2eDelayMetric().weight(
+            link, loaded_context
+        ) == pytest.approx(expected)
+
+    def test_reduces_to_e2etd_when_idle(self, line_network, context):
+        link = line_network.link_between("n0", "n1")
+        assert AverageE2eDelayMetric().weight(link, context) == pytest.approx(
+            E2eTransmissionDelayMetric().weight(link, context)
+        )
+
+    def test_fully_busy_link_excluded(self, line_protocol, line_network):
+        idleness = {node.node_id: 0.0 for node in line_network.nodes}
+        context = RoutingContext(
+            model=line_protocol, node_idleness=idleness
+        )
+        link = line_network.link_between("n0", "n1")
+        assert math.isinf(AverageE2eDelayMetric().weight(link, context))
+
+
+class TestRegistry:
+    def test_paper_lineup(self):
+        assert set(METRICS) == {"hop-count", "e2eTD", "average-e2eD"}
+
+    def test_rate_cache(self, line_protocol, line_network):
+        context = RoutingContext(model=line_protocol)
+        link = line_network.link_between("n0", "n1")
+        first = context.link_rate(link)
+        assert context.link_rate(link) is first

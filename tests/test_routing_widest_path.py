@@ -1,0 +1,82 @@
+"""Estimate-maximising (widest) routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.estimation.estimators import ESTIMATORS
+from repro.routing.widest_path import widest_estimate_route
+
+
+@pytest.fixture
+def idle_line(line_network):
+    return {node.node_id: 1.0 for node in line_network.nodes}
+
+
+class TestWidestRoute:
+    def test_finds_route_with_positive_estimate(
+        self, line_network, line_protocol, idle_line
+    ):
+        path, score = widest_estimate_route(
+            line_network,
+            line_protocol,
+            "n0",
+            "n4",
+            ESTIMATORS["conservative"],
+            idle_line,
+        )
+        assert path.source.node_id == "n0"
+        assert path.destination.node_id == "n4"
+        assert score > 0.0
+
+    def test_score_matches_estimator(self, line_network, line_protocol, idle_line):
+        from repro.estimation.idle_time import path_state_for
+
+        estimator = ESTIMATORS["conservative"]
+        path, score = widest_estimate_route(
+            line_network, line_protocol, "n0", "n4", estimator, idle_line
+        )
+        state = path_state_for(line_protocol, path, idle_line)
+        assert estimator.estimate(state) == pytest.approx(score)
+
+    def test_one_hop_is_widest(self, line_network, line_protocol, idle_line):
+        path, score = widest_estimate_route(
+            line_network,
+            line_protocol,
+            "n0",
+            "n1",
+            ESTIMATORS["conservative"],
+            idle_line,
+        )
+        assert str(path) == "n0->n1"
+        assert score == pytest.approx(36.0)
+
+    def test_busy_network_unroutable(self, line_network, line_protocol):
+        idleness = {node.node_id: 0.0 for node in line_network.nodes}
+        with pytest.raises(RoutingError):
+            widest_estimate_route(
+                line_network,
+                line_protocol,
+                "n0",
+                "n4",
+                ESTIMATORS["conservative"],
+                idleness,
+            )
+
+    def test_estimate_monotone_along_prefixes(
+        self, line_network, line_protocol, idle_line
+    ):
+        """The prefix estimate can only shrink as the path grows — the
+        property the label-setting search relies on."""
+        from repro.estimation.idle_time import path_state_for
+
+        estimator = ESTIMATORS["conservative"]
+        path, _score = widest_estimate_route(
+            line_network, line_protocol, "n0", "n4", estimator, idle_line
+        )
+        previous = float("inf")
+        for prefix in path.prefixes():
+            value = estimator.estimate(
+                path_state_for(line_protocol, prefix, idle_line)
+            )
+            assert value <= previous + 1e-9
+            previous = value

@@ -1,0 +1,65 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    ZERO_MW,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mbps,
+    mw_to_dbm,
+)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == 1.0
+
+    def test_twenty_dbm_is_hundred_mw(self):
+        assert dbm_to_mw(20.0) == pytest.approx(100.0)
+
+    def test_negative_dbm(self):
+        assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
+
+    def test_mw_to_dbm_roundtrip(self):
+        for value in (0.001, 1.0, 42.0, 3000.0):
+            assert mw_to_dbm(dbm_to_mw(mw_to_dbm(value))) == pytest.approx(
+                mw_to_dbm(value)
+            )
+
+    def test_mw_to_dbm_clamps_zero(self):
+        assert math.isfinite(mw_to_dbm(0.0))
+        assert mw_to_dbm(0.0) == mw_to_dbm(ZERO_MW)
+
+    def test_mw_to_dbm_clamps_negative(self):
+        assert math.isfinite(mw_to_dbm(-1.0))
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        for value in (0.5, 1.0, 12.0, 285.8):
+            assert db_to_linear(linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_clamps_nonpositive(self):
+        assert math.isfinite(linear_to_db(0.0))
+
+    def test_paper_sinr_thresholds(self):
+        # The four SINR requirements of Section 5.2, in linear form.
+        assert db_to_linear(24.56) == pytest.approx(285.76, rel=1e-3)
+        assert db_to_linear(18.80) == pytest.approx(75.86, rel=1e-3)
+        assert db_to_linear(10.79) == pytest.approx(11.99, rel=1e-3)
+        assert db_to_linear(6.02) == pytest.approx(4.00, rel=1e-3)
+
+
+def test_mbps_is_identity_float():
+    assert mbps(54) == 54.0
+    assert isinstance(mbps(54), float)

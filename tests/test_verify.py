@@ -1,0 +1,48 @@
+"""The self-check command."""
+
+import pytest
+
+from repro.verify import (
+    VerificationCheck,
+    format_verification,
+    run_verification,
+)
+
+
+class TestChecks:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return run_verification()
+
+    def test_all_pass(self, checks):
+        failing = [check.name for check in checks if not check.passed]
+        assert failing == []
+
+    def test_covers_both_scenarios(self, checks):
+        names = " ".join(check.name for check in checks)
+        assert "Scenario II" in names
+        assert "Scenario I " in names
+
+    def test_format_lists_every_check(self, checks):
+        text = format_verification(checks)
+        assert text.count("[PASS]") + text.count("[FAIL]") == len(checks)
+        assert f"{len(checks)}/{len(checks)} checks passed" in text
+
+
+class TestCheckObject:
+    def test_pass_within_tolerance(self):
+        check = VerificationCheck("x", expected=1.0, measured=1.0 + 1e-9)
+        assert check.passed
+
+    def test_fail_outside_tolerance(self):
+        check = VerificationCheck("x", expected=1.0, measured=1.01)
+        assert not check.passed
+
+
+class TestCliIntegration:
+    def test_verify_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "10/10 checks passed" in out

@@ -1,0 +1,119 @@
+"""Flows and canonical scenarios."""
+
+import pytest
+
+from repro import Flow, Path
+from repro.errors import ConfigurationError, TopologyError
+from repro.workloads.flows import random_flow_endpoints
+from repro.workloads.scenarios import paper_random_topology, scenario_one, scenario_two
+
+
+class TestFlow:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow(flow_id="f", source="a", destination="a", demand_mbps=1.0)
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow(flow_id="f", source="a", destination="b", demand_mbps=0.0)
+
+    def test_routed_checks_endpoints(self, line_network):
+        flow = Flow(flow_id="f", source="n0", destination="n2", demand_mbps=1.0)
+        good = Path(
+            [
+                line_network.link_between("n0", "n1"),
+                line_network.link_between("n1", "n2"),
+            ]
+        )
+        routed = flow.routed(good)
+        assert routed.is_routed
+        assert routed.path == good
+        bad = Path([line_network.link_between("n1", "n2")])
+        with pytest.raises(TopologyError):
+            flow.routed(bad)
+
+    def test_as_background_requires_route(self):
+        flow = Flow(flow_id="f", source="a", destination="b", demand_mbps=2.0)
+        with pytest.raises(TopologyError):
+            flow.as_background()
+
+    def test_as_background_pair(self, line_network):
+        flow = Flow(flow_id="f", source="n0", destination="n1", demand_mbps=2.0)
+        path = Path([line_network.link_between("n0", "n1")])
+        assert flow.routed(path).as_background() == (path, 2.0)
+
+
+class TestRandomFlows:
+    def test_count_and_demand(self, small_random_topology):
+        flows = random_flow_endpoints(
+            small_random_topology, 8, demand_mbps=2.0, seed=1
+        )
+        assert len(flows) == 8
+        assert all(f.demand_mbps == 2.0 for f in flows)
+        assert all(f.source != f.destination for f in flows)
+
+    def test_deterministic(self, small_random_topology):
+        a = random_flow_endpoints(small_random_topology, 5, 2.0, seed=3)
+        b = random_flow_endpoints(small_random_topology, 5, 2.0, seed=3)
+        assert [(f.source, f.destination) for f in a] == [
+            (f.source, f.destination) for f in b
+        ]
+
+    def test_min_distance_respected(self, small_random_topology):
+        flows = random_flow_endpoints(
+            small_random_topology, 5, 2.0, seed=3, min_distance_m=300.0
+        )
+        for flow in flows:
+            assert (
+                small_random_topology.distance(flow.source, flow.destination)
+                >= 300.0
+            )
+
+    def test_impossible_separation_raises(self, small_random_topology):
+        with pytest.raises(ConfigurationError):
+            random_flow_endpoints(
+                small_random_topology, 5, 2.0, seed=3, min_distance_m=10_000.0
+            )
+
+
+class TestScenarioOne:
+    def test_structure(self, s1_bundle):
+        assert len(s1_bundle.network.links) == 3
+        assert s1_bundle.new_path.hop_count == 1
+        assert len(s1_bundle.background) == 2
+
+    def test_share_bounds(self):
+        with pytest.raises(ConfigurationError):
+            scenario_one(background_share=0.6)
+        scenario_one(background_share=0.5)  # boundary allowed
+
+    def test_demand_matches_share(self):
+        bundle = scenario_one(background_share=0.25)
+        for _path, demand in bundle.background:
+            assert demand == pytest.approx(0.25 * 54.0)
+
+
+class TestScenarioTwo:
+    def test_chain_structure(self, s2_bundle):
+        assert s2_bundle.path.hop_count == 4
+        assert [l.link_id for l in s2_bundle.path] == ["L1", "L2", "L3", "L4"]
+
+    def test_rate_table_restricted(self, s2_bundle):
+        assert [r.mbps for r in s2_bundle.network.radio.rate_table] == [
+            54.0,
+            36.0,
+        ]
+
+
+class TestPaperTopology:
+    def test_defaults(self, small_random_topology):
+        assert len(small_random_topology.nodes) == 30
+        rates = [
+            r.mbps for r in small_random_topology.radio.rate_table
+        ]
+        assert rates == [54.0, 36.0, 18.0, 6.0]
+
+    def test_seed_controls_placement(self):
+        a = paper_random_topology(seed=8)
+        b = paper_random_topology(seed=8)
+        assert [(n.x, n.y) for n in a.nodes] == [(n.x, n.y) for n in b.nodes]

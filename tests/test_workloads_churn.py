@@ -1,0 +1,87 @@
+"""Flow churn simulation (reduced traces)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.workloads.churn import ChurnConfig, simulate_churn
+from repro.workloads.scenarios import paper_random_topology
+
+SMALL = ChurnConfig(n_arrivals=8)
+
+
+@pytest.fixture(scope="module")
+def churn_net():
+    network = paper_random_topology(seed=8)
+    return network, ProtocolInterferenceModel(network)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_arrivals": 0},
+            {"mean_interarrival": 0.0},
+            {"mean_holding": -1.0},
+            {"demand_mbps": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(**kwargs)
+
+
+class TestSimulation:
+    def test_unknown_policy_rejected(self, churn_net):
+        network, model = churn_net
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            simulate_churn(network, model, "magic", config=SMALL)
+
+    def test_truth_policy_never_overloads(self, churn_net):
+        network, model = churn_net
+        outcome = simulate_churn(network, model, "truth", config=SMALL)
+        assert outcome.overload_admissions == 0
+        assert outcome.false_accepts == 0
+        assert outcome.false_rejects == 0
+
+    def test_all_arrivals_recorded(self, churn_net):
+        network, model = churn_net
+        outcome = simulate_churn(network, model, "truth", config=SMALL)
+        assert outcome.arrivals == 8
+        times = [event.time for event in outcome.events]
+        assert times == sorted(times)
+
+    def test_deterministic_per_seed(self, churn_net):
+        network, model = churn_net
+        a = simulate_churn(network, model, "conservative", config=SMALL,
+                           seed=5)
+        b = simulate_churn(network, model, "conservative", config=SMALL,
+                           seed=5)
+        assert [e.admitted for e in a.events] == [
+            e.admitted for e in b.events
+        ]
+
+    def test_paired_traces_share_arrivals(self, churn_net):
+        """Different policies under the same seed see the same endpoint
+        sequence (up to post-divergence routing differences, the arrival
+        times and endpoints are identical)."""
+        network, model = churn_net
+        a = simulate_churn(network, model, "truth", config=SMALL, seed=5)
+        b = simulate_churn(network, model, "clique", config=SMALL, seed=5)
+        assert [(e.time, e.source, e.destination) for e in a.events] == [
+            (e.time, e.source, e.destination) for e in b.events
+        ]
+
+    def test_blocking_ratio_bounds(self, churn_net):
+        network, model = churn_net
+        for policy in ("truth", "clique"):
+            outcome = simulate_churn(network, model, policy, config=SMALL)
+            assert 0.0 <= outcome.blocking_ratio <= 1.0
+
+    def test_overloads_are_false_accepts(self, churn_net):
+        network, model = churn_net
+        outcome = simulate_churn(
+            network, model, "clique",
+            config=ChurnConfig(n_arrivals=12, mean_holding=8.0),
+        )
+        assert outcome.overload_admissions <= outcome.false_accepts
