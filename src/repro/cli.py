@@ -14,6 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -62,11 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="number of arriving flows for the random-topology experiments",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for experiments that sweep independent "
+        "units (e3, e4, e5, s1); results are identical to a sequential run",
+    )
     return parser
 
 
 def _configured_runner(experiment_id: str, args: argparse.Namespace):
     """Resolve an experiment, honouring the workload flags when given."""
+    workers = getattr(args, "workers", None)
     overrides = {
         "topology_seed": args.topology_seed,
         "flow_seed": args.flow_seed,
@@ -74,7 +83,7 @@ def _configured_runner(experiment_id: str, args: argparse.Namespace):
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     if not overrides or experiment_id not in _CONFIGURABLE:
-        return lambda: run_experiment(experiment_id)
+        return lambda: run_experiment(experiment_id, workers=workers)
     from repro.experiments.extensions import (
         run_admission_accuracy,
         run_joint_routing,
@@ -91,6 +100,8 @@ def _configured_runner(experiment_id: str, args: argparse.Namespace):
         "x1": run_admission_accuracy,
         "x2": run_joint_routing,
     }
+    if workers is not None and experiment_id in {"e3", "e4", "e5"}:
+        return lambda: runners[experiment_id](config, workers=workers)
     return lambda: runners[experiment_id](config)
 
 
@@ -121,7 +132,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown experiment: {experiment_id}", file=sys.stderr)
             exit_code = 2
             continue
-        result = _configured_runner(experiment_id, args)()
+        try:
+            result = _configured_runner(experiment_id, args)()
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            exit_code = 2
+            continue
         print(result.table())
         print()
     return exit_code

@@ -32,12 +32,16 @@ from repro.core.bandwidth import (
     _collect_links,
     link_demands_from_paths,
 )
-from repro.core.independent_sets import RateIndependentSet
+from repro.core.independent_sets import (
+    RateIndependentSet,
+    _maximal_cliques_bitset,
+    _pairwise_compatibility_masks,
+)
 from repro.core.lp import LinearProgram
 from repro.core.schedule import LinkSchedule, ScheduleEntry
 from repro.errors import InfeasibleProblemError
 from repro.interference.base import InterferenceModel, LinkRate
-from repro.interference.conflict_graph import build_link_rate_conflict_graph
+from repro.interference.conflict_graph import link_rate_vertices
 from repro.net.link import Link
 from repro.net.path import Path
 
@@ -136,6 +140,106 @@ def _exact_weighted_independent_set(
     return best
 
 
+class _PricingProblem:
+    """Bitmask MWIS pricing state, built once per column-generation call.
+
+    Holds the couple vertices and the compatibility masks of the link–rate
+    conflict graph's complement, so every pricing round is an integer-mask
+    Bron–Kerbosch (exact) or greedy sweep instead of a fresh networkx
+    complement-and-clique pass.  Semantically equivalent to the nx-based
+    oracles above, which remain for callers that already hold a graph.
+    """
+
+    def __init__(self, model: InterferenceModel, links: Sequence[Link]):
+        self.vertices = link_rate_vertices(model, links)
+        self.independent = _pairwise_compatibility_masks(model, self.vertices)
+        count = len(self.vertices)
+        full = (1 << count) - 1
+        self.conflict = [
+            full & ~mask & ~(1 << index)
+            for index, mask in enumerate(self.independent)
+        ]
+        self.degrees = [mask.bit_count() for mask in self.conflict]
+        self._by_str = sorted(range(count), key=lambda i: str(self.vertices[i]))
+
+    def _members(self, mask: int) -> Set[LinkRate]:
+        chosen: Set[LinkRate] = set()
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            chosen.add(self.vertices[low_bit.bit_length() - 1])
+        return chosen
+
+    def exact(self, weights: Dict[LinkRate, float]) -> Set[LinkRate]:
+        """Exact MWIS over the positive-weight vertices."""
+        positive = 0
+        for index, vertex in enumerate(self.vertices):
+            if weights.get(vertex, 0.0) > 0.0:
+                positive |= 1 << index
+        best_mask = 0
+        best_weight = 0.0
+        for clique in _maximal_cliques_bitset(
+            self.independent, len(self.vertices), subset=positive
+        ):
+            weight = 0.0
+            members = clique
+            while members:
+                low_bit = members & -members
+                members ^= low_bit
+                weight += weights[self.vertices[low_bit.bit_length() - 1]]
+            if weight > best_weight:
+                best_weight = weight
+                best_mask = clique
+        return self._members(best_mask)
+
+    def greedy(self, weights: Dict[LinkRate, float]) -> Set[LinkRate]:
+        """Greedy MWIS + 1-swap local search, mask edition.
+
+        Same ordering and tie-breaks as
+        :func:`_greedy_weighted_independent_set`.
+        """
+        order = sorted(
+            (
+                index
+                for index in range(len(self.vertices))
+                if weights.get(self.vertices[index], 0.0) > 0.0
+            ),
+            key=lambda index: (
+                -weights[self.vertices[index]] / (self.degrees[index] + 1.0),
+                str(self.vertices[index]),
+            ),
+        )
+        chosen = 0
+        blocked = 0
+        for index in order:
+            bit = 1 << index
+            if blocked & bit:
+                continue
+            chosen |= bit
+            blocked |= bit | self.conflict[index]
+        improved = True
+        while improved:
+            improved = False
+            for index in self._by_str:
+                bit = 1 << index
+                weight = weights.get(self.vertices[index], 0.0)
+                if chosen & bit or weight <= 0.0:
+                    continue
+                conflicting = self.conflict[index] & chosen
+                lost = 0.0
+                members = conflicting
+                while members:
+                    low_bit = members & -members
+                    members ^= low_bit
+                    lost += weights.get(
+                        self.vertices[low_bit.bit_length() - 1], 0.0
+                    )
+                if weight > lost + _PRICING_EPS:
+                    chosen = (chosen & ~conflicting) | bit
+                    improved = True
+        return self._members(chosen)
+
+
 def solve_with_column_generation(
     model: InterferenceModel,
     new_path: Path,
@@ -158,59 +262,60 @@ def solve_with_column_generation(
     links = _collect_links(background, new_path)
     demands = link_demands_from_paths(background)
     new_links = set(new_path.links)
-    conflict_graph = build_link_rate_conflict_graph(
-        model, links, same_link_edges=True
-    )
+    pricing = _PricingProblem(model, links)
     pool: List[RateIndependentSet] = _initial_columns(model, links)
     pool_index = set(pool)
 
-    oracle = (
-        _exact_weighted_independent_set
-        if exact_pricing
-        else _greedy_weighted_independent_set
-    )
+    oracle = pricing.exact if exact_pricing else pricing.greedy
 
     iterations = 0
     proved_optimal = False
     solution = None
-    lambda_vars: List[str] = []
+    # The master is assembled once; every pricing round solves it and, when
+    # an improving column is found, grows it by one variable via
+    # LinearProgram.add_column instead of rebuilding it from scratch.
     # Artificial surplus per demand row keeps the restricted master feasible
     # before pricing has discovered enough spatial reuse; the penalty drives
     # them to zero, and any survivor at convergence means the background
     # demands are genuinely undeliverable.
     big_m = 1e5
+    lp = LinearProgram()
+    f_var = lp.add_variable("f", objective=1.0)
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}") for index in range(len(pool))
+    ]
+    artificial_vars = {
+        link.link_id: lp.add_variable(
+            f"artificial[{link.link_id}]", objective=-big_m
+        )
+        for link in links
+    }
+    lp.add_constraint_le(
+        {var: 1.0 for var in lambda_vars}, 1.0, name="airtime"
+    )
+    for link in links:
+        coefficients: Dict[str, float] = {
+            artificial_vars[link.link_id]: 1.0
+        }
+        for var, column in zip(lambda_vars, pool):
+            rate = column.throughput_of(link)
+            if rate > 0.0:
+                coefficients[var] = rate
+        if link in new_links:
+            coefficients[f_var] = -1.0
+        lp.add_constraint_ge(
+            coefficients,
+            demands.get(link, 0.0),
+            name=f"demand[{link.link_id}]",
+        )
+    # Variables present in the last solved master — the schedule must only
+    # read values of variables that solve actually saw (the pool can be one
+    # column ahead when the iteration budget runs out).
+    solved_vars: List[str] = []
     while iterations < max_iterations:
         iterations += 1
-        lp = LinearProgram()
-        f_var = lp.add_variable("f", objective=1.0)
-        lambda_vars = [
-            lp.add_variable(f"lambda_{index}") for index in range(len(pool))
-        ]
-        artificial_vars = {
-            link.link_id: lp.add_variable(
-                f"artificial[{link.link_id}]", objective=-big_m
-            )
-            for link in links
-        }
-        lp.add_constraint_le(
-            {var: 1.0 for var in lambda_vars}, 1.0, name="airtime"
-        )
-        for link in links:
-            coefficients: Dict[str, float] = {
-                artificial_vars[link.link_id]: 1.0
-            }
-            for var, column in zip(lambda_vars, pool):
-                rate = column.throughput_of(link)
-                if rate > 0.0:
-                    coefficients[var] = rate
-            if link in new_links:
-                coefficients[f_var] = -1.0
-            lp.add_constraint_ge(
-                coefficients,
-                demands.get(link, 0.0),
-                name=f"demand[{link.link_id}]",
-            )
         solution = lp.solve()
+        solved_vars = list(lambda_vars)
 
         # LpSolution stores duals in the max-problem orientation: for every
         # stored <= row, dual = ∂(max objective)/∂(rhs) >= 0.  A column
@@ -219,10 +324,10 @@ def solve_with_column_generation(
         # demand-row duals.
         mu = solution.duals.get("airtime", 0.0)
         prices: Dict[LinkRate, float] = {}
-        for vertex in conflict_graph.nodes:
+        for vertex in pricing.vertices:
             pi = solution.duals.get(f"demand[{vertex.link.link_id}]", 0.0)
             prices[vertex] = pi * vertex.rate.mbps
-        candidate_vertices = oracle(conflict_graph, prices)
+        candidate_vertices = oracle(prices)
         candidate_value = sum(prices[v] for v in candidate_vertices)
         if candidate_value <= mu + _PRICING_EPS:
             proved_optimal = exact_pricing
@@ -234,6 +339,18 @@ def solve_with_column_generation(
             break
         pool.append(candidate)
         pool_index.add(candidate)
+        lambda_vars.append(
+            lp.add_column(
+                f"lambda_{len(pool) - 1}",
+                entries={
+                    "airtime": 1.0,
+                    **{
+                        f"demand[{couple.link.link_id}]": couple.rate.mbps
+                        for couple in candidate
+                    },
+                },
+            )
+        )
 
     residual = sum(
         solution.values[name]
@@ -249,7 +366,7 @@ def solve_with_column_generation(
 
     schedule = LinkSchedule(
         ScheduleEntry(column, solution[var])
-        for var, column in zip(lambda_vars, pool)
+        for var, column in zip(solved_vars, pool)
     )
     result = PathBandwidthResult(
         available_bandwidth=solution.objective,
@@ -296,53 +413,50 @@ def min_airtime_column_generation(
     if not links:
         return LinkSchedule(())
     demands = link_demands_from_paths(background)
-    conflict_graph = build_link_rate_conflict_graph(
-        model, links, same_link_edges=True
-    )
+    pricing = _PricingProblem(model, links)
     pool: List[RateIndependentSet] = _initial_columns(model, links)
     pool_index = set(pool)
-    oracle = (
-        _exact_weighted_independent_set
-        if exact_pricing
-        else _greedy_weighted_independent_set
-    )
+    oracle = pricing.exact if exact_pricing else pricing.greedy
     big_m = 1e5
     solution = None
-    lambda_vars: List[str] = []
-    for _iteration in range(max_iterations):
-        lp = LinearProgram()
-        lambda_vars = [
-            lp.add_variable(f"lambda_{index}", objective=-1.0)
-            for index in range(len(pool))
-        ]
-        artificial_vars = {
-            link.link_id: lp.add_variable(
-                f"artificial[{link.link_id}]", objective=-big_m
-            )
-            for link in links
+    # One master, grown in place — same incremental scheme as
+    # solve_with_column_generation above.
+    lp = LinearProgram()
+    lambda_vars = [
+        lp.add_variable(f"lambda_{index}", objective=-1.0)
+        for index in range(len(pool))
+    ]
+    artificial_vars = {
+        link.link_id: lp.add_variable(
+            f"artificial[{link.link_id}]", objective=-big_m
+        )
+        for link in links
+    }
+    for link in links:
+        coefficients: Dict[str, float] = {
+            artificial_vars[link.link_id]: 1.0
         }
-        for link in links:
-            coefficients: Dict[str, float] = {
-                artificial_vars[link.link_id]: 1.0
-            }
-            for var, column in zip(lambda_vars, pool):
-                rate = column.throughput_of(link)
-                if rate > 0.0:
-                    coefficients[var] = rate
-            lp.add_constraint_ge(
-                coefficients,
-                demands.get(link, 0.0),
-                name=f"demand[{link.link_id}]",
-            )
+        for var, column in zip(lambda_vars, pool):
+            rate = column.throughput_of(link)
+            if rate > 0.0:
+                coefficients[var] = rate
+        lp.add_constraint_ge(
+            coefficients,
+            demands.get(link, 0.0),
+            name=f"demand[{link.link_id}]",
+        )
+    solved_vars: List[str] = []
+    for _iteration in range(max_iterations):
         solution = lp.solve()
+        solved_vars = list(lambda_vars)
         prices = {
             vertex: solution.duals.get(
                 f"demand[{vertex.link.link_id}]", 0.0
             )
             * vertex.rate.mbps
-            for vertex in conflict_graph.nodes
+            for vertex in pricing.vertices
         }
-        candidate_vertices = oracle(conflict_graph, prices)
+        candidate_vertices = oracle(prices)
         candidate_value = sum(prices[v] for v in candidate_vertices)
         if candidate_value <= 1.0 + _PRICING_EPS:
             break
@@ -351,6 +465,16 @@ def min_airtime_column_generation(
             break
         pool.append(candidate)
         pool_index.add(candidate)
+        lambda_vars.append(
+            lp.add_column(
+                f"lambda_{len(pool) - 1}",
+                objective=-1.0,
+                entries={
+                    f"demand[{couple.link.link_id}]": couple.rate.mbps
+                    for couple in candidate
+                },
+            )
+        )
 
     residual = sum(
         value
@@ -363,7 +487,7 @@ def min_airtime_column_generation(
             f"(residual {residual:.4f} Mbps unserved)",
             residual=residual,
         )
-    total = sum(solution.values[var] for var in lambda_vars)
+    total = sum(solution.values[var] for var in solved_vars)
     if total > 1.0 + 1e-9:
         if not allow_overload:
             raise InfeasibleProblemError(
@@ -373,9 +497,9 @@ def min_airtime_column_generation(
         scale = 1.0 / total
         return LinkSchedule(
             ScheduleEntry(column, solution[var] * scale)
-            for var, column in zip(lambda_vars, pool)
+            for var, column in zip(solved_vars, pool)
         )
     return LinkSchedule(
         ScheduleEntry(column, solution[var])
-        for var, column in zip(lambda_vars, pool)
+        for var, column in zip(solved_vars, pool)
     )

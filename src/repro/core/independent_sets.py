@@ -24,13 +24,14 @@ any remaining redundant columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-import networkx as nx
+import numpy as np
 
 from repro.errors import InterferenceError
 from repro.interference.base import InterferenceModel, LinkRate
-from repro.interference.conflict_graph import build_link_rate_conflict_graph
+from repro.interference.conflict_graph import link_rate_vertices
 from repro.interference.physical import PhysicalInterferenceModel
 from repro.net.link import Link
 from repro.phy.rates import Rate
@@ -59,9 +60,19 @@ class RateIndependentSet:
     def from_vector(cls, vector: Dict[Link, Rate]) -> "RateIndependentSet":
         return cls(frozenset(LinkRate(link, rate) for link, rate in vector.items()))
 
+    @cached_property
+    def _rate_by_link(self) -> Dict[Link, Rate]:
+        """Link→rate lookup, built once (the set is immutable)."""
+        return {c.link: c.rate for c in self.couples}
+
+    @cached_property
+    def _mbps_by_link(self) -> Dict[Link, float]:
+        """Link→Mbps lookup used by dominance checks and LP assembly."""
+        return {c.link: c.rate.mbps for c in self.couples}
+
     @property
     def links(self) -> FrozenSet[Link]:
-        return frozenset(c.link for c in self.couples)
+        return frozenset(self._rate_by_link)
 
     @property
     def size(self) -> int:
@@ -69,10 +80,7 @@ class RateIndependentSet:
 
     def rate_of(self, link: Link) -> Optional[Rate]:
         """The rate assigned to ``link``, or ``None`` if absent."""
-        for couple in self.couples:
-            if couple.link == link:
-                return couple.rate
-        return None
+        return self._rate_by_link.get(link)
 
     def throughput_of(self, link: Link) -> float:
         """Mbps delivered on ``link`` per unit scheduled time (0 if absent).
@@ -80,8 +88,7 @@ class RateIndependentSet:
         This is the entry :math:`r^*_{ij}` of the paper's maximum rate
         vector :math:`\\overrightarrow{R^*_i}`.
         """
-        rate = self.rate_of(link)
-        return rate.mbps if rate is not None else 0.0
+        return self._mbps_by_link.get(link, 0.0)
 
     def throughput_vector(self, links: Sequence[Link]) -> Tuple[float, ...]:
         """Rate vector over ``links`` in their given order."""
@@ -96,9 +103,8 @@ class RateIndependentSet:
         """
         if self == other:
             return False
-        other_rates = {c.link: c.rate.mbps for c in other.couples}
-        own_rates = {c.link: c.rate.mbps for c in self.couples}
-        for link, mbps in other_rates.items():
+        own_rates = self._mbps_by_link
+        for link, mbps in other._mbps_by_link.items():
             if own_rates.get(link, 0.0) < mbps:
                 return False
         return True
@@ -121,16 +127,41 @@ def prune_dominated(
 ) -> List[RateIndependentSet]:
     """Drop sets dominated by another set of the collection.
 
-    Quadratic in the number of sets, which is fine at the scale where full
-    enumeration is used at all; column generation bypasses enumeration
-    entirely for bigger instances.
+    Each set becomes one row of a per-link throughput matrix (0 Mbps for
+    absent links); set ``o`` dominates candidate ``c`` exactly when row
+    ``o`` is elementwise ``>=`` row ``c`` and the rows differ, so the whole
+    quadratic comparison runs as one vectorized matrix test instead of
+    nested Python loops over couple dicts.  Rates are positive, hence
+    distinct sets always have distinct rows and the empty set's all-zero
+    row is dominated by any other — matching :meth:`RateIndependentSet.dominates`
+    exactly.
     """
     unique = list(dict.fromkeys(sets))
-    kept: List[RateIndependentSet] = []
+    count = len(unique)
+    if count <= 1:
+        return list(unique)
+    link_index: Dict[Link, int] = {}
     for candidate in unique:
-        if any(other.dominates(candidate) for other in unique):
-            continue
-        kept.append(candidate)
+        for link in candidate._mbps_by_link:
+            if link not in link_index:
+                link_index[link] = len(link_index)
+    matrix = np.zeros((count, max(len(link_index), 1)))
+    for row, candidate in enumerate(unique):
+        for link, mbps in candidate._mbps_by_link.items():
+            matrix[row, link_index[link]] = mbps
+    kept: List[RateIndependentSet] = []
+    # Chunk candidates so the (rows × chunk × links) comparison tensor stays
+    # small even for large families.
+    chunk = max(1, (8 << 20) // max(count * matrix.shape[1], 1))
+    for start in range(0, count, chunk):
+        block = matrix[start:start + chunk]
+        # covered[o, c] == all(matrix[o] >= block[c]); the diagonal entry
+        # (o == start + c) is always True, so "dominated" is count > 1.
+        covered = (matrix[:, None, :] >= block[None, :, :]).all(axis=2)
+        dominated = covered.sum(axis=0) > 1
+        for offset, is_dominated in enumerate(dominated):
+            if not is_dominated:
+                kept.append(unique[start + offset])
     return kept
 
 
@@ -176,13 +207,125 @@ def enumerate_maximal_independent_sets(
 def _enumerate_pairwise(
     model: InterferenceModel, links: Sequence[Link]
 ) -> List[RateIndependentSet]:
-    """Maximal independent sets via the link–rate conflict graph."""
-    conflict = build_link_rate_conflict_graph(model, links, same_link_edges=True)
-    complement = nx.complement(conflict)
+    """Maximal independent sets via the link–rate conflict graph.
+
+    Maximal independent sets of the conflict graph are maximal cliques of
+    its complement; both are computed here directly on integer bitmasks
+    (Bron–Kerbosch with pivoting) instead of materializing networkx
+    graphs.  Kernel-backed models get their pairwise compatibility matrix
+    from one vectorized SINR evaluation; other models fall back to
+    per-pair :meth:`~repro.interference.base.InterferenceModel.conflicts`
+    calls.  The family found is the same either way — and the caller's
+    final dominance-prune + deterministic sort make discovery order
+    irrelevant.
+    """
+    vertices = link_rate_vertices(model, links)
+    count = len(vertices)
+    compatible = _pairwise_compatibility_masks(model, vertices)
     results = []
-    for clique in nx.find_cliques(complement):
-        results.append(RateIndependentSet(frozenset(clique)))
+    for clique_mask in _maximal_cliques_bitset(compatible, count):
+        members = []
+        while clique_mask:
+            low_bit = clique_mask & -clique_mask
+            members.append(vertices[low_bit.bit_length() - 1])
+            clique_mask ^= low_bit
+        results.append(RateIndependentSet(frozenset(members)))
     return results
+
+
+def _pairwise_compatibility_masks(
+    model: InterferenceModel, vertices: Sequence[LinkRate]
+) -> List[int]:
+    """Bitmask adjacency of the conflict graph's complement.
+
+    ``masks[i]`` has bit ``j`` set when couples ``i`` and ``j`` can
+    transmit concurrently (distinct links, no shared node, and neither
+    receiver loses its rate's SINR against the other sender).
+    """
+    count = len(vertices)
+    kernel = getattr(model, "kernel", None)
+    if kernel is None:
+        masks = [0] * count
+        for i, a in enumerate(vertices):
+            for j in range(i + 1, count):
+                if not model.conflicts(a, vertices[j]):
+                    masks[i] |= 1 << j
+                    masks[j] |= 1 << i
+        return masks
+    # Vectorized path: one link-level SINR-ratio matrix serves every
+    # couple pair (the interferer's rate never matters, only its sender).
+    entries = [kernel.entry(v.link) for v in vertices]
+    senders = np.array([e.sender_index for e in entries])
+    receivers = np.array([e.receiver_index for e in entries])
+    sender_ids = [e.sender_id for e in entries]
+    receiver_ids = [e.receiver_id for e in entries]
+    signals = np.array([e.signal_mw for e in entries])
+    thresholds = np.array([v.rate.sinr_linear for v in vertices])
+    # ratio[i, j]: SINR at couple i's receiver with couple j's sender as
+    # the lone interferer — the same scalar division `sinr` performs.
+    interference = kernel.power[senders[None, :], receivers[:, None]]
+    ratio = signals[:, None] / (interference + kernel.noise_mw)
+    survives = ratio >= thresholds[:, None]
+    compatible = survives & survives.T
+    for i in range(count):
+        for j in range(i + 1, count):
+            if entries[i] is entries[j] or (
+                sender_ids[i] in (sender_ids[j], receiver_ids[j])
+                or receiver_ids[i] in (sender_ids[j], receiver_ids[j])
+            ):
+                compatible[i, j] = compatible[j, i] = False
+    np.fill_diagonal(compatible, False)
+    return [
+        sum(1 << int(j) for j in np.nonzero(compatible[i])[0])
+        for i in range(count)
+    ]
+
+
+def _maximal_cliques_bitset(
+    adjacency: List[int], count: int, subset: Optional[int] = None
+) -> List[int]:
+    """All maximal cliques of a bitmask-adjacency graph (Bron–Kerbosch).
+
+    With ``subset`` given, cliques are enumerated in (and maximal relative
+    to) the sub-graph induced by that vertex mask — the pricing oracle's
+    positive-weight restriction.
+    """
+    cliques: List[int] = []
+
+    def expand(current: int, candidates: int, excluded: int) -> None:
+        if not candidates and not excluded:
+            cliques.append(current)
+            return
+        # Pivot on the vertex covering the most candidates.
+        pivot_pool = candidates | excluded
+        best_cover = -1
+        pivot_adjacency = 0
+        pool = pivot_pool
+        while pool:
+            low_bit = pool & -pool
+            pool ^= low_bit
+            cover = candidates & adjacency[low_bit.bit_length() - 1]
+            cover_size = cover.bit_count()
+            if cover_size > best_cover:
+                best_cover = cover_size
+                pivot_adjacency = cover
+        branch = candidates & ~pivot_adjacency
+        while branch:
+            low_bit = branch & -branch
+            branch ^= low_bit
+            vertex_adjacency = adjacency[low_bit.bit_length() - 1]
+            expand(
+                current | low_bit,
+                candidates & vertex_adjacency,
+                excluded & vertex_adjacency,
+            )
+            candidates ^= low_bit
+            excluded |= low_bit
+
+    start = (1 << count) - 1 if subset is None else subset
+    if start:
+        expand(0, start, 0)
+    return cliques
 
 
 def _enumerate_cumulative(
@@ -200,42 +343,108 @@ def _enumerate_cumulative(
     rate vector of the current members or is infeasible"; since adding an
     interferer can only lower SINRs, that is "adding the link lowers some
     member's rate or is infeasible".
+
+    The DFS carries the accumulated per-node interference vector of the
+    current subset (one power-matrix row added per descent), so evaluating
+    a child subset costs O(nodes + members) instead of the O(members²)
+    SINR recomputation the seed implementation paid at every node.
     """
     ordered = sorted(links, key=lambda l: l.link_id)
+    kernel = model.kernel
+    entries = [kernel.entry(link) for link in ordered]
+    power = kernel.power
+    noise = kernel.noise_mw
+    n_links = len(ordered)
     results: List[RateIndependentSet] = []
     seen: set = set()
 
-    def rate_vector(subset: FrozenSet[Link]) -> Optional[Dict[Link, Rate]]:
-        return model.max_rate_vector(subset)
+    def best_rate(entry, interference: float) -> Optional[Rate]:
+        ratio = entry.signal_mw / (interference + noise)
+        for rate, threshold in zip(entry.rates, entry.thresholds):
+            if ratio >= threshold:
+                return rate
+        return None
 
-    def is_maximal(subset: FrozenSet[Link], vector: Dict[Link, Rate]) -> bool:
-        for link in ordered:
-            if link in subset:
-                continue
-            extended = rate_vector(subset | {link})
-            if extended is None:
-                continue
-            unchanged = all(
-                extended[member].mbps >= vector[member].mbps
-                for member in subset
+    def vector_for(subset, acc) -> Optional[List[Rate]]:
+        """Max rates of ``subset`` members (aligned), or None if infeasible.
+
+        ``acc[j]`` is the summed received power at node ``j`` from all of
+        the subset's senders; a member's interference is that total at its
+        receiver minus its own signal.
+        """
+        rates: List[Rate] = []
+        for index in subset:
+            entry = entries[index]
+            rate = best_rate(
+                entry,
+                acc[entry.receiver_index]
+                - power[entry.sender_index, entry.receiver_index],
             )
-            if unchanged:
-                return False  # the link was addable for free
+            if rate is None:
+                return None
+            rates.append(rate)
+        return rates
+
+    def is_maximal(subset, vector, acc, used_nodes) -> bool:
+        members = set(subset)
+        for index in range(n_links):
+            if index in members:
+                continue
+            entry = entries[index]
+            if entry.sender_id in used_nodes or entry.receiver_id in used_nodes:
+                continue  # half-duplex: never addable
+            # The candidate link itself must survive the subset's senders...
+            if best_rate(entry, float(acc[entry.receiver_index])) is None:
+                continue
+            # ...and every member must keep its exact rate for the addition
+            # to be "free"; a lowered or lost member rate means this link
+            # does not disprove maximality.
+            addable_for_free = True
+            for position, member_index in enumerate(subset):
+                member = entries[member_index]
+                interference = (
+                    acc[member.receiver_index]
+                    - power[member.sender_index, member.receiver_index]
+                    + power[entry.sender_index, member.receiver_index]
+                )
+                extended_rate = best_rate(member, interference)
+                if (
+                    extended_rate is None
+                    or extended_rate.mbps < vector[position].mbps
+                ):
+                    addable_for_free = False
+                    break
+            if addable_for_free:
+                return False
         return True
 
-    def expand(subset: FrozenSet[Link], start: int) -> None:
-        vector = rate_vector(subset)
-        if subset and vector is None:
-            return
-        if subset and is_maximal(subset, vector):
-            candidate = RateIndependentSet.from_vector(vector)
+    def expand(subset, vector, acc, used_nodes, start: int) -> None:
+        if subset and is_maximal(subset, vector, acc, used_nodes):
+            candidate = RateIndependentSet(
+                frozenset(
+                    LinkRate(ordered[index], rate)
+                    for index, rate in zip(subset, vector)
+                )
+            )
             if candidate not in seen:
                 seen.add(candidate)
                 results.append(candidate)
-        for index in range(start, len(ordered)):
-            extended = subset | {ordered[index]}
-            if rate_vector(extended) is not None:
-                expand(extended, index + 1)
+        for index in range(start, n_links):
+            entry = entries[index]
+            if entry.sender_id in used_nodes or entry.receiver_id in used_nodes:
+                continue
+            child_acc = acc + power[entry.sender_index]
+            child = subset + [index]
+            child_vector = vector_for(child, child_acc)
+            if child_vector is None:
+                continue
+            expand(
+                child,
+                child_vector,
+                child_acc,
+                used_nodes | {entry.sender_id, entry.receiver_id},
+                index + 1,
+            )
 
-    expand(frozenset(), 0)
+    expand([], [], np.zeros(power.shape[0]), frozenset(), 0)
     return results

@@ -5,6 +5,14 @@ builder that keeps variables named, assembles the sparse standard form and
 converts solver statuses into the library's exception types, so the model
 code above reads like the paper's formulations rather than like matrix
 plumbing.
+
+Constraints are accumulated as COO triplets and assembled once per
+:meth:`LinearProgram.solve` — as a :class:`scipy.sparse.csr_matrix` for
+large programs, densified below a size threshold where HiGHS ingests a
+dense array faster.  :meth:`LinearProgram.add_column` grows an already-built
+program by one variable with coefficients in existing rows, which is what
+column generation needs: the master problem is assembled once and re-solved
+as columns arrive, never rebuilt.
 """
 
 from __future__ import annotations
@@ -14,10 +22,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
 
 from repro.errors import InfeasibleProblemError, SolverError
 
 __all__ = ["LinearProgram", "LpSolution"]
+
+#: Below this many matrix cells the constraint matrix is passed to linprog
+#: dense — for tiny programs (the common case here) HiGHS's dense ingestion
+#: beats the sparse handoff.
+_DENSE_CELL_LIMIT = 32768
 
 
 @dataclass
@@ -56,9 +70,17 @@ class LinearProgram:
         self._index: Dict[str, int] = {}
         self._objective: List[float] = []
         self._upper: List[Optional[float]] = []
-        self._rows: List[Dict[int, float]] = []
+        # Constraint matrix as COO triplets (rows never change after being
+        # added; columns may grow through add_column).
+        self._entry_rows: List[int] = []
+        self._entry_cols: List[int] = []
+        self._entry_data: List[float] = []
         self._rhs: List[float] = []
         self._row_names: List[str] = []
+        self._row_index: Dict[str, int] = {}
+        #: +1 for a row stored as given (<=), -1 for a negated >= row;
+        #: lets add_column accept coefficients in the caller's orientation.
+        self._row_signs: List[float] = []
 
     # -- construction -------------------------------------------------------------
 
@@ -83,10 +105,33 @@ class LinearProgram:
 
     @property
     def num_constraints(self) -> int:
-        return len(self._rows)
+        return len(self._rhs)
 
     def has_variable(self, name: str) -> bool:
         return name in self._index
+
+    def _add_row(
+        self,
+        coefficients: Dict[str, float],
+        rhs: float,
+        name: Optional[str],
+        sign: float,
+    ) -> str:
+        row_index = len(self._rhs)
+        for var, coeff in coefficients.items():
+            if var not in self._index:
+                raise SolverError(f"unknown LP variable {var!r}")
+            if coeff != 0.0:
+                self._entry_rows.append(row_index)
+                self._entry_cols.append(self._index[var])
+                self._entry_data.append(sign * coeff)
+        if name is None:
+            name = f"c{row_index}"
+        self._rhs.append(sign * rhs)
+        self._row_names.append(name)
+        self._row_index[name] = row_index
+        self._row_signs.append(sign)
+        return name
 
     def add_constraint_le(
         self,
@@ -95,18 +140,7 @@ class LinearProgram:
         name: Optional[str] = None,
     ) -> str:
         """Add ``sum(coeff * var) <= rhs``; returns the constraint name."""
-        row: Dict[int, float] = {}
-        for var, coeff in coefficients.items():
-            if var not in self._index:
-                raise SolverError(f"unknown LP variable {var!r}")
-            if coeff != 0.0:
-                row[self._index[var]] = row.get(self._index[var], 0.0) + coeff
-        if name is None:
-            name = f"c{len(self._rows)}"
-        self._rows.append(row)
-        self._rhs.append(rhs)
-        self._row_names.append(name)
-        return name
+        return self._add_row(coefficients, rhs, name, 1.0)
 
     def add_constraint_ge(
         self,
@@ -115,8 +149,34 @@ class LinearProgram:
         name: Optional[str] = None,
     ) -> str:
         """Add ``sum(coeff * var) >= rhs`` (stored negated as ``<=``)."""
-        negated = {var: -coeff for var, coeff in coefficients.items()}
-        return self.add_constraint_le(negated, -rhs, name=name)
+        return self._add_row(coefficients, rhs, name, -1.0)
+
+    def add_column(
+        self,
+        name: str,
+        entries: Dict[str, float],
+        objective: float = 0.0,
+        upper_bound: Optional[float] = None,
+    ) -> str:
+        """Add a variable with coefficients in *existing* constraints.
+
+        ``entries`` maps constraint names to the variable's coefficient in
+        the constraint's original orientation (the ``<=`` or ``>=`` form it
+        was added with); the stored sign is applied here.  This is the
+        incremental path column generation uses to grow the master problem
+        without re-assembling it.
+        """
+        var = self.add_variable(name, objective=objective, upper_bound=upper_bound)
+        column = self._index[var]
+        for row_name, coeff in entries.items():
+            row_index = self._row_index.get(row_name)
+            if row_index is None:
+                raise SolverError(f"unknown LP constraint {row_name!r}")
+            if coeff != 0.0:
+                self._entry_rows.append(row_index)
+                self._entry_cols.append(column)
+                self._entry_data.append(self._row_signs[row_index] * coeff)
+        return var
 
     # -- solving ---------------------------------------------------------------------
 
@@ -126,11 +186,14 @@ class LinearProgram:
         if n == 0:
             raise SolverError("LP has no variables")
         c = -np.asarray(self._objective, dtype=float)  # linprog minimises
-        if self._rows:
-            a_ub = np.zeros((len(self._rows), n))
-            for row_index, row in enumerate(self._rows):
-                for var_index, coeff in row.items():
-                    a_ub[row_index, var_index] = coeff
+        m = len(self._rhs)
+        if m:
+            a_ub = coo_matrix(
+                (self._entry_data, (self._entry_rows, self._entry_cols)),
+                shape=(m, n),
+            ).tocsr()
+            if m * n <= _DENSE_CELL_LIMIT:
+                a_ub = a_ub.toarray()
             b_ub = np.asarray(self._rhs, dtype=float)
         else:
             a_ub = None

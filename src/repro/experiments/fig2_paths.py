@@ -9,7 +9,7 @@ this experiment regenerates, as text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.experiments.fig3_routing import Fig3Config, Fig3Result, run_fig3
 from repro.experiments.report import format_table
@@ -90,6 +90,8 @@ class Fig2Result:
         )
 
 
-def run_fig2(config: Fig3Config = Fig3Config()) -> Fig2Result:
+def run_fig2(
+    config: Fig3Config = Fig3Config(), workers: Optional[int] = None
+) -> Fig2Result:
     """Regenerate the Fig. 2 placement and per-metric paths."""
-    return Fig2Result(fig3=run_fig3(config))
+    return Fig2Result(fig3=run_fig3(config, workers=workers))

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.report import format_table
+from repro.experiments.parallel import parallel_map
 from repro.interference.protocol import ProtocolInterferenceModel
 from repro.net.topology import Network
 from repro.routing.admission import AdmissionReport, run_sequential_admission
@@ -82,8 +83,8 @@ class Fig3Result:
         )
 
 
-def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
-    """Run the Fig. 3 sequential-admission comparison for each metric."""
+def _build_instance(config: Fig3Config):
+    """Deterministic (network, model, flows) for the config's seeds."""
     network = paper_random_topology(seed=config.topology_seed)
     model = ProtocolInterferenceModel(network)
     flows = random_flow_endpoints(
@@ -93,13 +94,47 @@ def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
         seed=config.flow_seed,
         min_distance_m=config.min_distance_m,
     )
+    return network, model, flows
+
+
+def _run_metric(args) -> AdmissionReport:
+    """One metric's sequential admission, rebuilt from seeds (picklable)."""
+    config, name = args
+    network, model, flows = _build_instance(config)
+    return run_sequential_admission(
+        network,
+        model,
+        flows,
+        METRICS[name],
+        use_column_generation=True,
+    )
+
+
+def run_fig3(
+    config: Fig3Config = Fig3Config(), workers: Optional[int] = None
+) -> Fig3Result:
+    """Run the Fig. 3 sequential-admission comparison for each metric.
+
+    ``workers > 1`` runs the metrics in parallel processes; each worker
+    rebuilds the topology and flows from the config's seeds, so the result
+    is identical to the sequential run.
+    """
+    network, model, flows = _build_instance(config)
     result = Fig3Result(config=config, network=network, flows=flows)
-    for name in config.metrics:
-        result.reports[name] = run_sequential_admission(
-            network,
-            model,
-            flows,
-            METRICS[name],
-            use_column_generation=True,
+    names = list(config.metrics)
+    if workers is not None and workers > 1:
+        reports = parallel_map(
+            _run_metric, [(config, name) for name in names], workers=workers
         )
+        for name, report in zip(names, reports):
+            result.reports[name] = report
+    else:
+        for name in names:
+            result.reports[name] = run_sequential_admission(
+                network,
+                model,
+                flows,
+                METRICS[name],
+                use_column_generation=True,
+            )
     return result

@@ -23,7 +23,7 @@ Paper shape, asserted by the E5 benchmark:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.column_generation import min_airtime_column_generation
 from repro.errors import ConfigurationError
@@ -91,6 +91,7 @@ def run_fig4(
     config: Fig3Config = Fig3Config(),
     idleness_source: str = "csma",
     csma_seed: int = 2,
+    workers: Optional[int] = None,
 ) -> Fig4Result:
     """Run the Fig. 4 comparison.
 
@@ -103,13 +104,16 @@ def run_fig4(
             ``"optimal"`` derives it from the minimum-airtime schedule
             (the theoretical-best background packing).
         csma_seed: MAC randomness for the ``"csma"`` source.
+        workers: Passed through to the underlying Fig. 3 run (the
+            estimator sweep itself is sequential — each flow's state
+            depends on the previous admissions).
     """
     if idleness_source not in ("csma", "optimal"):
         raise ConfigurationError(
             f"idleness_source must be 'csma' or 'optimal', got "
             f"{idleness_source!r}"
         )
-    fig3 = run_fig3(config)
+    fig3 = run_fig3(config, workers=workers)
     network = fig3.network
     model = ProtocolInterferenceModel(network)
     report = fig3.reports["average-e2eD"]

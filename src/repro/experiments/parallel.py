@@ -1,0 +1,36 @@
+"""Deterministic process-pool fan-out for experiment sweeps.
+
+Kept separate from :mod:`repro.experiments.runner` so experiment modules
+can import it without touching the experiment registry (which imports the
+experiment modules — a cycle otherwise).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def parallel_map(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    workers: Optional[int] = None,
+) -> List[_ResultT]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    With ``workers`` ``None``/``<= 1`` (or fewer than two items) this is a
+    plain in-process list map.  Otherwise the items are dispatched to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; ``fn`` and every item
+    must be picklable, and results are returned in input order regardless
+    of completion order — parallelism never changes the output.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -1,13 +1,22 @@
-"""Experiment registry and dispatch (used by the CLI and benchmarks)."""
+"""Experiment registry and dispatch (used by the CLI and benchmarks).
+
+Experiments that sweep independent units of work (seeds, routing metrics)
+accept an opt-in ``workers=N`` and fan the sweep out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` via :func:`parallel_map`.
+Each worker rebuilds its state from the sweep's seeds, and results come
+back in submission order, so a parallel run is byte-identical to the
+sequential one.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.experiments.parallel import parallel_map
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment"]
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "parallel_map"]
 
 
 @dataclass(frozen=True)
@@ -16,10 +25,19 @@ class ExperimentSpec:
 
     experiment_id: str
     description: str
-    runner: Callable[[], object]
+    runner: Callable[..., object]
+    #: Whether the runner accepts ``workers=N`` for process parallelism.
+    supports_workers: bool = False
 
-    def run(self) -> object:
+    def run(self, workers: Optional[int] = None) -> object:
         """Execute and return the result object (all have ``.table()``)."""
+        if workers is not None and workers > 1:
+            if not self.supports_workers:
+                raise ConfigurationError(
+                    f"experiment {self.experiment_id!r} does not support "
+                    "parallel workers"
+                )
+            return self.runner(workers=workers)
         return self.runner()
 
 
@@ -58,13 +76,22 @@ def _registry() -> Dict[str, ExperimentSpec]:
             run_scenario2,
         ),
         ExperimentSpec(
-            "e3", "Fig. 2: random topology and per-metric paths", run_fig2
+            "e3",
+            "Fig. 2: random topology and per-metric paths",
+            run_fig2,
+            supports_workers=True,
         ),
         ExperimentSpec(
-            "e4", "Fig. 3: available bandwidth per flow per metric", run_fig3
+            "e4",
+            "Fig. 3: available bandwidth per flow per metric",
+            run_fig3,
+            supports_workers=True,
         ),
         ExperimentSpec(
-            "e5", "Fig. 4: estimated vs true available bandwidth", run_fig4
+            "e5",
+            "Fig. 4: estimated vs true available bandwidth",
+            run_fig4,
+            supports_workers=True,
         ),
         ExperimentSpec(
             "a1", "Ablation: link adaptation vs fixed rates", run_ablation_a1
@@ -113,6 +140,7 @@ def _registry() -> Dict[str, ExperimentSpec]:
             "s1",
             "Study: seed-robustness of the Fig. 3 metric ordering",
             run_seed_study,
+            supports_workers=True,
         ),
     ]
     return {spec.experiment_id: spec for spec in specs}
@@ -122,7 +150,9 @@ def _registry() -> Dict[str, ExperimentSpec]:
 EXPERIMENTS: Dict[str, ExperimentSpec] = _registry()
 
 
-def run_experiment(experiment_id: str) -> object:
+def run_experiment(
+    experiment_id: str, workers: Optional[int] = None
+) -> object:
     """Run one experiment by id; the result object has a ``.table()``."""
     try:
         spec = EXPERIMENTS[experiment_id]
@@ -131,4 +161,4 @@ def run_experiment(experiment_id: str) -> object:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r} (known: {known})"
         ) from None
-    return spec.run()
+    return spec.run(workers=workers)

@@ -16,10 +16,11 @@ reduced version and asserts the ordering never inverts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.experiments.report import format_table
+from repro.experiments.parallel import parallel_map
 from repro.interference.protocol import ProtocolInterferenceModel
 from repro.routing.admission import run_sequential_admission
 from repro.routing.metrics import METRICS
@@ -91,35 +92,60 @@ class SeedStudyResult:
         return summary
 
 
+def _evaluate_seed(
+    args: Tuple[int, int, float, float],
+) -> Tuple[int, Optional[Dict[str, int]]]:
+    """Admitted-count triple for one seed; ``None`` counts when skipped.
+
+    Module-level (picklable) so :func:`parallel_map` can ship it to worker
+    processes; everything is rebuilt from the seed, making parallel runs
+    byte-identical to sequential ones.
+    """
+    seed, n_flows, demand_mbps, min_distance_m = args
+    try:
+        network = paper_random_topology(seed=seed)
+    except TopologyError:
+        return (seed, None)
+    model = ProtocolInterferenceModel(network)
+    flows = random_flow_endpoints(
+        network,
+        n_flows,
+        demand_mbps=demand_mbps,
+        seed=seed * 100 + 1,
+        min_distance_m=min_distance_m,
+    )
+    counts: Dict[str, int] = {}
+    for name in _METRIC_NAMES:
+        report = run_sequential_admission(
+            network, model, flows, METRICS[name],
+            use_column_generation=True,
+        )
+        counts[name] = report.admitted_count
+    return (seed, counts)
+
+
 def run_seed_study(
     seeds: Sequence[int] = tuple(range(1, 13)),
     n_flows: int = 8,
     demand_mbps: float = 2.0,
     min_distance_m: float = 100.0,
+    workers: Optional[int] = None,
 ) -> SeedStudyResult:
-    """Run the Fig. 3 comparison for every seed; skip unconnectable ones."""
+    """Run the Fig. 3 comparison for every seed; skip unconnectable ones.
+
+    ``workers > 1`` evaluates seeds in parallel processes; results are
+    identical to the sequential run (each seed is self-contained).
+    """
+    outcomes = parallel_map(
+        _evaluate_seed,
+        [(seed, n_flows, demand_mbps, min_distance_m) for seed in seeds],
+        workers=workers,
+    )
     per_seed: List[Tuple[int, Dict[str, int]]] = []
     skipped: List[int] = []
-    for seed in seeds:
-        try:
-            network = paper_random_topology(seed=seed)
-        except TopologyError:
+    for seed, counts in outcomes:
+        if counts is None:
             skipped.append(seed)
-            continue
-        model = ProtocolInterferenceModel(network)
-        flows = random_flow_endpoints(
-            network,
-            n_flows,
-            demand_mbps=demand_mbps,
-            seed=seed * 100 + 1,
-            min_distance_m=min_distance_m,
-        )
-        counts: Dict[str, int] = {}
-        for name in _METRIC_NAMES:
-            report = run_sequential_admission(
-                network, model, flows, METRICS[name],
-                use_column_generation=True,
-            )
-            counts[name] = report.admitted_count
-        per_seed.append((seed, counts))
+        else:
+            per_seed.append((seed, counts))
     return SeedStudyResult(per_seed=per_seed, skipped_seeds=skipped)

@@ -1,0 +1,120 @@
+"""Precomputed geometric power kernel for SINR-based interference models.
+
+Every SINR question the physical and protocol models answer reduces to the
+same three ingredients: the received power of one node's transmission at
+another node, the signal power of a link, and the per-rate SINR thresholds
+a link must clear.  The seed implementation recomputed all three through
+``network.distance`` + ``radio.received_mw`` + ``Rate.sinr_linear`` on every
+query, which made cumulative-set feasibility (Eq. 3) the hot path of the
+whole library.
+
+:class:`GeometricKernel` hoists them out: one node→node received-power
+matrix built at model construction, plus a lazily filled per-link entry
+holding the sender/receiver indices into that matrix, the link's signal
+power, and its standalone rates with pre-converted linear SINR thresholds.
+All values are produced by the *same scalar calls* the seed made
+(``Node.distance_to`` → ``RadioConfig.received_mw``), so cached answers are
+bit-identical to the uncached ones.
+
+The kernel tolerates nodes being added to the network after construction:
+every public accessor checks the node count and rebuilds the matrix when it
+grew (positions are immutable, so existing rows never go stale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.net.link import Link
+from repro.net.topology import Network
+from repro.phy.rates import Rate
+
+__all__ = ["GeometricKernel", "LinkEntry"]
+
+
+@dataclass(frozen=True)
+class LinkEntry:
+    """Precomputed per-link data for SINR evaluation.
+
+    Attributes:
+        sender_index: Row of the link's sender in the power matrix.
+        receiver_index: Column of the link's receiver in the power matrix.
+        sender_id, receiver_id: The endpoint node ids (for half-duplex
+            checks without touching :class:`~repro.net.Link` objects).
+        signal_mw: Received signal power at the link's receiver.
+        rates: Standalone rates (Eq. 1), fastest first.
+        thresholds: Linear SINR thresholds aligned with ``rates``.
+    """
+
+    sender_index: int
+    receiver_index: int
+    sender_id: str
+    receiver_id: str
+    signal_mw: float
+    rates: Tuple[Rate, ...]
+    thresholds: Tuple[float, ...]
+
+
+class GeometricKernel:
+    """Node→node received-power matrix plus per-link SINR data."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.noise_mw = network.radio.noise_mw
+        self._entries: Dict[str, LinkEntry] = {}
+        self._build_matrix()
+
+    def _build_matrix(self) -> None:
+        nodes = self.network.nodes
+        self.node_index = {
+            node.node_id: index for index, node in enumerate(nodes)
+        }
+        received = self.network.radio.received_mw
+        n = len(nodes)
+        power = np.empty((n, n), dtype=float)
+        # Scalar calls on purpose: identical rounding to the uncached path.
+        for i, a in enumerate(nodes):
+            for j, b in enumerate(nodes):
+                power[i, j] = received(a.distance_to(b))
+        self.power = power
+
+    def _ensure_current(self) -> None:
+        if len(self.node_index) != len(self.network.nodes):
+            self._build_matrix()
+            self._entries.clear()
+
+    def entry(self, link: Link) -> LinkEntry:
+        """The precomputed :class:`LinkEntry` for ``link`` (built lazily)."""
+        cached = self._entries.get(link.link_id)
+        if cached is not None:
+            return cached
+        self._ensure_current()
+        radio = self.network.radio
+        length = link.length_m
+        signal = radio.received_mw(length)
+        rates = tuple(
+            rate
+            for rate in radio.rate_table
+            if radio.meets_sensitivity(rate, length)
+            and signal / radio.noise_mw >= rate.sinr_linear
+        )
+        entry = LinkEntry(
+            sender_index=self.node_index[link.sender.node_id],
+            receiver_index=self.node_index[link.receiver.node_id],
+            sender_id=link.sender.node_id,
+            receiver_id=link.receiver.node_id,
+            signal_mw=signal,
+            rates=rates,
+            thresholds=tuple(rate.sinr_linear for rate in rates),
+        )
+        self._entries[link.link_id] = entry
+        return entry
+
+    def received_between(self, sender_entry: LinkEntry, receiver_entry: LinkEntry) -> float:
+        """Power of ``sender_entry``'s sender at ``receiver_entry``'s receiver."""
+        return float(
+            self.power[sender_entry.sender_index, receiver_entry.receiver_index]
+        )

@@ -10,13 +10,21 @@ Pairwise ``conflicts`` is the single-interferer specialisation, which makes
 this model usable by conflict-graph enumeration as a *necessary* filter;
 exact set feasibility always goes through :meth:`max_rate_vector` /
 :meth:`is_independent`.
+
+All SINR queries are served from a precomputed
+:class:`~repro.interference.kernel.GeometricKernel` (node→node received
+powers, per-link signal and thresholds), and :meth:`max_rate_vector` is
+memoized with an LRU keyed on the frozenset of link ids — cumulative-set
+enumeration evaluates the same subsets many times over.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.kernel import GeometricKernel
 from repro.net.link import Link
 from repro.net.topology import Network
 from repro.phy.rates import Rate
@@ -24,70 +32,94 @@ from repro.phy.sinr import sinr
 
 __all__ = ["PhysicalInterferenceModel"]
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` (infeasible).
+_MISSING = object()
+
 
 class PhysicalInterferenceModel(InterferenceModel):
-    """Cumulative interference over geometric networks."""
+    """Cumulative interference over geometric networks.
 
-    def __init__(self, network: Network):
+    Args:
+        network: A geometric network (every node placed).
+        vector_cache_size: Maximum number of link sets whose
+            :meth:`max_rate_vector` result is memoized (LRU eviction).
+    """
+
+    def __init__(self, network: Network, vector_cache_size: int = 65536):
         super().__init__(network)
         if not network.is_geometric:
             raise ValueError(
                 "PhysicalInterferenceModel needs node coordinates; use "
                 "DeclaredInterferenceModel for abstract topologies"
             )
-        self._standalone_cache: Dict[str, Tuple[Rate, ...]] = {}
+        self._kernel = GeometricKernel(network)
+        self._vector_cache: "OrderedDict[FrozenSet[str], Optional[Dict[Link, Rate]]]" = OrderedDict()
+        self._vector_cache_size = int(vector_cache_size)
+
+    @property
+    def kernel(self) -> GeometricKernel:
+        """The precomputed power kernel (shared with the enumeration layer)."""
+        return self._kernel
 
     def standalone_rates(self, link: Link) -> Tuple[Rate, ...]:
-        cached = self._standalone_cache.get(link.link_id)
-        if cached is not None:
-            return cached
-        radio = self.network.radio
-        rates = tuple(
-            rate
-            for rate in radio.rate_table
-            if radio.meets_sensitivity(rate, link.length_m)
-            and radio.received_mw(link.length_m) / radio.noise_mw
-            >= rate.sinr_linear
-        )
-        self._standalone_cache[link.link_id] = rates
-        return rates
+        return self._kernel.entry(link).rates
 
     # -- cumulative computations ------------------------------------------------
 
     def sinr_in_set(self, link: Link, links: FrozenSet[Link]) -> float:
         """Eq. 3: SINR at ``link``'s receiver with all of ``links`` active."""
-        radio = self.network.radio
-        signal = radio.received_mw(link.length_m)
-        interference = sum(
-            radio.received_mw(
-                self.network.distance(
-                    other.sender.node_id, link.receiver.node_id
-                )
-            )
-            for other in links
-            if other != link
-        )
-        return sinr(signal, interference, radio.noise_mw)
+        kernel = self._kernel
+        entry = kernel.entry(link)
+        power = kernel.power
+        receiver = entry.receiver_index
+        interference = 0.0
+        for other in links:
+            if other != link:
+                interference += power[
+                    kernel.entry(other).sender_index, receiver
+                ]
+        return sinr(entry.signal_mw, interference, kernel.noise_mw)
 
     def max_rate_in_set(
         self, link: Link, links: FrozenSet[Link]
     ) -> Optional[Rate]:
         """Fastest rate ``link`` supports inside the concurrent set."""
         ratio = self.sinr_in_set(link, links)
-        radio = self.network.radio
-        for rate in self.standalone_rates(link):
-            if ratio >= rate.sinr_linear:
+        entry = self._kernel.entry(link)
+        for rate, threshold in zip(entry.rates, entry.thresholds):
+            if ratio >= threshold:
                 return rate
         return None
 
     def max_rate_vector(
         self, links: FrozenSet[Link]
     ) -> Optional[Dict[Link, Rate]]:
+        key = frozenset(link.link_id for link in links)
+        cached = self._vector_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._vector_cache.move_to_end(key)
+            return dict(cached) if cached is not None else None
+        result = self._compute_max_rate_vector(links)
+        self._vector_cache[key] = (
+            dict(result) if result is not None else None
+        )
+        if len(self._vector_cache) > self._vector_cache_size:
+            self._vector_cache.popitem(last=False)
+        return result
+
+    def _compute_max_rate_vector(
+        self, links: FrozenSet[Link]
+    ) -> Optional[Dict[Link, Rate]]:
         link_list = list(links)
-        for i, link in enumerate(link_list):
-            for other in link_list[i + 1:]:
-                if link.shares_node_with(other):
-                    return None
+        # Half-duplex pre-check: any node serving two links kills the set.
+        seen_nodes: set = set()
+        for link in link_list:
+            sender = link.sender.node_id
+            receiver = link.receiver.node_id
+            if sender in seen_nodes or receiver in seen_nodes:
+                return None
+            seen_nodes.add(sender)
+            seen_nodes.add(receiver)
         vector: Dict[Link, Rate] = {}
         for link in link_list:
             best = self.max_rate_in_set(link, links)

@@ -15,9 +15,10 @@ are handled.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.interference.base import InterferenceModel, LinkRate
+from repro.interference.kernel import GeometricKernel
 from repro.net.link import Link
 from repro.net.topology import Network
 from repro.phy.rates import Rate
@@ -27,7 +28,12 @@ __all__ = ["ProtocolInterferenceModel"]
 
 
 class ProtocolInterferenceModel(InterferenceModel):
-    """Pairwise rate-coupled conflicts from single-interferer SINR tests."""
+    """Pairwise rate-coupled conflicts from single-interferer SINR tests.
+
+    All SINR queries are lookups into a precomputed
+    :class:`~repro.interference.kernel.GeometricKernel`, so conflict-graph
+    construction costs two array reads and two compares per couple pair.
+    """
 
     def __init__(self, network: Network):
         super().__init__(network)
@@ -36,33 +42,24 @@ class ProtocolInterferenceModel(InterferenceModel):
                 "ProtocolInterferenceModel needs node coordinates; use "
                 "DeclaredInterferenceModel for abstract topologies"
             )
-        self._standalone_cache: Dict[str, Tuple[Rate, ...]] = {}
+        self._kernel = GeometricKernel(network)
+
+    @property
+    def kernel(self) -> GeometricKernel:
+        """The precomputed power kernel."""
+        return self._kernel
 
     def standalone_rates(self, link: Link) -> Tuple[Rate, ...]:
-        cached = self._standalone_cache.get(link.link_id)
-        if cached is not None:
-            return cached
-        radio = self.network.radio
-        rates = tuple(
-            rate
-            for rate in radio.rate_table
-            if radio.meets_sensitivity(rate, link.length_m)
-            and radio.received_mw(link.length_m) / radio.noise_mw
-            >= rate.sinr_linear
-        )
-        self._standalone_cache[link.link_id] = rates
-        return rates
+        return self._kernel.entry(link).rates
 
     def _receiver_survives(self, victim: LinkRate, interferer: Link) -> bool:
         """SINR test at ``victim``'s receiver with one interfering sender."""
-        radio = self.network.radio
-        signal = radio.received_mw(victim.link.length_m)
-        interference = radio.received_mw(
-            self.network.distance(
-                interferer.sender.node_id, victim.link.receiver.node_id
-            )
-        )
-        return sinr(signal, interference, radio.noise_mw) >= victim.rate.sinr_linear
+        kernel = self._kernel
+        entry = kernel.entry(victim.link)
+        interference = kernel.power[
+            kernel.entry(interferer).sender_index, entry.receiver_index
+        ]
+        return sinr(entry.signal_mw, interference, kernel.noise_mw) >= victim.rate.sinr_linear
 
     def _conflict(self, a: LinkRate, b: LinkRate) -> bool:
         return not (

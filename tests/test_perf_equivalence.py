@@ -1,0 +1,315 @@
+"""The optimized hot paths must agree exactly with reference implementations.
+
+The performance work (precomputed power kernel, memoized rate vectors,
+bitmask clique enumeration, vectorized dominance pruning, incremental LP
+columns, process-parallel sweeps) is pure plumbing: every observable result
+must match what the original straightforward implementations produced.
+These tests pin that equivalence on random geometric topologies.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.independent_sets import (
+    RateIndependentSet,
+    enumerate_maximal_independent_sets,
+    prune_dominated,
+)
+from repro.core.lp import LinearProgram
+from repro.errors import SolverError
+from repro.experiments.seed_study import run_seed_study
+from repro.interference.conflict_graph import build_link_rate_conflict_graph
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.topology import Network
+from repro.phy.radio import RadioConfig
+from repro.phy.sinr import sinr
+
+
+# -- reference implementations (the seed's straightforward algorithms) --------
+
+
+def reference_standalone_rates(network, link):
+    """Eq. 1 from scalar radio calls, no kernel."""
+    radio = network.radio
+    signal = radio.received_mw(link.length_m)
+    return tuple(
+        rate
+        for rate in radio.rate_table
+        if radio.meets_sensitivity(rate, link.length_m)
+        and signal / radio.noise_mw >= rate.sinr_linear
+    )
+
+
+def reference_sinr_in_set(network, link, links):
+    """Eq. 3 recomputed per pair through distance + path loss."""
+    radio = network.radio
+    signal = radio.received_mw(link.length_m)
+    interference = 0.0
+    for other in links:
+        if other != link:
+            interference += radio.received_mw(
+                other.sender.distance_to(link.receiver)
+            )
+    return sinr(signal, interference, radio.noise_mw)
+
+
+def reference_max_rate_vector(network, links):
+    """Pairwise-scan half-duplex check plus per-link threshold scan."""
+    link_list = list(links)
+    for index, link in enumerate(link_list):
+        for other in link_list[index + 1:]:
+            if link.shares_node_with(other):
+                return None
+    vector = {}
+    for link in link_list:
+        ratio = reference_sinr_in_set(network, link, links)
+        best = None
+        for rate in reference_standalone_rates(network, link):
+            if ratio >= rate.sinr_linear:
+                best = rate
+                break
+        if best is None:
+            return None
+        vector[link] = best
+    return vector
+
+
+def reference_enumerate_cumulative(network, links):
+    """The seed's recursive subset DFS, recomputing every rate vector."""
+    ordered = sorted(links, key=lambda l: l.link_id)
+    results, seen = [], set()
+
+    def rate_vector(subset):
+        return reference_max_rate_vector(network, frozenset(subset))
+
+    def is_maximal(subset, vector):
+        for link in ordered:
+            if link in subset:
+                continue
+            extended = rate_vector(subset | {link})
+            if extended is None:
+                continue
+            if all(
+                extended[member].mbps >= vector[member].mbps
+                for member in subset
+            ):
+                return False
+        return True
+
+    def expand(subset, start):
+        vector = rate_vector(subset)
+        if subset and vector is None:
+            return
+        if subset and is_maximal(subset, vector):
+            candidate = RateIndependentSet.from_vector(vector)
+            if candidate not in seen:
+                seen.add(candidate)
+                results.append(candidate)
+        for index in range(start, len(ordered)):
+            extended = subset | {ordered[index]}
+            if rate_vector(extended) is not None:
+                expand(extended, index + 1)
+
+    expand(frozenset(), 0)
+    return results
+
+
+def reference_prune(sets):
+    """Quadratic dominance pruning, one ``dominates`` call per pair."""
+    unique = list(dict.fromkeys(sets))
+    kept = []
+    for candidate in unique:
+        if candidate.couples:
+            dominated = any(
+                other.dominates(candidate) for other in unique
+            )
+        else:
+            dominated = len(unique) > 1
+        if not dominated:
+            kept.append(candidate)
+    return kept
+
+
+def reference_enumerate_pairwise(model, links):
+    """The seed's networkx complement-and-cliques route."""
+    usable = [link for link in links if model.standalone_rates(link)]
+    conflict = build_link_rate_conflict_graph(
+        model, usable, same_link_edges=True
+    )
+    complement = nx.complement(conflict)
+    found = [
+        RateIndependentSet(frozenset(clique))
+        for clique in nx.find_cliques(complement)
+    ]
+    pruned = reference_prune(found)
+    pruned.sort(key=lambda s: (-s.size, str(s)))
+    return pruned
+
+
+# -- random geometric topologies ----------------------------------------------
+
+
+@st.composite
+def geometric_networks(draw):
+    """Small random placements with at least one usable link."""
+    n_nodes = draw(st.integers(min_value=3, max_value=6))
+    cells = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=0, max_value=8),
+            ),
+            min_size=n_nodes,
+            max_size=n_nodes,
+            unique=True,
+        )
+    )
+    network = Network(RadioConfig(), name="prop")
+    for index, (cx, cy) in enumerate(cells):
+        network.add_node(f"n{index}", x=cx * 45.0, y=cy * 45.0)
+    network.build_links_within_range()
+    assume(network.links)
+    return network
+
+
+def _links_of_interest(network, cap=8):
+    ordered = sorted(network.links, key=lambda l: l.link_id)
+    return ordered[:cap]
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(network=geometric_networks())
+@settings(max_examples=20, deadline=None)
+def test_kernel_sinr_matches_reference(network):
+    model = PhysicalInterferenceModel(network)
+    links = frozenset(_links_of_interest(network))
+    for link in links:
+        assert model.sinr_in_set(link, links) == pytest.approx(
+            reference_sinr_in_set(network, link, links), rel=1e-9
+        )
+        assert model.standalone_rates(link) == reference_standalone_rates(
+            network, link
+        )
+
+
+@given(network=geometric_networks())
+@settings(max_examples=20, deadline=None)
+def test_memoized_max_rate_vector_matches_reference(network):
+    model = PhysicalInterferenceModel(network)
+    links = frozenset(_links_of_interest(network))
+    expected = reference_max_rate_vector(network, links)
+    first = model.max_rate_vector(links)
+    assert first == expected
+    if first is not None:
+        # Mutating a returned vector must not poison the memo.
+        first.clear()
+    assert model.max_rate_vector(links) == expected
+
+
+@given(network=geometric_networks())
+@settings(max_examples=10, deadline=None)
+def test_cumulative_enumeration_matches_seed_algorithm(network):
+    """Same maximal sets, same deterministic order as the seed DFS."""
+    links = _links_of_interest(network, cap=6)
+    model = PhysicalInterferenceModel(network)
+    usable = [
+        link for link in links if reference_standalone_rates(network, link)
+    ]
+    expected = reference_prune(
+        reference_enumerate_cumulative(network, usable)
+    )
+    expected.sort(key=lambda s: (-s.size, str(s)))
+    assert enumerate_maximal_independent_sets(model, links) == expected
+
+
+@given(network=geometric_networks())
+@settings(max_examples=10, deadline=None)
+def test_pairwise_enumeration_matches_seed_algorithm(network):
+    """The bitmask Bron–Kerbosch finds the networkx clique family."""
+    links = _links_of_interest(network, cap=6)
+    model = ProtocolInterferenceModel(network)
+    assert enumerate_maximal_independent_sets(
+        model, links
+    ) == reference_enumerate_pairwise(model, links)
+
+
+@given(network=geometric_networks())
+@settings(max_examples=10, deadline=None)
+def test_prune_dominated_matches_reference(network):
+    links = _links_of_interest(network, cap=6)
+    model = ProtocolInterferenceModel(network)
+    usable = [link for link in links if model.standalone_rates(link)]
+    conflict = build_link_rate_conflict_graph(
+        model, usable, same_link_edges=True
+    )
+    family = [
+        RateIndependentSet(frozenset(clique))
+        for clique in nx.find_cliques(nx.complement(conflict))
+    ]
+    # Mix in dominated singletons so the pruning has actual work to do.
+    for independent_set in list(family):
+        for couple in independent_set:
+            family.append(RateIndependentSet(frozenset({couple})))
+    assert prune_dominated(family) == reference_prune(family)
+
+
+# -- incremental LP -----------------------------------------------------------
+
+
+def _solve_pair():
+    fresh = LinearProgram()
+    fresh.add_variable("x", objective=1.0)
+    fresh.add_variable("y", objective=2.0)
+    fresh.add_constraint_le({"x": 1.0, "y": 1.0}, 4.0, name="cap")
+    fresh.add_constraint_le({"y": 1.0}, 3.0, name="ycap")
+    fresh.add_constraint_ge({"x": 1.0, "y": 1.0}, 1.0, name="floor")
+
+    grown = LinearProgram()
+    grown.add_variable("x", objective=1.0)
+    grown.add_constraint_le({"x": 1.0}, 4.0, name="cap")
+    grown.add_constraint_le({}, 3.0, name="ycap")
+    grown.add_constraint_ge({"x": 1.0}, 1.0, name="floor")
+    grown.add_column(
+        "y",
+        entries={"cap": 1.0, "ycap": 1.0, "floor": 1.0},
+        objective=2.0,
+    )
+    return fresh.solve(), grown.solve()
+
+
+def test_add_column_matches_fresh_build():
+    fresh, grown = _solve_pair()
+    assert grown.objective == fresh.objective
+    assert grown.values == fresh.values
+    assert grown.duals == fresh.duals
+
+
+def test_add_column_rejects_unknown_constraint():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_constraint_le({"x": 1.0}, 1.0, name="cap")
+    with pytest.raises(SolverError, match="unknown LP constraint"):
+        lp.add_column("y", entries={"nope": 1.0})
+
+
+def test_add_column_duplicate_name_raises():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_constraint_le({"x": 1.0}, 1.0, name="cap")
+    with pytest.raises(SolverError, match="duplicate"):
+        lp.add_column("x", entries={"cap": 1.0})
+
+
+# -- parallel runner ----------------------------------------------------------
+
+
+def test_parallel_seed_study_is_byte_identical():
+    sequential = run_seed_study(seeds=(8, 9), n_flows=2)
+    parallel = run_seed_study(seeds=(8, 9), n_flows=2, workers=2)
+    assert parallel.table() == sequential.table()
+    assert parallel.per_seed == sequential.per_seed
+    assert parallel.skipped_seeds == sequential.skipped_seeds

@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Benchmark harness: run the ``benchmarks/bench_a*.py`` suite and record a
+``BENCH_<date>.json`` trajectory file.
+
+Two kinds of measurement go into the file:
+
+* **solver scaling** — the bench-A6 chain instances re-measured directly
+  (best of N repeats, fresh interference model per repeat so caches never
+  carry over), with separate enumeration-only, end-to-end and
+  column-generation timings; this is the number the perf acceptance
+  criteria track across PRs;
+* **pytest pass/fail** of the ablation benchmark files, so a timing run
+  also proves the benchmarks still assert the paper's facts.
+
+Runs are appended under distinct labels, so one file can hold the
+pre-optimization baseline and the post-optimization numbers side by side::
+
+    python tools/bench_runner.py --label optimized
+    python tools/bench_runner.py --smoke          # CI: errors fail, timing never does
+
+The harness only ever *adds* runs to an existing file for the same date —
+it never rewrites history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path as _FsPath
+
+REPO_ROOT = _FsPath(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: Chain lengths (hops) of the solver-scaling measurement — bench A6's
+#: LENGTHS, including the 10-hop size the optimized enumeration affords.
+LENGTHS = (4, 6, 8, 10)
+#: Repeats per instance; the minimum is reported (steady-state floor).
+REPEATS = 3
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def measure_solver_scaling(lengths=LENGTHS, repeats=REPEATS):
+    """Bench-A6 instances, timed directly (fresh model per repeat)."""
+    from repro import Path, available_path_bandwidth, solve_with_column_generation
+    from repro.core.independent_sets import enumerate_maximal_independent_sets
+    from repro.interference.protocol import ProtocolInterferenceModel
+    from repro.net.generators import chain_topology
+
+    rows = []
+    for hops in lengths:
+        network = chain_topology(hops + 1, 70.0)
+        path = Path(
+            [network.link_between(f"n{i}", f"n{i + 1}") for i in range(hops)]
+        )
+        enum_seconds = end_to_end_seconds = cg_seconds = float("inf")
+        exact = cg = None
+        for _ in range(repeats):
+            model = ProtocolInterferenceModel(network)
+            started = time.perf_counter()
+            sets = enumerate_maximal_independent_sets(model, list(path.links))
+            enum_seconds = min(enum_seconds, time.perf_counter() - started)
+
+            model = ProtocolInterferenceModel(network)
+            started = time.perf_counter()
+            exact = available_path_bandwidth(model, path)
+            end_to_end_seconds = min(
+                end_to_end_seconds, time.perf_counter() - started
+            )
+
+            model = ProtocolInterferenceModel(network)
+            started = time.perf_counter()
+            cg = solve_with_column_generation(model, path)
+            cg_seconds = min(cg_seconds, time.perf_counter() - started)
+        if abs(
+            cg.result.available_bandwidth - exact.available_bandwidth
+        ) > 1e-6 * max(1.0, abs(exact.available_bandwidth)):
+            raise AssertionError(
+                f"optimum mismatch at {hops} hops: enumeration "
+                f"{exact.available_bandwidth} vs column generation "
+                f"{cg.result.available_bandwidth}"
+            )
+        rows.append(
+            {
+                "hops": hops,
+                "optimum_mbps": exact.available_bandwidth,
+                "cg_optimum_mbps": cg.result.available_bandwidth,
+                "columns_enumerated": len(exact.independent_sets),
+                "columns_generated": cg.columns_generated,
+                "independent_sets": len(sets),
+                "enumeration_seconds": enum_seconds,
+                "end_to_end_seconds": end_to_end_seconds,
+                "cg_seconds": cg_seconds,
+            }
+        )
+    return rows
+
+
+def run_pytest_benchmarks(smoke: bool = False):
+    """Run the ablation benchmark files under pytest.
+
+    In smoke mode the expensive timing plugin is skipped and only the A*
+    files run (collection or assertion errors fail, timings never do).
+    """
+    targets = sorted(
+        str(p.relative_to(REPO_ROOT))
+        for p in (REPO_ROOT / "benchmarks").glob("bench_a*.py")
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        "--benchmark-disable",
+        *targets,
+    ]
+    completed = subprocess.run(
+        cmd,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        capture_output=True,
+        text=True,
+    )
+    tail = "\n".join(completed.stdout.strip().splitlines()[-3:])
+    return {
+        "command": " ".join(cmd[2:]),
+        "returncode": completed.returncode,
+        "summary": tail,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        default="run",
+        help="name for this run inside the JSON file (e.g. seed, optimized)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: 4-hop instance only, one repeat, no JSON write; "
+        "exit non-zero on errors, never on timings",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="output path (default BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--skip-pytest",
+        action="store_true",
+        help="record solver-scaling timings only",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows = measure_solver_scaling(lengths=(4,), repeats=1)
+        print(f"smoke solver scaling ok: {rows[0]['optimum_mbps']:.4f} Mbps")
+        pytest_result = run_pytest_benchmarks(smoke=True)
+        print(pytest_result["summary"])
+        return 0 if pytest_result["returncode"] == 0 else 1
+
+    run_entry = {
+        "label": args.label,
+        "git_commit": _git_commit(),
+        "python": platform.python_version(),
+        "solver_scaling": measure_solver_scaling(),
+    }
+    if not args.skip_pytest:
+        pytest_result = run_pytest_benchmarks()
+        run_entry["pytest_benchmarks"] = pytest_result
+        if pytest_result["returncode"] != 0:
+            print(pytest_result["summary"], file=sys.stderr)
+            print("benchmark suite FAILED; not recording run", file=sys.stderr)
+            return 1
+
+    date = _dt.date.today().isoformat()
+    output = (
+        _FsPath(args.output)
+        if args.output
+        else REPO_ROOT / f"BENCH_{date}.json"
+    )
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {"date": date, "runs": []}
+    document["runs"].append(run_entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+
+    print(f"recorded run {args.label!r} -> {output}")
+    header = f"{'hops':>5} {'enum ms':>9} {'e2e ms':>9} {'cg ms':>9} {'optimum':>9}"
+    print(header)
+    for row in run_entry["solver_scaling"]:
+        print(
+            f"{row['hops']:>5} {row['enumeration_seconds'] * 1e3:>9.3f} "
+            f"{row['end_to_end_seconds'] * 1e3:>9.3f} "
+            f"{row['cg_seconds'] * 1e3:>9.3f} {row['optimum_mbps']:>9.4f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
