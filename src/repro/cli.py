@@ -16,6 +16,13 @@ from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.obs import (
+    Recorder,
+    format_trace,
+    get_recorder,
+    use_recorder,
+    write_run_report,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiments that sweep independent "
         "units (e3, e4, e5, s1); results are identical to a sequential run",
     )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree and solver counters after the report "
+        "(tracing never changes the results)",
+    )
+    run_parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable run report (spans, counters, "
+        "gauges; schema-versioned JSON) to PATH",
+    )
     return parser
 
 
@@ -100,17 +120,26 @@ def _configured_runner(experiment_id: str, args: argparse.Namespace):
         "x1": run_admission_accuracy,
         "x2": run_joint_routing,
     }
-    if workers is not None and experiment_id in {"e3", "e4", "e5"}:
-        return lambda: runners[experiment_id](config, workers=workers)
-    return lambda: runners[experiment_id](config)
+    def call():
+        # The override path bypasses run_experiment, so it opens the
+        # experiment span itself to keep traces uniform.
+        with get_recorder().span(f"experiment.{experiment_id}"):
+            if workers is not None and experiment_id in {"e3", "e4", "e5"}:
+                return runners[experiment_id](config, workers=workers)
+            return runners[experiment_id](config)
+
+    return call
 
 
 def _list_experiments() -> str:
     width = max(len(eid) for eid in EXPERIMENTS)
     lines = [
-        f"  {spec.experiment_id:<{width}}  {spec.description}"
+        f"  {spec.experiment_id:<{width}} "
+        f"{'*' if spec.supports_workers else ' '} {spec.description}"
         for spec in EXPERIMENTS.values()
     ]
+    lines.append("")
+    lines.append("  * accepts --workers N (parallel sweep, identical output)")
     return "\n".join(["available experiments:"] + lines)
 
 
@@ -126,20 +155,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         checks = run_verification()
         print(format_verification(checks))
         return 0 if all(check.passed for check in checks) else 1
+    tracing = args.trace or args.trace_json is not None
+    recorder = Recorder() if tracing else None
     exit_code = 0
-    for experiment_id in args.experiments:
-        if experiment_id not in EXPERIMENTS:
-            print(f"unknown experiment: {experiment_id}", file=sys.stderr)
-            exit_code = 2
-            continue
-        try:
-            result = _configured_runner(experiment_id, args)()
-        except ConfigurationError as error:
-            print(str(error), file=sys.stderr)
-            exit_code = 2
-            continue
-        print(result.table())
-        print()
+    ran: List[str] = []
+    with use_recorder(recorder):
+        for experiment_id in args.experiments:
+            if experiment_id not in EXPERIMENTS:
+                print(f"unknown experiment: {experiment_id}", file=sys.stderr)
+                exit_code = 2
+                continue
+            try:
+                result = _configured_runner(experiment_id, args)()
+            except ConfigurationError as error:
+                print(str(error), file=sys.stderr)
+                exit_code = 2
+                continue
+            ran.append(experiment_id)
+            print(result.table())
+            print()
+    if recorder is not None:
+        if args.trace:
+            print(format_trace(recorder))
+            print()
+        if args.trace_json is not None:
+            write_run_report(recorder, args.trace_json, experiments=ran)
     return exit_code
 
 

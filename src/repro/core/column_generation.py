@@ -44,6 +44,7 @@ from repro.interference.base import InterferenceModel, LinkRate
 from repro.interference.conflict_graph import link_rate_vertices
 from repro.net.link import Link
 from repro.net.path import Path
+from repro.obs import get_recorder
 
 __all__ = [
     "ColumnGenerationResult",
@@ -172,6 +173,12 @@ class _PricingProblem:
 
     def exact(self, weights: Dict[LinkRate, float]) -> Set[LinkRate]:
         """Exact MWIS over the positive-weight vertices."""
+        recorder = get_recorder()
+        recorder.count("cg.pricing.exact_calls")
+        with recorder.span("cg.pricing"):
+            return self._exact(weights)
+
+    def _exact(self, weights: Dict[LinkRate, float]) -> Set[LinkRate]:
         positive = 0
         for index, vertex in enumerate(self.vertices):
             if weights.get(vertex, 0.0) > 0.0:
@@ -198,6 +205,12 @@ class _PricingProblem:
         Same ordering and tie-breaks as
         :func:`_greedy_weighted_independent_set`.
         """
+        recorder = get_recorder()
+        recorder.count("cg.pricing.greedy_calls")
+        with recorder.span("cg.pricing"):
+            return self._greedy(weights)
+
+    def _greedy(self, weights: Dict[LinkRate, float]) -> Set[LinkRate]:
         order = sorted(
             (
                 index
@@ -259,6 +272,21 @@ def solve_with_column_generation(
         exact_pricing: Use the exact MWIS oracle (guarantees optimality at
             convergence) or the greedy oracle (faster, lower bound).
     """
+    recorder = get_recorder()
+    with recorder.span("cg.solve"):
+        return _solve_with_column_generation(
+            model, new_path, background, max_iterations, exact_pricing
+        )
+
+
+def _solve_with_column_generation(
+    model: InterferenceModel,
+    new_path: Path,
+    background: Sequence[Tuple[Path, float]],
+    max_iterations: int,
+    exact_pricing: bool,
+) -> ColumnGenerationResult:
+    recorder = get_recorder()
     links = _collect_links(background, new_path)
     demands = link_demands_from_paths(background)
     new_links = set(new_path.links)
@@ -312,45 +340,50 @@ def solve_with_column_generation(
     # read values of variables that solve actually saw (the pool can be one
     # column ahead when the iteration budget runs out).
     solved_vars: List[str] = []
+    initial_pool_size = len(pool)
     while iterations < max_iterations:
         iterations += 1
-        solution = lp.solve()
-        solved_vars = list(lambda_vars)
+        with recorder.span("cg.iteration"):
+            solution = lp.solve()
+            solved_vars = list(lambda_vars)
 
-        # LpSolution stores duals in the max-problem orientation: for every
-        # stored <= row, dual = ∂(max objective)/∂(rhs) >= 0.  A column
-        # (independent set) improves the master iff
-        # Σ_l w_l · R_α[l] > u, with u the airtime dual and w_l the link
-        # demand-row duals.
-        mu = solution.duals.get("airtime", 0.0)
-        prices: Dict[LinkRate, float] = {}
-        for vertex in pricing.vertices:
-            pi = solution.duals.get(f"demand[{vertex.link.link_id}]", 0.0)
-            prices[vertex] = pi * vertex.rate.mbps
-        candidate_vertices = oracle(prices)
-        candidate_value = sum(prices[v] for v in candidate_vertices)
-        if candidate_value <= mu + _PRICING_EPS:
-            proved_optimal = exact_pricing
-            break
-        candidate = RateIndependentSet(frozenset(candidate_vertices))
-        if candidate in pool_index:
-            # The oracle re-proposed a known column: numerically converged.
-            proved_optimal = exact_pricing
-            break
-        pool.append(candidate)
-        pool_index.add(candidate)
-        lambda_vars.append(
-            lp.add_column(
-                f"lambda_{len(pool) - 1}",
-                entries={
-                    "airtime": 1.0,
-                    **{
-                        f"demand[{couple.link.link_id}]": couple.rate.mbps
-                        for couple in candidate
+            # LpSolution stores duals in the max-problem orientation: for
+            # every stored <= row, dual = ∂(max objective)/∂(rhs) >= 0.  A
+            # column (independent set) improves the master iff
+            # Σ_l w_l · R_α[l] > u, with u the airtime dual and w_l the
+            # link demand-row duals.
+            mu = solution.duals.get("airtime", 0.0)
+            prices: Dict[LinkRate, float] = {}
+            for vertex in pricing.vertices:
+                pi = solution.duals.get(f"demand[{vertex.link.link_id}]", 0.0)
+                prices[vertex] = pi * vertex.rate.mbps
+            candidate_vertices = oracle(prices)
+            candidate_value = sum(prices[v] for v in candidate_vertices)
+            if candidate_value <= mu + _PRICING_EPS:
+                proved_optimal = exact_pricing
+                break
+            candidate = RateIndependentSet(frozenset(candidate_vertices))
+            if candidate in pool_index:
+                # The oracle re-proposed a known column: numerically
+                # converged.
+                proved_optimal = exact_pricing
+                break
+            pool.append(candidate)
+            pool_index.add(candidate)
+            lambda_vars.append(
+                lp.add_column(
+                    f"lambda_{len(pool) - 1}",
+                    entries={
+                        "airtime": 1.0,
+                        **{
+                            f"demand[{couple.link.link_id}]": couple.rate.mbps
+                            for couple in candidate
+                        },
                     },
-                },
+                )
             )
-        )
+    recorder.count("cg.iterations", iterations)
+    recorder.count("cg.columns_added", len(pool) - initial_pool_size)
 
     residual = sum(
         solution.values[name]
@@ -409,6 +442,21 @@ def min_airtime_column_generation(
             or (without ``allow_overload``) the optimal airtime exceeds
             one period.
     """
+    recorder = get_recorder()
+    with recorder.span("cg.solve"):
+        return _min_airtime_column_generation(
+            model, background, max_iterations, exact_pricing, allow_overload
+        )
+
+
+def _min_airtime_column_generation(
+    model: InterferenceModel,
+    background: Sequence[Tuple[Path, float]],
+    max_iterations: int,
+    exact_pricing: bool,
+    allow_overload: bool,
+) -> LinkSchedule:
+    recorder = get_recorder()
     links = _collect_links(background)
     if not links:
         return LinkSchedule(())
@@ -446,35 +494,41 @@ def min_airtime_column_generation(
             name=f"demand[{link.link_id}]",
         )
     solved_vars: List[str] = []
+    initial_pool_size = len(pool)
+    iterations = 0
     for _iteration in range(max_iterations):
-        solution = lp.solve()
-        solved_vars = list(lambda_vars)
-        prices = {
-            vertex: solution.duals.get(
-                f"demand[{vertex.link.link_id}]", 0.0
+        iterations += 1
+        with recorder.span("cg.iteration"):
+            solution = lp.solve()
+            solved_vars = list(lambda_vars)
+            prices = {
+                vertex: solution.duals.get(
+                    f"demand[{vertex.link.link_id}]", 0.0
+                )
+                * vertex.rate.mbps
+                for vertex in pricing.vertices
+            }
+            candidate_vertices = oracle(prices)
+            candidate_value = sum(prices[v] for v in candidate_vertices)
+            if candidate_value <= 1.0 + _PRICING_EPS:
+                break
+            candidate = RateIndependentSet(frozenset(candidate_vertices))
+            if candidate in pool_index:
+                break
+            pool.append(candidate)
+            pool_index.add(candidate)
+            lambda_vars.append(
+                lp.add_column(
+                    f"lambda_{len(pool) - 1}",
+                    objective=-1.0,
+                    entries={
+                        f"demand[{couple.link.link_id}]": couple.rate.mbps
+                        for couple in candidate
+                    },
+                )
             )
-            * vertex.rate.mbps
-            for vertex in pricing.vertices
-        }
-        candidate_vertices = oracle(prices)
-        candidate_value = sum(prices[v] for v in candidate_vertices)
-        if candidate_value <= 1.0 + _PRICING_EPS:
-            break
-        candidate = RateIndependentSet(frozenset(candidate_vertices))
-        if candidate in pool_index:
-            break
-        pool.append(candidate)
-        pool_index.add(candidate)
-        lambda_vars.append(
-            lp.add_column(
-                f"lambda_{len(pool) - 1}",
-                objective=-1.0,
-                entries={
-                    f"demand[{couple.link.link_id}]": couple.rate.mbps
-                    for couple in candidate
-                },
-            )
-        )
+    recorder.count("cg.iterations", iterations)
+    recorder.count("cg.columns_added", len(pool) - initial_pool_size)
 
     residual = sum(
         value

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import InterferenceError
 from repro.interference.base import InterferenceModel, LinkRate
+from repro.obs import get_recorder
 from repro.interference.conflict_graph import link_rate_vertices
 from repro.interference.physical import PhysicalInterferenceModel
 from repro.net.link import Link
@@ -187,20 +188,27 @@ def enumerate_maximal_independent_sets(
         descending, then lexicographically by couple names) so downstream
         LPs are reproducible.
     """
-    usable = [link for link in links if model.standalone_rates(link)]
-    if not usable:
-        return []
-    if isinstance(model, PhysicalInterferenceModel):
-        found = _enumerate_cumulative(model, usable)
-    else:
-        found = _enumerate_pairwise(model, usable)
-    if max_sets is not None and len(found) > max_sets:
-        raise InterferenceError(
-            f"{len(found)} maximal independent sets exceed the cap "
-            f"{max_sets}; use column generation for this instance"
-        )
-    pruned = prune_dominated(found)
-    pruned.sort(key=lambda s: (-s.size, str(s)))
+    recorder = get_recorder()
+    with recorder.span("enum.sets"):
+        usable = [link for link in links if model.standalone_rates(link)]
+        if not usable:
+            return []
+        if isinstance(model, PhysicalInterferenceModel):
+            with recorder.span("enum.cumulative"):
+                found = _enumerate_cumulative(model, usable)
+        else:
+            with recorder.span("enum.pairwise"):
+                found = _enumerate_pairwise(model, usable)
+        if max_sets is not None and len(found) > max_sets:
+            raise InterferenceError(
+                f"{len(found)} maximal independent sets exceed the cap "
+                f"{max_sets}; use column generation for this instance"
+            )
+        with recorder.span("enum.prune"):
+            pruned = prune_dominated(found)
+        pruned.sort(key=lambda s: (-s.size, str(s)))
+        recorder.count("enum.sets_found", len(found))
+        recorder.count("enum.sets_pruned", len(found) - len(pruned))
     return pruned
 
 
@@ -291,8 +299,11 @@ def _maximal_cliques_bitset(
     positive-weight restriction.
     """
     cliques: List[int] = []
+    dfs_nodes = 0
 
     def expand(current: int, candidates: int, excluded: int) -> None:
+        nonlocal dfs_nodes
+        dfs_nodes += 1
         if not candidates and not excluded:
             cliques.append(current)
             return
@@ -324,7 +335,12 @@ def _maximal_cliques_bitset(
 
     start = (1 << count) - 1 if subset is None else subset
     if start:
-        expand(0, start, 0)
+        recorder = get_recorder()
+        with recorder.span("enum.independent_sets"):
+            expand(0, start, 0)
+        # One batched update keeps the per-DFS-node cost recorder-free.
+        recorder.count("enum.dfs_nodes", dfs_nodes)
+        recorder.count("enum.maximal_sets_emitted", len(cliques))
     return cliques
 
 
@@ -357,6 +373,7 @@ def _enumerate_cumulative(
     n_links = len(ordered)
     results: List[RateIndependentSet] = []
     seen: set = set()
+    dfs_nodes = 0
 
     def best_rate(entry, interference: float) -> Optional[Rate]:
         ratio = entry.signal_mw / (interference + noise)
@@ -419,6 +436,8 @@ def _enumerate_cumulative(
         return True
 
     def expand(subset, vector, acc, used_nodes, start: int) -> None:
+        nonlocal dfs_nodes
+        dfs_nodes += 1
         if subset and is_maximal(subset, vector, acc, used_nodes):
             candidate = RateIndependentSet(
                 frozenset(
@@ -447,4 +466,7 @@ def _enumerate_cumulative(
             )
 
     expand([], [], np.zeros(power.shape[0]), frozenset(), 0)
+    recorder = get_recorder()
+    recorder.count("enum.dfs_nodes", dfs_nodes)
+    recorder.count("enum.maximal_sets_emitted", len(results))
     return results

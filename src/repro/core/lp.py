@@ -25,6 +25,7 @@ from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
 from repro.errors import InfeasibleProblemError, SolverError
+from repro.obs import get_recorder
 
 __all__ = ["LinearProgram", "LpSolution"]
 
@@ -185,6 +186,11 @@ class LinearProgram:
         n = len(self._names)
         if n == 0:
             raise SolverError("LP has no variables")
+        recorder = get_recorder()
+        recorder.count("lp.solves")
+        recorder.gauge("lp.rows", len(self._rhs))
+        recorder.gauge("lp.cols", n)
+        recorder.gauge("lp.nnz", len(self._entry_data))
         c = -np.asarray(self._objective, dtype=float)  # linprog minimises
         m = len(self._rhs)
         if m:
@@ -199,7 +205,10 @@ class LinearProgram:
             a_ub = None
             b_ub = None
         bounds = [(0.0, upper) for upper in self._upper]
-        result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        with recorder.span("lp.solve"):
+            result = linprog(
+                c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs"
+            )
         if result.status == 2:
             raise InfeasibleProblemError(
                 "LP is infeasible: the background demands cannot all be "

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +32,7 @@ from repro.interference.protocol import ProtocolInterferenceModel
 from repro.mac.config import CsmaConfig
 from repro.mac.simulator import simulate_background
 from repro.net.link import Link
+from repro.obs import Recorder, get_recorder
 from repro.net.path import Path
 from repro.phy.rates import Rate
 from repro.workloads.scenarios import scenario_two
@@ -154,30 +154,38 @@ class AblationA2Result:
 
 
 def run_ablation_a2(config: Fig3Config = Fig3Config()) -> AblationA2Result:
-    """A2: full enumeration vs column generation on the Fig. 3 instances."""
+    """A2: full enumeration vs column generation on the Fig. 3 instances.
+
+    The enum/CG split is timed with ``repro.obs`` spans — the same clock
+    the bench harness records — so the ablation report and
+    ``BENCH_*.json`` share one timing source.  When tracing is active the
+    spans join the run's global trace; otherwise a private recorder serves
+    purely as the timer.
+    """
     fig3 = run_fig3(config)
     model = ProtocolInterferenceModel(fig3.network)
     report = fig3.reports["average-e2eD"]
+    recorder = get_recorder()
+    if not recorder.enabled:
+        recorder = Recorder()
     rows: List[Tuple[str, float, float, float, float, int]] = []
     background: List[Tuple[Path, float]] = []
     for outcome in report.outcomes[:4]:
         if outcome.path is None:
             continue
-        started = time.perf_counter()
-        enumerated = available_path_bandwidth(
-            model, outcome.path, background
-        ).available_bandwidth
-        enum_seconds = time.perf_counter() - started
-        started = time.perf_counter()
-        cg = solve_with_column_generation(model, outcome.path, background)
-        cg_seconds = time.perf_counter() - started
+        with recorder.span("ablation.a2.enumeration") as enum_span:
+            enumerated = available_path_bandwidth(
+                model, outcome.path, background
+            ).available_bandwidth
+        with recorder.span("ablation.a2.column_generation") as cg_span:
+            cg = solve_with_column_generation(model, outcome.path, background)
         rows.append(
             (
                 f"{outcome.flow.flow_id} (+{len(background)} background)",
                 enumerated,
                 cg.result.available_bandwidth,
-                enum_seconds,
-                cg_seconds,
+                enum_span.seconds,
+                cg_span.seconds,
                 cg.iterations,
             )
         )

@@ -3,17 +3,44 @@
 Kept separate from :mod:`repro.experiments.runner` so experiment modules
 can import it without touching the experiment registry (which imports the
 experiment modules — a cycle otherwise).
+
+When a recorder is active (``repro run --trace``), each worker process
+records into a fresh :class:`~repro.obs.Recorder` and ships its snapshot
+back with the result; the parent grafts them in submission order under
+``parallel.worker[<i>]`` spans, so a parallel trace carries per-worker
+wall time and the workers' solver counters.  Tracing never changes the
+results — the same items run through the same ``fn`` either way.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs import Recorder, get_recorder, use_recorder
 
 __all__ = ["parallel_map"]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
+
+
+def _traced_call(
+    payload: Tuple[Callable[[Any], Any], Any],
+) -> Tuple[Any, float, Dict[str, Any]]:
+    """Worker-side wrapper: run one item under a fresh recorder.
+
+    Returns (result, wall seconds, recorder snapshot).  Module-level so it
+    pickles; the previous recorder is always restored because pool workers
+    are reused across items.
+    """
+    fn, item = payload
+    recorder = Recorder()
+    started = time.perf_counter()
+    with use_recorder(recorder):
+        result = fn(item)
+    return result, time.perf_counter() - started, recorder.snapshot()
 
 
 def parallel_map(
@@ -30,7 +57,25 @@ def parallel_map(
     of completion order — parallelism never changes the output.
     """
     items = list(items)
+    recorder = get_recorder()
     if workers is None or workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        if not recorder.enabled:
+            return [fn(item) for item in items]
+        results: List[_ResultT] = []
+        for index, item in enumerate(items):
+            with recorder.span(f"parallel.worker[{index}]"):
+                results.append(fn(item))
+        return results
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        if not recorder.enabled:
+            return list(pool.map(fn, items))
+        outcomes = list(
+            pool.map(_traced_call, [(fn, item) for item in items])
+        )
+    results = []
+    for index, (result, seconds, snapshot) in enumerate(outcomes):
+        recorder.merge(
+            snapshot, under=f"parallel.worker[{index}]", seconds=seconds
+        )
+        results.append(result)
+    return results

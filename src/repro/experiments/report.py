@@ -19,7 +19,7 @@ def format_cell(value: object, precision: int = 3) -> str:
         if math.isnan(value):
             return "-"
         if math.isinf(value):
-            return "inf"
+            return "-inf" if value < 0 else "inf"
         return f"{value:.{precision}f}"
     return str(value)
 

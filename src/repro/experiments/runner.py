@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import parallel_map
+from repro.obs import get_recorder
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "parallel_map"]
 
@@ -31,14 +32,15 @@ class ExperimentSpec:
 
     def run(self, workers: Optional[int] = None) -> object:
         """Execute and return the result object (all have ``.table()``)."""
-        if workers is not None and workers > 1:
-            if not self.supports_workers:
-                raise ConfigurationError(
-                    f"experiment {self.experiment_id!r} does not support "
-                    "parallel workers"
-                )
-            return self.runner(workers=workers)
-        return self.runner()
+        with get_recorder().span(f"experiment.{self.experiment_id}"):
+            if workers is not None and workers > 1:
+                if not self.supports_workers:
+                    raise ConfigurationError(
+                        f"experiment {self.experiment_id!r} does not "
+                        "support parallel workers"
+                    )
+                return self.runner(workers=workers)
+            return self.runner()
 
 
 def _registry() -> Dict[str, ExperimentSpec]:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.net.link import Link
 from repro.net.topology import Network
+from repro.obs import get_recorder
 from repro.phy.rates import Rate
 
 __all__ = ["GeometricKernel", "LinkEntry"]
@@ -68,6 +69,7 @@ class GeometricKernel:
         self._build_matrix()
 
     def _build_matrix(self) -> None:
+        get_recorder().count("kernel.matrix_builds")
         nodes = self.network.nodes
         self.node_index = {
             node.node_id: index for index, node in enumerate(nodes)
@@ -90,7 +92,9 @@ class GeometricKernel:
         """The precomputed :class:`LinkEntry` for ``link`` (built lazily)."""
         cached = self._entries.get(link.link_id)
         if cached is not None:
+            get_recorder().count("kernel.entry.hits")
             return cached
+        get_recorder().count("kernel.entry.misses")
         self._ensure_current()
         radio = self.network.radio
         length = link.length_m

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.interference.base import InterferenceModel, LinkRate
 from repro.interference.kernel import GeometricKernel
+from repro.obs import get_recorder
 from repro.net.link import Link
 from repro.net.topology import Network
 from repro.phy.rates import Rate
@@ -97,8 +98,10 @@ class PhysicalInterferenceModel(InterferenceModel):
         key = frozenset(link.link_id for link in links)
         cached = self._vector_cache.get(key, _MISSING)
         if cached is not _MISSING:
+            get_recorder().count("kernel.vector_cache.hits")
             self._vector_cache.move_to_end(key)
             return dict(cached) if cached is not None else None
+        get_recorder().count("kernel.vector_cache.misses")
         result = self._compute_max_rate_vector(links)
         self._vector_cache[key] = (
             dict(result) if result is not None else None

@@ -24,6 +24,7 @@ from repro.mac.stats import LinkStats, MacReport
 from repro.net.link import Link
 from repro.net.path import Path
 from repro.net.topology import Network
+from repro.obs import get_recorder
 from repro.rng import SeedLike, make_rng
 
 __all__ = ["CsmaSimulator", "simulate_background"]
@@ -188,6 +189,20 @@ class CsmaSimulator:
     # -- main loop --------------------------------------------------------------------
 
     def run(self) -> MacReport:
+        recorder = get_recorder()
+        with recorder.span("mac.run"):
+            report = self._run()
+        # Roll the per-link counters up once per run; the slot loop itself
+        # stays recorder-free.
+        recorder.count("mac.slots", self.config.sim_slots)
+        for link_stats in report.per_link.values():
+            recorder.count("mac.attempts", link_stats.attempts)
+            recorder.count("mac.collisions", link_stats.collisions)
+            recorder.count("mac.successes", link_stats.successes)
+            recorder.count("mac.drops", link_stats.drops)
+        return report
+
+    def _run(self) -> MacReport:
         config = self.config
         states = self._states
         n = len(states)

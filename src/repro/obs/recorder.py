@@ -1,0 +1,278 @@
+"""The recorder: nested span timers plus counter/gauge registries.
+
+One :class:`Recorder` holds everything a run produces:
+
+* **spans** — wall-clock timers opened with ``recorder.span("name")`` as a
+  context manager.  Spans nest; siblings with the same name under the same
+  parent aggregate into one tree node (call count + total seconds), so a
+  column-generation loop with 200 iterations stays one line in the tree,
+  not 200.
+* **counters** — monotonically increasing integers (``recorder.count``),
+  e.g. cache hits, DFS nodes visited, columns generated.
+* **gauges** — last-written values (``recorder.gauge``), e.g. the row /
+  column / nonzero dimensions of the most recent LP.
+
+Instrumentation sites never hold a recorder; they fetch the *current* one
+through :func:`get_recorder`.  The default is :data:`NULL_RECORDER`, whose
+methods are no-ops and whose ``span`` returns one shared, reusable null
+context manager — disabled instrumentation costs one global lookup and one
+no-op call, nothing is allocated.  Recording changes no computation:
+results are bit-identical with tracing on or off (pinned by
+``tests/test_obs_instrumentation.py``).
+
+Worker processes cannot share the parent's recorder; they record into a
+fresh one and ship back :meth:`Recorder.snapshot`, which the parent grafts
+with :meth:`Recorder.merge` (counters add, gauges last-win, span trees
+attach under the current span).  Merging in submission order keeps traces
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SCHEMA_VERSION",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+]
+
+#: Version of the snapshot / ``--trace-json`` document layout.  Bump when
+#: a key is renamed or removed; additions are backward compatible.
+SCHEMA_VERSION = 1
+
+
+class SpanNode:
+    """One node of the aggregated span tree."""
+
+    __slots__ = ("name", "calls", "seconds", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+
+class _SpanHandle:
+    """Context manager for one span activation; reports its own duration."""
+
+    __slots__ = ("_recorder", "_node", "_start", "seconds")
+
+    def __init__(self, recorder: "Recorder", node: SpanNode):
+        self._recorder = recorder
+        self._node = node
+        self._start = 0.0
+        #: Duration of this activation, set on exit (0.0 while open).
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._recorder._stack.append(self._node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._start
+        self._node.calls += 1
+        self._node.seconds += self.seconds
+        self._recorder._stack.pop()
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span; reused so disabled spans allocate nothing."""
+
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder with every operation disabled (the default)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def merge(
+        self,
+        snapshot: Dict[str, Any],
+        under: Optional[str] = None,
+        seconds: Optional[float] = None,
+    ) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "counters": {},
+            "gauges": {},
+            "spans": [],
+        }
+
+
+#: The process-wide disabled recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """An enabled recorder: span tree, counters and gauges."""
+
+    enabled = True
+
+    def __init__(self):
+        self._root = SpanNode("<root>")
+        self._stack: List[SpanNode] = [self._root]
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str) -> _SpanHandle:
+        """A context manager timing one activation of span ``name``.
+
+        The span becomes (or extends) the child of the currently open span,
+        so nesting reflects the call structure.  The handle's ``seconds``
+        attribute holds this activation's duration after exit.
+        """
+        return _SpanHandle(self, self._stack[-1].child(name))
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter values by name (a copy)."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """Gauge values by name (a copy)."""
+        return dict(self._gauges)
+
+    @property
+    def root(self) -> SpanNode:
+        """Root of the span tree (its children are the top-level spans)."""
+        return self._root
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state: schema version, counters, gauges, span tree."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "spans": [c.to_dict() for c in self._root.children.values()],
+        }
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(
+        self,
+        snapshot: Dict[str, Any],
+        under: Optional[str] = None,
+        seconds: Optional[float] = None,
+    ) -> None:
+        """Graft a :meth:`snapshot` (e.g. from a worker process).
+
+        Counters add, gauges last-win, and the snapshot's span trees attach
+        beneath the currently open span — inside a synthetic child named
+        ``under`` when given (e.g. ``"parallel.worker[3]"``).  The
+        synthetic span's duration is ``seconds`` when given (the worker's
+        measured wall time), else the sum of the snapshot's top-level
+        spans.  Call in submission order to keep merged traces
+        deterministic.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self._gauges[name] = value
+        spans = snapshot.get("spans", [])
+        parent = self._stack[-1]
+        if under is not None:
+            synthetic = parent.child(under)
+            synthetic.calls += 1
+            if seconds is None:
+                seconds = sum(s.get("seconds", 0.0) for s in spans)
+            synthetic.seconds += seconds
+            parent = synthetic
+        for span in spans:
+            _graft(parent, span)
+
+
+def _graft(parent: SpanNode, span: Dict[str, Any]) -> None:
+    node = parent.child(span["name"])
+    node.calls += span.get("calls", 0)
+    node.seconds += span.get("seconds", 0.0)
+    for child in span.get("children", []):
+        _graft(node, child)
+
+
+#: The current recorder; instrumentation sites read it via get_recorder().
+_current: "NullRecorder | Recorder" = NULL_RECORDER
+
+
+def get_recorder():
+    """The recorder instrumentation should write to (never ``None``)."""
+    return _current
+
+
+def set_recorder(recorder) -> None:
+    """Install ``recorder`` as current; ``None`` restores the null one."""
+    global _current
+    _current = NULL_RECORDER if recorder is None else recorder
+
+
+@contextmanager
+def use_recorder(recorder) -> Iterator["NullRecorder | Recorder"]:
+    """Install ``recorder`` for the duration of the ``with`` block."""
+    global _current
+    previous = _current
+    _current = NULL_RECORDER if recorder is None else recorder
+    try:
+        yield _current
+    finally:
+        _current = previous

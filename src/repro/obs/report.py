@@ -1,0 +1,106 @@
+"""Rendering and serialisation of a recorder's contents.
+
+Two consumers: ``repro run --trace`` prints :func:`format_trace` after the
+normal experiment report, and ``--trace-json`` (plus the benchmark
+harness) writes :func:`run_report` — a schema-versioned JSON document that
+downstream tooling can parse without scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.recorder import SCHEMA_VERSION, Recorder
+
+__all__ = ["format_trace", "run_report", "write_run_report"]
+
+
+def _span_lines(
+    span: Dict[str, Any], depth: int, lines: List[str], name_width: int
+) -> None:
+    label = "  " * depth + span["name"]
+    lines.append(
+        f"  {label:<{name_width}}  {span['calls']:>7}x  "
+        f"{span['seconds'] * 1e3:>10.3f} ms"
+    )
+    for child in span.get("children", []):
+        _span_lines(child, depth + 1, lines, name_width)
+
+
+def _max_label_width(span: Dict[str, Any], depth: int) -> int:
+    width = 2 * depth + len(span["name"])
+    for child in span.get("children", []):
+        width = max(width, _max_label_width(child, depth + 1))
+    return width
+
+
+def format_trace(recorder: Recorder) -> str:
+    """Indented span tree plus counter and gauge tables, as plain text."""
+    snapshot = recorder.snapshot()
+    parts: List[str] = ["trace:"]
+    spans = snapshot["spans"]
+    if spans:
+        width = max(_max_label_width(span, 0) for span in spans)
+        lines: List[str] = []
+        for span in spans:
+            _span_lines(span, 0, lines, width)
+        parts.append("spans (calls, total time):")
+        parts.extend(lines)
+    else:
+        parts.append("spans: (none recorded)")
+    counters = snapshot["counters"]
+    if counters:
+        name_width = max(len(name) for name in counters)
+        parts.append("counters:")
+        parts.extend(
+            f"  {name:<{name_width}}  {value}"
+            for name, value in counters.items()
+        )
+    else:
+        parts.append("counters: (none recorded)")
+    gauges = snapshot["gauges"]
+    if gauges:
+        name_width = max(len(name) for name in gauges)
+        parts.append("gauges:")
+        parts.extend(
+            f"  {name:<{name_width}}  {value:g}"
+            for name, value in gauges.items()
+        )
+    return "\n".join(parts)
+
+
+def run_report(
+    recorder: Recorder,
+    experiments: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The machine-readable run report (the ``--trace-json`` document).
+
+    The layout is versioned by ``schema_version`` (see
+    :data:`~repro.obs.recorder.SCHEMA_VERSION`); consumers should reject
+    documents whose major version they do not know.
+    """
+    snapshot = recorder.snapshot()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generator": "repro.obs",
+        "python": platform.python_version(),
+        "experiments": list(experiments) if experiments is not None else [],
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+    }
+
+
+def write_run_report(
+    recorder: Recorder,
+    path: str,
+    experiments: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Write :func:`run_report` to ``path`` as JSON; returns the document."""
+    document = run_report(recorder, experiments=experiments)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document

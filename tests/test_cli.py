@@ -25,6 +25,18 @@ class TestMain:
         assert main(["list"]) == 0
         assert "available experiments" in capsys.readouterr().out
 
+    def test_list_marks_parallel_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split()[0]: line
+            for line in out.splitlines()
+            if line.strip() and line.split()[0] in {"e3", "e4", "a1"}
+        }
+        assert "*" in lines["e3"] and "*" in lines["e4"]
+        assert "*" not in lines["a1"]
+        assert "accepts --workers" in out
+
     def test_run_e2(self, capsys):
         assert main(["run", "e2"]) == 0
         out = capsys.readouterr().out

@@ -15,6 +15,11 @@ class TestFormatCell:
     def test_inf(self):
         assert format_cell(math.inf) == "inf"
 
+    def test_negative_inf_keeps_sign(self):
+        # Regression: the isinf branch used to drop the sign and render
+        # -inf as "inf".
+        assert format_cell(-math.inf) == "-inf"
+
     def test_strings_passthrough(self):
         assert format_cell("abc") == "abc"
 

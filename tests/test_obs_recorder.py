@@ -1,0 +1,218 @@
+"""The observability recorder: spans, counters, gauges, snapshots, merge."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    SCHEMA_VERSION,
+    format_trace,
+    get_recorder,
+    run_report,
+    set_recorder,
+    use_recorder,
+    write_run_report,
+)
+
+
+class TestSpans:
+    def test_span_times_and_counts(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            pass
+        snapshot = recorder.snapshot()
+        [outer] = snapshot["spans"]
+        assert outer["name"] == "outer"
+        assert outer["calls"] == 1
+        assert outer["seconds"] >= 0.0
+
+    def test_spans_nest(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        [outer] = recorder.snapshot()["spans"]
+        [inner] = outer["children"]
+        assert inner["name"] == "inner"
+
+    def test_same_name_siblings_aggregate(self):
+        recorder = Recorder()
+        for _ in range(5):
+            with recorder.span("loop"):
+                pass
+        [loop] = recorder.snapshot()["spans"]
+        assert loop["calls"] == 5
+
+    def test_handle_reports_its_own_duration(self):
+        recorder = Recorder()
+        with recorder.span("a") as first:
+            pass
+        with recorder.span("a") as second:
+            pass
+        # Each handle holds its activation's duration, not the total.
+        [node] = recorder.snapshot()["spans"]
+        assert node["seconds"] == pytest.approx(
+            first.seconds + second.seconds
+        )
+
+    def test_span_closes_on_exception(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.span("fails"):
+                raise ValueError("boom")
+        # The stack unwound: a new span is again a top-level child.
+        with recorder.span("after"):
+            pass
+        names = [s["name"] for s in recorder.snapshot()["spans"]]
+        assert names == ["fails", "after"]
+
+
+class TestCountersAndGauges:
+    def test_count_accumulates(self):
+        recorder = Recorder()
+        recorder.count("hits")
+        recorder.count("hits", 4)
+        assert recorder.counters == {"hits": 5}
+
+    def test_gauge_last_wins(self):
+        recorder = Recorder()
+        recorder.gauge("rows", 3)
+        recorder.gauge("rows", 17)
+        assert recorder.gauges == {"rows": 17}
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_round_trippable(self):
+        recorder = Recorder()
+        recorder.count("c", 2)
+        recorder.gauge("g", 1.5)
+        with recorder.span("s"):
+            pass
+        document = json.loads(json.dumps(recorder.snapshot()))
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["counters"] == {"c": 2}
+        assert document["gauges"] == {"g": 1.5}
+
+    def test_counters_sorted_for_stable_reports(self):
+        recorder = Recorder()
+        recorder.count("zeta")
+        recorder.count("alpha")
+        assert list(recorder.snapshot()["counters"]) == ["alpha", "zeta"]
+
+
+class TestMerge:
+    def _worker_snapshot(self):
+        worker = Recorder()
+        worker.count("hits", 3)
+        worker.gauge("rows", 9)
+        with worker.span("work"):
+            pass
+        return worker.snapshot()
+
+    def test_counters_add_and_gauges_overwrite(self):
+        recorder = Recorder()
+        recorder.count("hits", 1)
+        recorder.gauge("rows", 2)
+        recorder.merge(self._worker_snapshot())
+        assert recorder.counters == {"hits": 4}
+        assert recorder.gauges == {"rows": 9}
+
+    def test_spans_graft_under_current_span(self):
+        recorder = Recorder()
+        with recorder.span("parent"):
+            recorder.merge(self._worker_snapshot())
+        [parent] = recorder.snapshot()["spans"]
+        assert [c["name"] for c in parent["children"]] == ["work"]
+
+    def test_under_creates_synthetic_span_with_given_seconds(self):
+        recorder = Recorder()
+        recorder.merge(
+            self._worker_snapshot(), under="parallel.worker[0]", seconds=1.25
+        )
+        [worker] = recorder.snapshot()["spans"]
+        assert worker["name"] == "parallel.worker[0]"
+        assert worker["calls"] == 1
+        assert worker["seconds"] == 1.25
+        assert [c["name"] for c in worker["children"]] == ["work"]
+
+    def test_merge_same_name_aggregates(self):
+        recorder = Recorder()
+        recorder.merge(self._worker_snapshot(), under="w")
+        recorder.merge(self._worker_snapshot(), under="w")
+        [worker] = recorder.snapshot()["spans"]
+        assert worker["calls"] == 2
+        assert recorder.counters == {"hits": 6}
+
+
+class TestCurrentRecorder:
+    def test_default_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_installs_and_restores(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            assert get_recorder() is recorder
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_recorder(Recorder()):
+                raise RuntimeError("boom")
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_none_restores_null(self):
+        recorder = Recorder()
+        set_recorder(recorder)
+        try:
+            assert get_recorder() is recorder
+        finally:
+            set_recorder(None)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.count("anything", 5)
+        NULL_RECORDER.gauge("g", 1.0)
+        with NULL_RECORDER.span("s") as handle:
+            assert handle.seconds == 0.0
+        snapshot = NULL_RECORDER.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["spans"] == []
+
+
+class TestReports:
+    def _recorder(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        recorder.count("hits", 2)
+        recorder.gauge("rows", 4)
+        return recorder
+
+    def test_format_trace_contains_tree_and_tables(self):
+        text = format_trace(self._recorder())
+        assert "outer" in text and "inner" in text
+        assert "hits" in text and "rows" in text
+        # Indentation shows nesting.
+        outer_line = next(l for l in text.splitlines() if "outer" in l)
+        inner_line = next(l for l in text.splitlines() if "inner" in l)
+        assert inner_line.index("inner") > outer_line.index("outer")
+
+    def test_format_trace_empty_recorder(self):
+        text = format_trace(Recorder())
+        assert "none recorded" in text
+
+    def test_run_report_schema(self):
+        document = run_report(self._recorder(), experiments=["e3"])
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["experiments"] == ["e3"]
+        assert document["counters"] == {"hits": 2}
+
+    def test_write_run_report_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_run_report(self._recorder(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["schema_version"] == SCHEMA_VERSION

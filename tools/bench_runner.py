@@ -61,12 +61,23 @@ def _git_commit() -> str:
 
 
 def measure_solver_scaling(lengths=LENGTHS, repeats=REPEATS):
-    """Bench-A6 instances, timed directly (fresh model per repeat)."""
+    """Bench-A6 instances, timed directly (fresh model per repeat).
+
+    Each timed segment runs under its own ``repro.obs`` recorder; the
+    segment's counter snapshot (DFS nodes, cache hits, CG iterations, LP
+    solves …) lands in the row's ``counters`` key, so the trajectory file
+    records *why* a timing moved, not just that it did.  Counters are
+    deterministic per instance, so the last repeat's snapshot stands for
+    all of them.  The segments' span trees are also grafted into the
+    ambient recorder (when one is active) for ``--trace-json``.
+    """
     from repro import Path, available_path_bandwidth, solve_with_column_generation
     from repro.core.independent_sets import enumerate_maximal_independent_sets
     from repro.interference.protocol import ProtocolInterferenceModel
     from repro.net.generators import chain_topology
+    from repro.obs import Recorder, get_recorder, use_recorder
 
+    ambient = get_recorder()
     rows = []
     for hops in lengths:
         network = chain_topology(hops + 1, 70.0)
@@ -75,23 +86,51 @@ def measure_solver_scaling(lengths=LENGTHS, repeats=REPEATS):
         )
         enum_seconds = end_to_end_seconds = cg_seconds = float("inf")
         exact = cg = None
+        counters = {}
         for _ in range(repeats):
             model = ProtocolInterferenceModel(network)
+            recorder = Recorder()
             started = time.perf_counter()
-            sets = enumerate_maximal_independent_sets(model, list(path.links))
-            enum_seconds = min(enum_seconds, time.perf_counter() - started)
-
-            model = ProtocolInterferenceModel(network)
-            started = time.perf_counter()
-            exact = available_path_bandwidth(model, path)
-            end_to_end_seconds = min(
-                end_to_end_seconds, time.perf_counter() - started
+            with use_recorder(recorder):
+                sets = enumerate_maximal_independent_sets(
+                    model, list(path.links)
+                )
+            elapsed = time.perf_counter() - started
+            enum_seconds = min(enum_seconds, elapsed)
+            counters["enumeration"] = recorder.counters
+            ambient.merge(
+                recorder.snapshot(),
+                under=f"bench.enum[{hops}]",
+                seconds=elapsed,
             )
 
             model = ProtocolInterferenceModel(network)
+            recorder = Recorder()
             started = time.perf_counter()
-            cg = solve_with_column_generation(model, path)
-            cg_seconds = min(cg_seconds, time.perf_counter() - started)
+            with use_recorder(recorder):
+                exact = available_path_bandwidth(model, path)
+            elapsed = time.perf_counter() - started
+            end_to_end_seconds = min(end_to_end_seconds, elapsed)
+            counters["end_to_end"] = recorder.counters
+            ambient.merge(
+                recorder.snapshot(),
+                under=f"bench.end_to_end[{hops}]",
+                seconds=elapsed,
+            )
+
+            model = ProtocolInterferenceModel(network)
+            recorder = Recorder()
+            started = time.perf_counter()
+            with use_recorder(recorder):
+                cg = solve_with_column_generation(model, path)
+            elapsed = time.perf_counter() - started
+            cg_seconds = min(cg_seconds, elapsed)
+            counters["column_generation"] = recorder.counters
+            ambient.merge(
+                recorder.snapshot(),
+                under=f"bench.cg[{hops}]",
+                seconds=elapsed,
+            )
         if abs(
             cg.result.available_bandwidth - exact.available_bandwidth
         ) > 1e-6 * max(1.0, abs(exact.available_bandwidth)):
@@ -111,6 +150,7 @@ def measure_solver_scaling(lengths=LENGTHS, repeats=REPEATS):
                 "enumeration_seconds": enum_seconds,
                 "end_to_end_seconds": end_to_end_seconds,
                 "cg_seconds": cg_seconds,
+                "counters": counters,
             }
         )
     return rows
@@ -174,20 +214,40 @@ def main(argv=None) -> int:
         action="store_true",
         help="record solver-scaling timings only",
     )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="also write the repro.obs run report (spans + counters of the "
+        "solver-scaling measurement) to PATH",
+    )
     args = parser.parse_args(argv)
 
+    from repro.obs import Recorder, use_recorder, write_run_report
+
     if args.smoke:
-        rows = measure_solver_scaling(lengths=(4,), repeats=1)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            rows = measure_solver_scaling(lengths=(4,), repeats=1)
+        if args.trace_json:
+            write_run_report(recorder, args.trace_json)
+            print(f"wrote obs run report -> {args.trace_json}")
         print(f"smoke solver scaling ok: {rows[0]['optimum_mbps']:.4f} Mbps")
         pytest_result = run_pytest_benchmarks(smoke=True)
         print(pytest_result["summary"])
         return 0 if pytest_result["returncode"] == 0 else 1
 
+    recorder = Recorder()
+    with use_recorder(recorder):
+        scaling = measure_solver_scaling()
+    if args.trace_json:
+        write_run_report(recorder, args.trace_json)
+        print(f"wrote obs run report -> {args.trace_json}")
     run_entry = {
         "label": args.label,
         "git_commit": _git_commit(),
         "python": platform.python_version(),
-        "solver_scaling": measure_solver_scaling(),
+        "solver_scaling": scaling,
     }
     if not args.skip_pytest:
         pytest_result = run_pytest_benchmarks()
