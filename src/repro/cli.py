@@ -6,15 +6,32 @@ Usage::
     repro run e2             # reproduce the Section 5.1 worked example
     repro run e4 e5          # several in one go
     python -m repro run e1   # module form
+
+Resilience: sweeps are fault isolated — a failed sweep item is reported
+(after the tables) instead of aborting the run, and ``--strict`` escalates
+such partial results to exit code 1.  ``--checkpoint-dir DIR`` persists
+per-item results so an interrupted run resumed with ``--resume`` skips
+completed items and prints byte-identical tables.  ``--inject-faults``
+activates the deterministic chaos harness (:mod:`repro.testing.faults`)
+used by CI to exercise exactly these paths.
+
+Exit codes: 0 success (including absorbed partial failures), 1 solver or
+model failure (infeasible problem, exhausted solver fallbacks, or partial
+failures under ``--strict``), 2 usage errors (unknown experiment, bad
+configuration, unusable checkpoint directory).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError, ReproError
+from repro.experiments.checkpoint import CheckpointStore, use_checkpoint_store
+from repro.experiments.failures import collect_failures, format_failures
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.obs import (
     Recorder,
@@ -88,7 +105,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the machine-readable run report (spans, counters, "
-        "gauges; schema-versioned JSON) to PATH",
+        "gauges, failures; schema-versioned JSON) to PATH",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist per-item sweep results under DIR/<experiment-id> so "
+        "an interrupted run can be resumed; without --resume an existing "
+        "checkpoint for the experiment is cleared first",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir: skip items already completed by a "
+        "previous run (tables are byte-identical to an uninterrupted run)",
+    )
+    run_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when a sweep completes with partial failures "
+        "(default: report them and exit 0)",
+    )
+    run_parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="testing only: deterministically inject faults, e.g. "
+        "'solver@1' (fail the 1st LP solve's primary attempt), "
+        "'solver-fatal@2' (exhaust every attempt of the 2nd solve), "
+        "'worker@1' (crash the worker of the 1st sweep item); "
+        "comma-separate to combine",
     )
     return parser
 
@@ -122,8 +169,12 @@ def _configured_runner(experiment_id: str, args: argparse.Namespace):
     }
     def call():
         # The override path bypasses run_experiment, so it opens the
-        # experiment span itself to keep traces uniform.
-        with get_recorder().span(f"experiment.{experiment_id}"):
+        # experiment span and failure tag itself to keep traces and
+        # failure reports uniform.
+        from repro.experiments.failures import tag_experiment
+
+        with get_recorder().span(f"experiment.{experiment_id}"), \
+                tag_experiment(experiment_id):
             if workers is not None and experiment_id in {"e3", "e4", "e5"}:
                 return runners[experiment_id](config, workers=workers)
             return runners[experiment_id](config)
@@ -159,27 +210,68 @@ def main(argv: Optional[List[str]] = None) -> int:
     recorder = Recorder() if tracing else None
     exit_code = 0
     ran: List[str] = []
-    with use_recorder(recorder):
+    all_failures: List[object] = []
+    if args.inject_faults is not None:
+        from repro.testing.faults import inject_faults, plan_from_spec
+
+        try:
+            fault_scope = inject_faults(plan_from_spec(args.inject_faults))
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    else:
+        fault_scope = nullcontext()
+    with use_recorder(recorder), fault_scope:
         for experiment_id in args.experiments:
             if experiment_id not in EXPERIMENTS:
                 print(f"unknown experiment: {experiment_id}", file=sys.stderr)
                 exit_code = 2
                 continue
+            store = None
+            if args.checkpoint_dir is not None:
+                try:
+                    store = CheckpointStore(
+                        os.path.join(args.checkpoint_dir, experiment_id),
+                        experiment_id,
+                    )
+                except CheckpointError as error:
+                    print(str(error), file=sys.stderr)
+                    exit_code = 2
+                    continue
+                if not args.resume:
+                    store.clear_items()
             try:
-                result = _configured_runner(experiment_id, args)()
+                with collect_failures() as failures, \
+                        use_checkpoint_store(store):
+                    result = _configured_runner(experiment_id, args)()
             except ConfigurationError as error:
                 print(str(error), file=sys.stderr)
                 exit_code = 2
                 continue
+            except ReproError as error:
+                print(f"{experiment_id}: {error}", file=sys.stderr)
+                exit_code = max(exit_code, 1)
+                continue
             ran.append(experiment_id)
             print(result.table())
             print()
+            if failures:
+                all_failures.extend(failures)
+                print(format_failures(failures))
+                print()
+                if args.strict:
+                    exit_code = max(exit_code, 1)
     if recorder is not None:
         if args.trace:
             print(format_trace(recorder))
             print()
         if args.trace_json is not None:
-            write_run_report(recorder, args.trace_json, experiments=ran)
+            write_run_report(
+                recorder,
+                args.trace_json,
+                experiments=ran,
+                failures=all_failures,
+            )
     return exit_code
 
 

@@ -137,11 +137,9 @@ def max_min_fair_allocation(
 
     frozen: Dict[int, float] = {}
     rounds = 0
-    last_solution = None
     while len(frozen) < len(paths):
         rounds += 1
         solution = _solve_round(columns, links, flow_links, frozen)
-        last_solution = solution
         level = solution.objective
         unfrozen = [i for i in range(len(paths)) if i not in frozen]
         # A flow saturates at this level when raising it alone (others

@@ -13,26 +13,69 @@ dense array faster.  :meth:`LinearProgram.add_column` grows an already-built
 program by one variable with coefficients in existing rows, which is what
 column generation needs: the master problem is assembled once and re-solved
 as columns arrive, never rebuilt.
+
+:meth:`LinearProgram.solve` is resilient: a failed solver attempt walks a
+retry/fallback chain (:data:`SOLVER_ATTEMPT_CHAIN` — dual simplex, then
+interior point, then one relaxed-tolerance attempt) before giving up with
+a :class:`~repro.errors.SolverError` that carries the per-attempt context.
+Infeasible and unbounded outcomes are reported immediately, never retried.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
-from repro.errors import InfeasibleProblemError, SolverError
+from repro.errors import InfeasibleProblemError, SolverAttempt, SolverError
 from repro.obs import get_recorder
 
-__all__ = ["LinearProgram", "LpSolution"]
+__all__ = [
+    "LinearProgram",
+    "LpSolution",
+    "SOLVER_ATTEMPT_CHAIN",
+    "set_solver_fault_hook",
+]
 
 #: Below this many matrix cells the constraint matrix is passed to linprog
 #: dense — for tiny programs (the common case here) HiGHS's dense ingestion
 #: beats the sparse handoff.
 _DENSE_CELL_LIMIT = 32768
+
+#: The retry/fallback chain of :meth:`LinearProgram.solve`: ``(method,
+#: options)`` pairs tried in order.  HiGHS dual simplex first (what
+#: ``method="highs"`` resolves to on these programs), the interior-point
+#: method when simplex fails, and one final attempt with feasibility
+#: tolerances relaxed an order of magnitude.  Infeasible/unbounded are
+#: genuine model outcomes, never retried — only solver *failures* walk
+#: down the chain.
+SOLVER_ATTEMPT_CHAIN = (
+    ("highs-ds", None),
+    ("highs-ipm", None),
+    (
+        "highs",
+        {
+            "primal_feasibility_tolerance": 1e-6,
+            "dual_feasibility_tolerance": 1e-6,
+        },
+    ),
+)
+
+#: Test-only hook (see :mod:`repro.testing.faults`): called before every
+#: solver attempt with ``(attempt_index, method)``; raising makes that
+#: attempt fail and the chain continue.  ``None`` (the default) is free.
+_solver_fault_hook: Optional[Callable[[int, str], None]] = None
+
+
+def set_solver_fault_hook(
+    hook: Optional[Callable[[int, str], None]],
+) -> None:
+    """Install (or with ``None`` remove) the solver fault-injection hook."""
+    global _solver_fault_hook
+    _solver_fault_hook = hook
 
 
 @dataclass
@@ -205,33 +248,77 @@ class LinearProgram:
             a_ub = None
             b_ub = None
         bounds = [(0.0, upper) for upper in self._upper]
-        with recorder.span("lp.solve"):
-            result = linprog(
-                c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs"
-            )
-        if result.status == 2:
-            raise InfeasibleProblemError(
-                "LP is infeasible: the background demands cannot all be "
-                "delivered by any schedule"
-            )
-        if result.status == 3:
-            raise SolverError("LP is unbounded — a constraint is missing")
-        if not result.success:
-            raise SolverError(
-                f"LP solver failed with status {result.status}: "
-                f"{result.message}"
-            )
-        values = {
-            name: float(result.x[index])
-            for index, name in enumerate(self._names)
-        }
-        duals: Dict[str, float] = {}
-        marginals = getattr(getattr(result, "ineqlin", None), "marginals", None)
-        if marginals is not None:
-            duals = {
-                row_name: -float(marginals[row_index])
-                for row_index, row_name in enumerate(self._row_names)
+        attempts: List[SolverAttempt] = []
+        for attempt_index, (method, options) in enumerate(
+            SOLVER_ATTEMPT_CHAIN
+        ):
+            if attempt_index:
+                recorder.count("lp.retries")
+            try:
+                if _solver_fault_hook is not None:
+                    _solver_fault_hook(attempt_index, method)
+                with recorder.span("lp.solve"):
+                    result = linprog(
+                        c,
+                        A_ub=a_ub,
+                        b_ub=b_ub,
+                        bounds=bounds,
+                        method=method,
+                        options=options or {},
+                    )
+            except (InfeasibleProblemError, SolverError):
+                raise
+            except Exception as error:
+                attempts.append(
+                    SolverAttempt(
+                        method,
+                        options,
+                        message=f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            if result.status == 2:
+                raise InfeasibleProblemError(
+                    "LP is infeasible: the background demands cannot all be "
+                    "delivered by any schedule"
+                )
+            if result.status == 3:
+                raise SolverError(
+                    "LP is unbounded — a constraint is missing"
+                )
+            if not result.success:
+                attempts.append(
+                    SolverAttempt(
+                        method,
+                        options,
+                        status=int(result.status),
+                        message=str(result.message),
+                    )
+                )
+                continue
+            if attempt_index:
+                recorder.count("lp.fallbacks")
+            values = {
+                name: float(result.x[index])
+                for index, name in enumerate(self._names)
             }
-        return LpSolution(
-            objective=-float(result.fun), values=values, duals=duals
+            duals: Dict[str, float] = {}
+            marginals = getattr(
+                getattr(result, "ineqlin", None), "marginals", None
+            )
+            if marginals is not None:
+                duals = {
+                    row_name: -float(marginals[row_index])
+                    for row_index, row_name in enumerate(self._row_names)
+                }
+            return LpSolution(
+                objective=-float(result.fun), values=values, duals=duals
+            )
+        recorder.count("lp.failures")
+        detail = "; ".join(
+            f"{attempt.method}: {attempt.message}" for attempt in attempts
+        )
+        raise SolverError(
+            f"LP solver failed after {len(attempts)} attempts ({detail})",
+            attempts=attempts,
         )

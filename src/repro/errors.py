@@ -19,6 +19,8 @@ __all__ = [
     "ScheduleError",
     "InfeasibleProblemError",
     "SolverError",
+    "SolverAttempt",
+    "CheckpointError",
     "RoutingError",
     "EstimationError",
     "SimulationError",
@@ -70,8 +72,54 @@ class InfeasibleProblemError(ReproError):
         self.residual = residual
 
 
+class SolverAttempt:
+    """Record of one solver attempt inside the retry/fallback chain.
+
+    Carried by :class:`SolverError` so callers (and failure reports) can
+    see exactly which methods were tried, with what options, and how each
+    one failed before the error was raised.
+    """
+
+    __slots__ = ("method", "options", "status", "message")
+
+    def __init__(self, method, options=None, status=None, message=""):
+        self.method = method
+        self.options = dict(options) if options else {}
+        self.status = status
+        self.message = message
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "options": self.options,
+            "status": self.status,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolverAttempt(method={self.method!r}, status={self.status!r}, "
+            f"message={self.message!r})"
+        )
+
+
 class SolverError(ReproError, RuntimeError):
-    """The underlying LP solver failed for a reason other than infeasibility."""
+    """The underlying LP solver failed for a reason other than infeasibility.
+
+    When raised by the retry/fallback chain of
+    :meth:`repro.core.lp.LinearProgram.solve`, ``attempts`` holds one
+    :class:`SolverAttempt` per method tried (in order), so the failure
+    context survives into logs and failure reports.
+    """
+
+    def __init__(self, message: str, attempts=None):
+        super().__init__(message)
+        #: The failed attempts (:class:`SolverAttempt` list), possibly empty.
+        self.attempts = list(attempts) if attempts else []
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint store is unusable (wrong experiment, bad manifest)."""
 
 
 class RoutingError(ReproError):

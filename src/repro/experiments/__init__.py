@@ -36,10 +36,21 @@ from repro.experiments.extensions import (
     run_joint_admission,
     run_joint_routing,
 )
+from repro.experiments.checkpoint import (
+    CheckpointStore,
+    get_checkpoint_store,
+    use_checkpoint_store,
+)
+from repro.experiments.failures import (
+    ItemFailure,
+    collect_failures,
+    format_failures,
+    record_failure,
+)
 from repro.experiments.fig2_paths import Fig2Result, run_fig2
 from repro.experiments.fig3_routing import Fig3Config, Fig3Result, run_fig3
 from repro.experiments.fig4_estimation import Fig4Result, run_fig4
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import fault_tolerant_map, parallel_map
 from repro.experiments.report import format_table
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.ascii_map import render_topology
@@ -85,4 +96,12 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "parallel_map",
+    "fault_tolerant_map",
+    "ItemFailure",
+    "collect_failures",
+    "record_failure",
+    "format_failures",
+    "CheckpointStore",
+    "use_checkpoint_store",
+    "get_checkpoint_store",
 ]

@@ -1,0 +1,223 @@
+"""Per-item checkpoint store for resumable experiment sweeps.
+
+A sweep that dies at item 47 of 60 should not redo the first 46:
+:class:`CheckpointStore` persists each completed item's result under a run
+directory, and a resumed sweep (``repro run e3 --checkpoint-dir runs/e3
+--resume``) loads the stored results and only executes what is missing.
+Because stored results are the *same objects* the sweep would have
+produced, a resumed run renders byte-identical tables to an uninterrupted
+one (pinned by ``tests/test_checkpoint.py``).
+
+Layout::
+
+    <root>/
+      MANIFEST.json            # {"schema_version", "experiment_id"}
+      items/
+        <slug>-<digest>.json   # one envelope per completed item key
+
+Each item file is a JSON envelope carrying the pickled result
+(base64-encoded) plus a SHA-256 checksum.  Writes are atomic (temp file +
+``os.replace``), so a run killed mid-write never leaves a truncated
+envelope behind as a valid checkpoint.  A corrupted file — unparseable
+JSON, checksum mismatch, failed unpickle — is *never* fatal: the item is
+treated as missing, re-executed, and counted under the
+``checkpoint.corrupt`` obs counter.
+
+Like the :mod:`repro.obs` recorder, the store is ambient: the CLI
+installs one with :func:`use_checkpoint_store` and
+:func:`~repro.experiments.parallel.fault_tolerant_map` picks it up via
+:func:`get_checkpoint_store`, so experiment code needs no extra plumbing.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import re
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.obs import get_recorder
+
+__all__ = [
+    "CheckpointStore",
+    "use_checkpoint_store",
+    "get_checkpoint_store",
+]
+
+#: Version of the manifest / item-envelope layout.
+STORE_SCHEMA_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+_ITEMS_DIR = "items"
+
+
+def _slug(key: str) -> str:
+    """Filesystem-safe, collision-free file stem for an item key."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key)[:60] or "item"
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    return f"{safe}-{digest}"
+
+
+class CheckpointStore:
+    """Per-item result persistence under one run directory.
+
+    One store corresponds to one experiment run; the manifest pins the
+    experiment id so ``--resume`` cannot silently mix results from a
+    different experiment into a run directory.
+    """
+
+    def __init__(self, root: str, experiment_id: str):
+        self.root = root
+        self.experiment_id = experiment_id
+        self._items_dir = os.path.join(root, _ITEMS_DIR)
+        os.makedirs(self._items_dir, exist_ok=True)
+        self._check_or_write_manifest()
+
+    # -- manifest ------------------------------------------------------------
+
+    def _check_or_write_manifest(self) -> None:
+        path = os.path.join(self.root, _MANIFEST)
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest at {path}: {error}"
+                ) from error
+            stored = manifest.get("experiment_id")
+            if stored != self.experiment_id:
+                raise CheckpointError(
+                    f"checkpoint directory {self.root!r} belongs to "
+                    f"experiment {stored!r}, not {self.experiment_id!r}; "
+                    "use a fresh --checkpoint-dir"
+                )
+            version = manifest.get("schema_version")
+            if version != STORE_SCHEMA_VERSION:
+                raise CheckpointError(
+                    f"checkpoint schema version {version!r} is not "
+                    f"{STORE_SCHEMA_VERSION} (directory {self.root!r})"
+                )
+            return
+        document = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+        }
+        self._atomic_write(path, json.dumps(document, indent=2) + "\n")
+
+    # -- item I/O ------------------------------------------------------------
+
+    def item_path(self, key: str) -> str:
+        """Path of the envelope file that would hold item ``key``."""
+        return os.path.join(self._items_dir, _slug(key) + ".json")
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """``(found, value)`` for item ``key``.
+
+        Corruption of any kind (bad JSON, checksum mismatch, unpicklable
+        payload) is treated as *missing* — counted under
+        ``checkpoint.corrupt`` — so a damaged file costs one re-execution,
+        never the run.
+        """
+        path = self.item_path(key)
+        if not os.path.exists(path):
+            return False, None
+        recorder = get_recorder()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if envelope.get("schema_version") != STORE_SCHEMA_VERSION:
+                raise ValueError("unknown envelope schema version")
+            if envelope.get("key") != key:
+                raise ValueError("envelope key mismatch")
+            payload = envelope["payload"]
+            digest = hashlib.sha256(payload.encode("ascii")).hexdigest()
+            if digest != envelope.get("sha256"):
+                raise ValueError("payload checksum mismatch")
+            value = pickle.loads(base64.b64decode(payload))
+        except Exception:
+            recorder.count("checkpoint.corrupt")
+            return False, None
+        recorder.count("checkpoint.hits")
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist item ``key`` atomically; overwrites a previous result."""
+        payload = base64.b64encode(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        envelope = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "key": key,
+            "codec": "pickle+base64",
+            "sha256": hashlib.sha256(payload.encode("ascii")).hexdigest(),
+            "payload": payload,
+        }
+        self._atomic_write(
+            self.item_path(key), json.dumps(envelope, indent=2) + "\n"
+        )
+        get_recorder().count("checkpoint.writes")
+
+    def keys(self) -> List[str]:
+        """Keys of every (well-formed) stored item."""
+        found: List[str] = []
+        for name in sorted(os.listdir(self._items_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(
+                    os.path.join(self._items_dir, name),
+                    "r",
+                    encoding="utf-8",
+                ) as handle:
+                    envelope = json.load(handle)
+                found.append(envelope["key"])
+            except Exception:
+                continue
+        return found
+
+    def clear_items(self) -> None:
+        """Delete all stored items (a fresh, non-resumed run starts here)."""
+        for name in os.listdir(self._items_dir):
+            try:
+                os.unlink(os.path.join(self._items_dir, name))
+            except OSError:
+                pass
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+
+#: The ambient store consulted by fault-tolerant sweeps (``None`` = off).
+_current_store: Optional[CheckpointStore] = None
+
+
+def get_checkpoint_store() -> Optional[CheckpointStore]:
+    """The checkpoint store sweeps should read/write, or ``None``."""
+    return _current_store
+
+
+@contextmanager
+def use_checkpoint_store(
+    store: Optional[CheckpointStore],
+) -> Iterator[Optional[CheckpointStore]]:
+    """Install ``store`` as the ambient checkpoint store for the block."""
+    global _current_store
+    previous = _current_store
+    _current_store = store
+    try:
+        yield store
+    finally:
+        _current_store = previous

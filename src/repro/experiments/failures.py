@@ -1,0 +1,179 @@
+"""Structured per-item failure records for fault-isolated sweeps.
+
+A long sweep (seeds, routing metrics) should not lose hours of work to one
+bad item: :func:`repro.experiments.parallel.fault_tolerant_map` catches
+per-item exceptions (and re-executes items stranded by a crashed worker
+process) and records an :class:`ItemFailure` for each one instead of
+aborting.  The records flow to whichever collector is active — the CLI
+opens one around every ``repro run`` experiment (:func:`collect_failures`)
+and renders the report after the tables; ``--trace-json`` embeds the same
+records machine-readably.
+
+The collector mirrors the :mod:`repro.obs` recorder pattern: sweep code
+never holds a collector, it calls :func:`record_failure` and the current
+context decides whether anyone is listening.  With no collector active a
+failure is re-raised instead of swallowed, so library callers that do not
+opt in to fault isolation keep exact pre-existing semantics.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.experiments.report import format_table
+from repro.obs import get_recorder
+
+__all__ = [
+    "ItemFailure",
+    "collect_failures",
+    "record_failure",
+    "failures_active",
+    "tag_experiment",
+    "format_failures",
+]
+
+
+@dataclass
+class ItemFailure:
+    """One failed sweep item: what failed, where, and why.
+
+    ``item_key`` identifies the unit of work (a routing-metric name, a
+    ``seed-<n>`` label); ``seed`` carries the item's reproduction seed when
+    the sweep knows one.  ``error_type``/``message``/``traceback`` preserve
+    the exception, and ``experiment_id`` is stamped by the experiment
+    runner so multi-experiment runs stay attributable.
+    """
+
+    item_key: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    experiment_id: Optional[str] = None
+    seed: Optional[int] = None
+    #: Structured extras (e.g. solver attempt records) for JSON reports.
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(
+        cls,
+        item_key: str,
+        error: BaseException,
+        seed: Optional[int] = None,
+        with_traceback: bool = True,
+    ) -> "ItemFailure":
+        """Build a failure record from a caught exception."""
+        trace = ""
+        if with_traceback and error.__traceback__ is not None:
+            trace = "".join(
+                _traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+        context: Dict[str, Any] = {}
+        attempts = getattr(error, "attempts", None)
+        if attempts:
+            context["solver_attempts"] = [a.to_dict() for a in attempts]
+        return cls(
+            item_key=item_key,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback=trace,
+            seed=seed,
+            context=context,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form, embedded in ``--trace-json`` documents."""
+        return {
+            "experiment_id": self.experiment_id,
+            "item_key": self.item_key,
+            "error_type": self.error_type,
+            "message": self.message,
+            "seed": self.seed,
+            "traceback": self.traceback,
+            "context": self.context,
+        }
+
+
+#: Stack of active collectors; failures are appended to the innermost one.
+_collectors: List[List[ItemFailure]] = []
+#: Stack of experiment ids stamped onto newly recorded failures.
+_experiment_tags: List[str] = []
+
+
+@contextmanager
+def collect_failures() -> Iterator[List[ItemFailure]]:
+    """Collect :class:`ItemFailure` records for the ``with`` block.
+
+    While a collector is active, fault-isolated sweeps degrade gracefully:
+    a failed item is recorded here and the sweep continues.  Without one,
+    :func:`record_failure` raises, preserving fail-fast library behaviour.
+    """
+    failures: List[ItemFailure] = []
+    _collectors.append(failures)
+    try:
+        yield failures
+    finally:
+        _collectors.pop()
+
+
+def failures_active() -> bool:
+    """Whether a failure collector is currently listening."""
+    return bool(_collectors)
+
+
+@contextmanager
+def tag_experiment(experiment_id: str) -> Iterator[None]:
+    """Stamp ``experiment_id`` onto failures recorded in the block."""
+    _experiment_tags.append(experiment_id)
+    try:
+        yield
+    finally:
+        _experiment_tags.pop()
+
+
+def record_failure(
+    failure: ItemFailure, error: Optional[BaseException] = None
+) -> None:
+    """Record ``failure`` with the active collector.
+
+    With no collector active, re-raises ``error`` when given (the caller
+    caught it purely to build the record) or raises a ``RuntimeError`` —
+    failures must never vanish silently.
+    """
+    if not _collectors:
+        if error is not None:
+            raise error
+        raise RuntimeError(
+            f"item failure with no active collector: {failure.item_key}: "
+            f"{failure.message}"
+        )
+    if failure.experiment_id is None and _experiment_tags:
+        failure.experiment_id = _experiment_tags[-1]
+    get_recorder().count("failures.items")
+    _collectors[-1].append(failure)
+
+
+def format_failures(failures: List[ItemFailure]) -> str:
+    """Render a failure report table (the CLI prints this after tables)."""
+    if not failures:
+        return "failures: (none)"
+    rows = [
+        [
+            failure.experiment_id or "-",
+            failure.item_key,
+            "-" if failure.seed is None else failure.seed,
+            failure.error_type,
+            failure.message.splitlines()[0] if failure.message else "-",
+        ]
+        for failure in failures
+    ]
+    table = format_table(
+        headers=["experiment", "item", "seed", "error", "message"],
+        rows=rows,
+        title=f"FAILURES: {len(failures)} item(s) did not complete",
+    )
+    return table

@@ -41,7 +41,8 @@ class Fig2Result:
         for index, flow in enumerate(self.fig3.flows):
             row: List[object] = [flow.flow_id, f"{flow.source}->{flow.destination}"]
             for name in metric_names:
-                outcomes = self.fig3.reports[name].outcomes
+                report = self.fig3.reports.get(name)
+                outcomes = report.outcomes if report is not None else []
                 if index < len(outcomes) and outcomes[index].path is not None:
                     row.append(str(outcomes[index].path))
                 else:
@@ -57,10 +58,12 @@ class Fig2Result:
         """Links used by e2eTD but not average-e2eD (the dotted arrows)."""
         solid: set = set()
         dotted: set = set()
-        for outcome in self.fig3.reports["average-e2eD"].outcomes:
+        solid_report = self.fig3.reports.get("average-e2eD")
+        dotted_report = self.fig3.reports.get("e2eTD")
+        for outcome in solid_report.outcomes if solid_report else []:
             if outcome.path:
                 solid.update(link.link_id for link in outcome.path)
-        for outcome in self.fig3.reports["e2eTD"].outcomes:
+        for outcome in dotted_report.outcomes if dotted_report else []:
             if outcome.path:
                 dotted.update(link.link_id for link in outcome.path)
         return sorted(dotted - solid)
@@ -69,9 +72,10 @@ class Fig2Result:
         """ASCII rendering of the placement with the average-e2eD routes."""
         from repro.experiments.ascii_map import render_topology
 
+        report = self.fig3.reports.get("average-e2eD")
         paths = [
             outcome.path
-            for outcome in self.fig3.reports["average-e2eD"].outcomes
+            for outcome in (report.outcomes if report is not None else [])
             if outcome.path is not None
         ]
         return render_topology(

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.report import format_table
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import fault_tolerant_map
 from repro.interference.protocol import ProtocolInterferenceModel
 from repro.net.topology import Network
 from repro.routing.admission import AdmissionReport, run_sequential_admission
@@ -52,14 +52,17 @@ class Fig3Result:
     reports: Dict[str, AdmissionReport] = field(default_factory=dict)
 
     def series(self, metric: str) -> List[float]:
-        return self.reports[metric].bandwidth_series()
+        """The metric's bandwidth series; empty when its run failed."""
+        report = self.reports.get(metric)
+        return report.bandwidth_series() if report is not None else []
 
     def first_failure(self, metric: str) -> Optional[int]:
-        return self.reports[metric].first_failure_index
+        report = self.reports.get(metric)
+        return report.first_failure_index if report is not None else None
 
     def table(self) -> str:
         names = list(self.config.metrics)
-        n = max(len(self.series(name)) for name in names)
+        n = max((len(self.series(name)) for name in names), default=0)
         rows = []
         for index in range(n):
             row: List[object] = [index + 1]
@@ -118,23 +121,41 @@ def run_fig3(
     ``workers > 1`` runs the metrics in parallel processes; each worker
     rebuilds the topology and flows from the config's seeds, so the result
     is identical to the sequential run.
+
+    The metric sweep is fault isolated: with a failure collector active
+    (the CLI installs one), a metric whose run fails is recorded as an
+    :class:`~repro.experiments.failures.ItemFailure` and simply left out
+    of ``reports`` — the remaining metrics still render.  With a
+    checkpoint store active, completed metrics persist and a resumed run
+    skips them.
     """
     network, model, flows = _build_instance(config)
     result = Fig3Result(config=config, network=network, flows=flows)
     names = list(config.metrics)
+    seeds = [config.topology_seed] * len(names)
     if workers is not None and workers > 1:
-        reports = parallel_map(
-            _run_metric, [(config, name) for name in names], workers=workers
+        reports = fault_tolerant_map(
+            _run_metric,
+            [(config, name) for name in names],
+            workers=workers,
+            item_keys=names,
+            item_seeds=seeds,
         )
-        for name, report in zip(names, reports):
-            result.reports[name] = report
     else:
-        for name in names:
-            result.reports[name] = run_sequential_admission(
+
+        def _run_shared(name: str) -> AdmissionReport:
+            return run_sequential_admission(
                 network,
                 model,
                 flows,
                 METRICS[name],
                 use_column_generation=True,
             )
+
+        reports = fault_tolerant_map(
+            _run_shared, names, item_keys=names, item_seeds=seeds
+        )
+    for name, report in zip(names, reports):
+        if report is not None:
+            result.reports[name] = report
     return result

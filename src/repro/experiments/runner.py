@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.experiments.failures import tag_experiment
 from repro.experiments.parallel import parallel_map
 from repro.obs import get_recorder
 
@@ -31,8 +32,13 @@ class ExperimentSpec:
     supports_workers: bool = False
 
     def run(self, workers: Optional[int] = None) -> object:
-        """Execute and return the result object (all have ``.table()``)."""
-        with get_recorder().span(f"experiment.{self.experiment_id}"):
+        """Execute and return the result object (all have ``.table()``).
+
+        Runs under an experiment tag so item failures recorded by
+        fault-isolated sweeps carry this experiment's id.
+        """
+        with get_recorder().span(f"experiment.{self.experiment_id}"), \
+                tag_experiment(self.experiment_id):
             if workers is not None and workers > 1:
                 if not self.supports_workers:
                     raise ConfigurationError(

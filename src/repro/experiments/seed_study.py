@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.experiments.report import format_table
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import fault_tolerant_map
 from repro.interference.protocol import ProtocolInterferenceModel
 from repro.routing.admission import run_sequential_admission
 from repro.routing.metrics import METRICS
@@ -135,15 +135,27 @@ def run_seed_study(
 
     ``workers > 1`` evaluates seeds in parallel processes; results are
     identical to the sequential run (each seed is self-contained).
+
+    The sweep is fault isolated per seed: with a failure collector active
+    a crashing seed is recorded as an
+    :class:`~repro.experiments.failures.ItemFailure` and omitted from the
+    aggregate (like a skipped seed, but reported); with a checkpoint
+    store active, evaluated seeds persist across interrupted runs.
     """
-    outcomes = parallel_map(
+    seeds = list(seeds)
+    outcomes = fault_tolerant_map(
         _evaluate_seed,
         [(seed, n_flows, demand_mbps, min_distance_m) for seed in seeds],
         workers=workers,
+        item_keys=[f"seed-{seed}" for seed in seeds],
+        item_seeds=seeds,
     )
     per_seed: List[Tuple[int, Dict[str, int]]] = []
     skipped: List[int] = []
-    for seed, counts in outcomes:
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        seed, counts = outcome
         if counts is None:
             skipped.append(seed)
         else:

@@ -169,7 +169,6 @@ class CsmaSimulator:
         matrix = [row[:] for row in self._sender_hears]
         if not self.config.rts_cts:
             return matrix
-        n = len(self._states)
         for i, state in enumerate(self._states):
             sender = state.link.sender.node_id
             for j, other in enumerate(self._states):

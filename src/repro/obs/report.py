@@ -74,14 +74,23 @@ def format_trace(recorder: Recorder) -> str:
 def run_report(
     recorder: Recorder,
     experiments: Optional[Sequence[str]] = None,
+    failures: Optional[Sequence[Any]] = None,
 ) -> Dict[str, Any]:
     """The machine-readable run report (the ``--trace-json`` document).
 
     The layout is versioned by ``schema_version`` (see
     :data:`~repro.obs.recorder.SCHEMA_VERSION`); consumers should reject
-    documents whose major version they do not know.
+    documents whose major version they do not know.  ``failures`` is a
+    sequence of :class:`~repro.experiments.failures.ItemFailure` records
+    (or plain dicts) from fault-isolated sweeps; the report always carries
+    a ``failures`` key so consumers can distinguish "clean run" from
+    "older document without failure tracking".
     """
     snapshot = recorder.snapshot()
+    failure_dicts = [
+        failure.to_dict() if hasattr(failure, "to_dict") else dict(failure)
+        for failure in (failures or [])
+    ]
     return {
         "schema_version": SCHEMA_VERSION,
         "generator": "repro.obs",
@@ -90,6 +99,7 @@ def run_report(
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "spans": snapshot["spans"],
+        "failures": failure_dicts,
     }
 
 
@@ -97,9 +107,12 @@ def write_run_report(
     recorder: Recorder,
     path: str,
     experiments: Optional[Sequence[str]] = None,
+    failures: Optional[Sequence[Any]] = None,
 ) -> Dict[str, Any]:
     """Write :func:`run_report` to ``path`` as JSON; returns the document."""
-    document = run_report(recorder, experiments=experiments)
+    document = run_report(
+        recorder, experiments=experiments, failures=failures
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,23 @@
+"""Test support: deterministic fault injection for resilience testing.
+
+See :mod:`repro.testing.faults`.  Nothing here is imported by the library
+at runtime unless injection is explicitly activated (``repro run
+--inject-faults`` or the :func:`~repro.testing.faults.inject_faults`
+context manager), so production paths pay nothing for it.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectedSolverFault,
+    corrupt_checkpoint_file,
+    inject_faults,
+    plan_from_spec,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedSolverFault",
+    "corrupt_checkpoint_file",
+    "inject_faults",
+    "plan_from_spec",
+]

@@ -1,0 +1,185 @@
+"""Deterministic fault injection: prove the degradation paths actually work.
+
+Long campaigns die in three characteristic ways — an LP solver hiccup, a
+crashed pool worker, a corrupted checkpoint file.  The resilience layer
+claims to absorb all three; this module *injects* each one at an exact,
+reproducible point so tests (and the CI chaos job) can assert the claimed
+behaviour instead of trusting it:
+
+* **solver failure** — the Nth :meth:`repro.core.lp.LinearProgram.solve`
+  call's primary attempt raises; the retry/fallback chain must recover
+  (``solver@N``), or every attempt raises and the structured
+  :class:`~repro.errors.SolverError` must surface (``solver-fatal@N``);
+* **worker crash** — the Nth dispatched item of a fault-isolated sweep
+  hard-kills its worker process (``os._exit``), surfacing as
+  ``BrokenProcessPool`` in the parent, which must re-execute stranded
+  items and record an ``ItemFailure`` for the crashed one (``worker@N``);
+* **corrupted checkpoint** — :func:`corrupt_checkpoint_file` damages a
+  stored item deterministically; the store must treat it as missing and
+  re-execute.
+
+Injection is count-based, not random: ``solver@3`` always hits the third
+solve, so a failing chaos test replays exactly.  Activate with::
+
+    with inject_faults(plan_from_spec("solver@1,worker@2")):
+        run_experiment("e3", workers=2)
+
+or from the CLI: ``repro run e3 --workers 2 --inject-faults worker@1``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator
+
+from repro.core.lp import set_solver_fault_hook
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.parallel import set_worker_fault_hook
+
+__all__ = [
+    "FaultPlan",
+    "InjectedSolverFault",
+    "inject_faults",
+    "plan_from_spec",
+    "corrupt_checkpoint_file",
+]
+
+
+class InjectedSolverFault(ReproError, RuntimeError):
+    """Raised inside an LP solver attempt by the injection harness."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults to inject, by deterministic occurrence index (1-based).
+
+    ``solver_failures`` fails only the *primary* attempt of the targeted
+    solves (the fallback chain should absorb it); ``solver_fatal`` fails
+    *every* attempt (the solve must surface a structured
+    :class:`~repro.errors.SolverError`).  ``worker_crashes`` indexes the
+    items dispatched by fault-isolated sweeps, in dispatch order, counted
+    across all sweeps of the injection scope.
+    """
+
+    solver_failures: FrozenSet[int] = field(default_factory=frozenset)
+    solver_fatal: FrozenSet[int] = field(default_factory=frozenset)
+    worker_crashes: FrozenSet[int] = field(default_factory=frozenset)
+
+
+class _ActiveInjection:
+    """Mutable counters for one activation of a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.solve_calls = 0
+        self.items_dispatched = 0
+        self.solver_faults_fired = 0
+        self.worker_crashes_fired = 0
+
+    def solver_hook(self, attempt_index: int, method: str) -> None:
+        if attempt_index == 0:
+            self.solve_calls += 1
+        if self.solve_calls in self.plan.solver_fatal:
+            self.solver_faults_fired += 1
+            raise InjectedSolverFault(
+                f"injected solver fault (solve #{self.solve_calls}, "
+                f"attempt {attempt_index}: {method})"
+            )
+        if attempt_index == 0 and self.solve_calls in self.plan.solver_failures:
+            self.solver_faults_fired += 1
+            raise InjectedSolverFault(
+                f"injected solver fault (solve #{self.solve_calls}, "
+                f"primary attempt: {method})"
+            )
+
+    def worker_hook(self, item_key: str) -> bool:
+        self.items_dispatched += 1
+        crash = self.items_dispatched in self.plan.worker_crashes
+        if crash:
+            self.worker_crashes_fired += 1
+        return crash
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[_ActiveInjection]:
+    """Activate ``plan`` for the block; hooks are removed on exit.
+
+    Yields the active injection whose counters
+    (``solver_faults_fired``, ``worker_crashes_fired``) tests can assert
+    on.  Activations do not nest.
+    """
+    active = _ActiveInjection(plan)
+    set_solver_fault_hook(active.solver_hook)
+    set_worker_fault_hook(active.worker_hook)
+    try:
+        yield active
+    finally:
+        set_solver_fault_hook(None)
+        set_worker_fault_hook(None)
+
+
+def plan_from_spec(spec: str) -> FaultPlan:
+    """Parse a CLI fault spec into a :class:`FaultPlan`.
+
+    The spec is comma-separated ``kind[@index]`` tokens with 1-based
+    indices (default 1): ``solver@2`` fails the second solve's primary
+    attempt, ``solver-fatal@1`` exhausts every attempt of the first
+    solve, ``worker@3`` crashes the third dispatched sweep item.
+    Example: ``"solver@1,worker@2"``.
+    """
+    solver = set()
+    fatal = set()
+    worker = set()
+    targets = {"solver": solver, "solver-fatal": fatal, "worker": worker}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        kind, _, index_text = token.partition("@")
+        if kind not in targets:
+            known = ", ".join(sorted(targets))
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in spec {spec!r} "
+                f"(known: {known})"
+            )
+        try:
+            index = int(index_text) if index_text else 1
+        except ValueError:
+            raise ConfigurationError(
+                f"bad fault index in token {token!r} (want kind@N)"
+            ) from None
+        if index < 1:
+            raise ConfigurationError(
+                f"fault index must be >= 1 in token {token!r}"
+            )
+        targets[kind].add(index)
+    return FaultPlan(
+        solver_failures=frozenset(solver),
+        solver_fatal=frozenset(fatal),
+        worker_crashes=frozenset(worker),
+    )
+
+
+def corrupt_checkpoint_file(path: str, mode: str = "truncate") -> None:
+    """Deterministically damage a checkpoint item file.
+
+    ``mode="truncate"`` keeps the first half of the file (a mid-write
+    crash without the atomic-rename protection); ``mode="garbage"``
+    overwrites the middle third with ``#`` bytes (bit rot that breaks the
+    checksum while staying superficially file-shaped).  Either way the
+    store must treat the item as missing and re-execute it.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if mode == "truncate":
+        damaged = data[: len(data) // 2]
+    elif mode == "garbage":
+        third = len(data) // 3
+        damaged = data[:third] + b"#" * third + data[2 * third :]
+    else:
+        raise ConfigurationError(
+            f"unknown corruption mode {mode!r} (want truncate|garbage)"
+        )
+    with open(path, "wb") as handle:
+        handle.write(damaged)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import Summary, bootstrap_ci, repeat, summarize
+from repro.analysis import bootstrap_ci, repeat, summarize
 from repro.errors import ConfigurationError
 
 

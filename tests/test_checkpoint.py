@@ -1,0 +1,158 @@
+"""Checkpoint store: resume fidelity, corruption healing, manifest pinning."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.experiments.checkpoint import (
+    STORE_SCHEMA_VERSION,
+    CheckpointStore,
+    get_checkpoint_store,
+    use_checkpoint_store,
+)
+from repro.experiments.failures import collect_failures
+from repro.experiments.parallel import fault_tolerant_map
+from repro.obs import Recorder, use_recorder
+from repro.testing.faults import corrupt_checkpoint_file
+
+
+def _square(x):
+    return x * x
+
+
+class TestStoreBasics:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        store.store("hop-count", {"series": [1.0, 2.0]})
+        found, value = store.load("hop-count")
+        assert found
+        assert value == {"series": [1.0, 2.0]}
+
+    def test_missing_item(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        assert store.load("nope") == (False, None)
+
+    def test_keys_and_clear(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        store.store("a", 1)
+        store.store("b", 2)
+        assert sorted(store.keys()) == ["a", "b"]
+        store.clear_items()
+        assert store.keys() == []
+        assert store.load("a") == (False, None)
+
+    def test_keys_needing_slug_survive(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        awkward = "metric: e2eTD / seed=42 " + "x" * 100
+        store.store(awkward, "value")
+        assert store.load(awkward) == (True, "value")
+        assert store.keys() == [awkward]
+
+    def test_counters(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        recorder = Recorder()
+        with use_recorder(recorder):
+            store.store("a", 1)
+            store.load("a")
+            store.load("missing")
+        assert recorder.counters["checkpoint.writes"] == 1
+        assert recorder.counters["checkpoint.hits"] == 1
+        assert "checkpoint.corrupt" not in recorder.counters
+
+
+class TestManifest:
+    def test_experiment_mismatch_rejected(self, tmp_path):
+        root = str(tmp_path / "run")
+        CheckpointStore(root, "e3")
+        with pytest.raises(CheckpointError, match="belongs to"):
+            CheckpointStore(root, "e4")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        root = str(tmp_path / "run")
+        CheckpointStore(root, "e3")
+        manifest = os.path.join(root, "MANIFEST.json")
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "schema_version": STORE_SCHEMA_VERSION + 1,
+                    "experiment_id": "e3",
+                },
+                handle,
+            )
+        with pytest.raises(CheckpointError, match="schema version"):
+            CheckpointStore(root, "e3")
+
+    def test_unreadable_manifest_rejected(self, tmp_path):
+        root = str(tmp_path / "run")
+        CheckpointStore(root, "e3")
+        with open(
+            os.path.join(root, "MANIFEST.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointStore(root, "e3")
+
+    def test_reopen_same_experiment_ok(self, tmp_path):
+        root = str(tmp_path / "run")
+        CheckpointStore(root, "e3").store("a", 1)
+        reopened = CheckpointStore(root, "e3")
+        assert reopened.load("a") == (True, 1)
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_item_is_missing_not_fatal(self, tmp_path, mode):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        store.store("a", [1, 2, 3])
+        corrupt_checkpoint_file(store.item_path("a"), mode=mode)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            assert store.load("a") == (False, None)
+        assert recorder.counters["checkpoint.corrupt"] == 1
+
+    def test_wrong_key_in_envelope_is_corrupt(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        store.store("a", 1)
+        os.replace(store.item_path("a"), store.item_path("b"))
+        assert store.load("b") == (False, None)
+
+    def test_corrupt_item_heals_on_resume(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        with use_checkpoint_store(store), collect_failures():
+            assert fault_tolerant_map(_square, [2, 3]) == [4, 9]
+        corrupt_checkpoint_file(store.item_path("item[0]"), mode="garbage")
+        with use_checkpoint_store(store), collect_failures() as failures:
+            assert fault_tolerant_map(_square, [2, 3]) == [4, 9]
+        assert failures == []
+        # The healed item was re-stored; a third pass is a pure cache hit.
+        recorder = Recorder()
+        with use_recorder(recorder), use_checkpoint_store(store), \
+                collect_failures():
+            assert fault_tolerant_map(_square, [2, 3]) == [4, 9]
+        assert recorder.counters["checkpoint.hits"] == 2
+
+
+class TestResume:
+    def test_resumed_sweep_equals_uninterrupted(self, tmp_path):
+        clean = fault_tolerant_map(_square, [1, 2, 3, 4])
+
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        store.store("item[1]", 4)
+        store.store("item[3]", 16)
+        recorder = Recorder()
+        with use_recorder(recorder), use_checkpoint_store(store), \
+                collect_failures():
+            resumed = fault_tolerant_map(_square, [1, 2, 3, 4])
+        assert resumed == clean
+        assert recorder.counters["checkpoint.hits"] == 2
+        # Only the two missing items were (re-)executed and stored.
+        assert recorder.counters["checkpoint.writes"] == 2
+
+    def test_ambient_store_plumbing(self, tmp_path):
+        assert get_checkpoint_store() is None
+        store = CheckpointStore(str(tmp_path / "run"), "e3")
+        with use_checkpoint_store(store):
+            assert get_checkpoint_store() is store
+        assert get_checkpoint_store() is None

@@ -7,7 +7,6 @@ from repro.core.feasibility import (
     is_feasible,
     required_airtime,
 )
-from repro.errors import InfeasibleProblemError
 
 
 class TestRequiredAirtime:

@@ -4,7 +4,6 @@ import pytest
 
 from repro import available_path_bandwidth
 from repro.core.frame import TdmaFrame, realize_frame
-from repro.core.schedule import LinkSchedule
 from repro.errors import ScheduleError
 
 

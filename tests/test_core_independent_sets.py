@@ -9,7 +9,6 @@ from repro.core.independent_sets import (
 )
 from repro.errors import InterferenceError
 from repro.interference.base import LinkRate
-from repro.interference.physical import PhysicalInterferenceModel
 
 
 def make_set(network, *pairs):

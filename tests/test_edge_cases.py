@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro import Path, available_path_bandwidth
+from repro import Path
 
 
 class TestTdmaSharing:
@@ -58,8 +58,6 @@ class TestFrameStride:
 
 class TestGreedyPricingOracle:
     def test_greedy_respects_conflicts(self, s2_bundle):
-        import networkx as nx
-
         from repro.core.column_generation import (
             _greedy_weighted_independent_set,
         )

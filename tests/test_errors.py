@@ -11,6 +11,8 @@ class TestHierarchy:
             if name == "ReproError":
                 continue
             exc_type = getattr(errors, name)
+            if not issubclass(exc_type, BaseException):
+                continue  # plain records (e.g. SolverAttempt)
             assert issubclass(exc_type, errors.ReproError), name
 
     def test_value_error_mixins(self):

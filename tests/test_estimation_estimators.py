@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Path
 from repro.errors import EstimationError
 from repro.estimation.estimators import (
     ESTIMATORS,

@@ -1,6 +1,5 @@
 """Local interference cliques along a path."""
 
-import pytest
 
 from repro.estimation.local_cliques import local_interference_cliques
 

@@ -5,7 +5,6 @@ benchmarks/; here we run the cheap experiments fully and the expensive
 ones in reduced form, asserting structure and the headline relations.
 """
 
-import math
 
 import pytest
 

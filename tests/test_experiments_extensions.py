@@ -1,6 +1,5 @@
 """Extension experiments X1/X2 (reduced configurations)."""
 
-import math
 
 import pytest
 

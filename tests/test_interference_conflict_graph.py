@@ -1,6 +1,5 @@
 """Link–rate conflict graph construction."""
 
-import pytest
 
 from repro.interference.base import LinkRate
 from repro.interference.conflict_graph import (

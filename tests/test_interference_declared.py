@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ConflictRule, DeclaredInterferenceModel, Network, RadioConfig
+from repro import ConflictRule, DeclaredInterferenceModel, Network
 from repro.errors import InterferenceError, TopologyError
 from repro.interference.base import LinkRate
 

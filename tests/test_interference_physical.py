@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Network, RadioConfig
+from repro import Network
 from repro.interference.base import LinkRate
 from repro.interference.physical import PhysicalInterferenceModel
 from repro.interference.protocol import ProtocolInterferenceModel

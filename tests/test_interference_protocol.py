@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Network, ProtocolInterferenceModel, RadioConfig
+from repro import Network, ProtocolInterferenceModel
 from repro.interference.base import LinkRate
 
 

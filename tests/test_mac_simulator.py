@@ -92,7 +92,6 @@ class TestConflictingLinks:
         the declared fallback hearing == conflicting, so they serialise;
         verify at least that simultaneous conflicting offered load is
         handled without crashing and with sane accounting."""
-        path = s2_bundle.path
         background = [
             (Path([s2_bundle.network.link("L1")]), 10.0),
             (Path([s2_bundle.network.link("L3")]), 10.0),

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Path, available_path_bandwidth
+from repro import available_path_bandwidth
 from repro.core.frame import realize_frame
 from repro.errors import SimulationError
 from repro.mac.tdma import simulate_frame_flows

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Network, RadioConfig
+from repro import Network
 from repro.errors import LinkError, TopologyError
 
 

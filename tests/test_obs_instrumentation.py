@@ -4,7 +4,6 @@ disabled (null) recorder is cheap enough to leave in the hot paths."""
 import json
 import time
 
-import pytest
 
 from repro.experiments.fig3_routing import Fig3Config, run_fig3
 from repro.cli import main

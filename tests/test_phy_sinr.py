@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.phy.radio import RadioConfig
 from repro.phy.sinr import max_rate_under_interference, max_standalone_rate, sinr
 
 

@@ -128,7 +128,7 @@ class TestProposition2:
         network2.add_node("b", x=50.0, y=0.0)
         network2.add_node("c")
         network2.add_node("d")
-        link_ok = network2.add_link("a", "b")
+        network2.add_link("a", "b")
         # Abstract link with empty standalone set via declared model:
         from repro.interference.declared import DeclaredInterferenceModel
 

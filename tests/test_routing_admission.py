@@ -1,10 +1,9 @@
 """Sequential admission (the Section 5.2 driver)."""
 
-import math
 
 import pytest
 
-from repro import Flow, ProtocolInterferenceModel
+from repro import Flow
 from repro.routing.admission import run_sequential_admission
 from repro.routing.metrics import METRICS
 

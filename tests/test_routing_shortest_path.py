@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Network, ProtocolInterferenceModel, RadioConfig
+from repro import Network, ProtocolInterferenceModel
 from repro.errors import RoutingError, TopologyError
 from repro.routing.metrics import METRICS, RoutingContext
 from repro.routing.shortest_path import route

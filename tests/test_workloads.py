@@ -5,7 +5,7 @@ import pytest
 from repro import Flow, Path
 from repro.errors import ConfigurationError, TopologyError
 from repro.workloads.flows import random_flow_endpoints
-from repro.workloads.scenarios import paper_random_topology, scenario_one, scenario_two
+from repro.workloads.scenarios import paper_random_topology, scenario_one
 
 
 class TestFlow:

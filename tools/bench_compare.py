@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Deterministic solver-counter regression gate for the bench-smoke CI job.
+
+Timings are noisy on shared CI runners, but the solver *counters* the
+``repro.obs`` layer records — DFS nodes explored, column-generation
+iterations, LP solves — are deterministic for a fixed instance.  This
+tool diffs the counters of a fresh bench-smoke trace (written by
+``tools/bench_runner.py --smoke --trace-json``) against the committed
+``BENCH_<date>.json`` baseline and fails on *unexplained growth*: a
+tracked counter exceeding its baseline means an algorithmic regression
+(more work per solve), which a wall-clock gate would miss in the noise.
+
+Usage (the bench-smoke job runs exactly this)::
+
+    python tools/bench_runner.py --smoke --trace-json smoke-trace.json
+    python tools/bench_compare.py smoke-trace.json --baseline BENCH_2026-08-06.json
+
+Counters *dropping* below baseline is fine (that is an optimization,
+report-only); growth beyond ``--tolerance`` (default 0, counters are
+exact) fails with exit code 1.  Exit code 2 means the inputs were
+unusable (missing file, no counter-bearing baseline run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Counters gated for regression.  All are deterministic per instance:
+#: the smoke run re-solves the same 4-hop chain every time, so any growth
+#: is an algorithmic change, not noise.
+TRACKED_COUNTERS = (
+    "enum.dfs_nodes",
+    "cg.iterations",
+    "cg.columns_added",
+    "lp.solves",
+)
+
+#: The smoke run solves only the 4-hop instance; compare against that row.
+SMOKE_HOPS = 4
+
+
+def _default_baseline() -> Path | None:
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def baseline_counters(document: dict) -> tuple[str, dict]:
+    """Summed per-segment counters of the latest counter-bearing run.
+
+    Early baseline runs predate the obs layer and carry no ``counters``
+    key; the newest run that has them is the comparison point.  The
+    smoke trace merges all three measured segments (enumeration,
+    end-to-end, column generation) into one counter table, so the
+    baseline row's per-segment counters are summed to match.
+    """
+    for run in reversed(document.get("runs", [])):
+        rows = [
+            row
+            for row in run.get("solver_scaling", [])
+            if row.get("hops") == SMOKE_HOPS and "counters" in row
+        ]
+        if not rows:
+            continue
+        totals: dict = {}
+        for segment in rows[0]["counters"].values():
+            for name, value in segment.items():
+                totals[name] = totals.get(name, 0) + value
+        return run.get("label", "?"), totals
+    raise LookupError(
+        f"no run with per-segment counters for the {SMOKE_HOPS}-hop "
+        "instance found in the baseline file"
+    )
+
+
+def compare(
+    smoke: dict, baseline: dict, tolerance: float = 0.0
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines) for the tracked counters."""
+    lines = []
+    regressions = []
+    width = max(len(name) for name in TRACKED_COUNTERS)
+    for name in TRACKED_COUNTERS:
+        expected = baseline.get(name)
+        observed = smoke.get(name)
+        if expected is None or observed is None:
+            regressions.append(
+                f"{name}: missing from "
+                f"{'baseline' if expected is None else 'smoke trace'}"
+            )
+            continue
+        limit = expected * (1.0 + tolerance)
+        if observed > limit:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {observed} > baseline {expected}"
+                + (f" (+{tolerance:.0%} tolerance)" if tolerance else "")
+            )
+        elif observed < expected:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {name:<{width}}  baseline {expected:>6}  "
+            f"observed {observed:>6}  {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trace",
+        help="bench-smoke run report (bench_runner.py --smoke --trace-json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_<date>.json (default: newest in repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="allowed fractional growth before failing (default 0: "
+        "tracked counters are deterministic)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else _default_baseline()
+    )
+    if baseline_path is None or not baseline_path.exists():
+        print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+        return 2
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"smoke trace not found: {trace_path}", file=sys.stderr)
+        return 2
+
+    trace = json.loads(trace_path.read_text())
+    document = json.loads(baseline_path.read_text())
+    try:
+        label, expected = baseline_counters(document)
+    except LookupError as error:
+        print(f"{baseline_path}: {error}", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(
+        trace.get("counters", {}), expected, tolerance=args.tolerance
+    )
+    print(
+        f"solver counters: {trace_path.name} vs "
+        f"{baseline_path.name} run {label!r}"
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print("counter regressions detected:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no counter regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
