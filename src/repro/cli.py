@@ -57,9 +57,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("list", help="list available experiments")
-    subparsers.add_parser(
+    verify_parser = subparsers.add_parser(
         "verify",
-        help="check the paper's exact numbers against this installation",
+        help="check the paper's exact numbers, then run the "
+        "differential oracle over random instances",
+    )
+    verify_parser.add_argument(
+        "--instances",
+        type=int,
+        default=25,
+        help="random instances for the differential oracle (default 25)",
+    )
+    verify_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; every (seed, instances) pair replays exactly",
+    )
+    verify_parser.add_argument(
+        "--profile",
+        choices=("quick", "deep"),
+        default="quick",
+        help="'deep' adds the CSMA-simulation invariant and a finer "
+        "schedule replay (default quick)",
+    )
+    verify_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a schema-versioned JSON report of the oracle run",
     )
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument(
@@ -201,11 +227,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_experiments())
         return 0
     if args.command == "verify":
-        from repro.verify import format_verification, run_verification
+        from repro.verify import (
+            format_differential,
+            format_verification,
+            run_differential,
+            run_verification,
+            write_run_document,
+        )
 
         checks = run_verification()
         print(format_verification(checks))
-        return 0 if all(check.passed for check in checks) else 1
+        recorder = Recorder()
+        try:
+            with use_recorder(recorder):
+                run = run_differential(
+                    instances=args.instances,
+                    seed=args.seed,
+                    profile=args.profile,
+                )
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(format_differential(run))
+        if args.json is not None:
+            write_run_document(args.json, run, counters=recorder.counters)
+        paper_ok = all(check.passed for check in checks)
+        return 0 if paper_ok and run.passed else 1
     tracing = args.trace or args.trace_json is not None
     recorder = Recorder() if tracing else None
     exit_code = 0

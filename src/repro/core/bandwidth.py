@@ -158,8 +158,14 @@ def available_path_bandwidth(
         ScheduleEntry(column, solution[var])
         for var, column in zip(lambda_vars, columns)
     )
+    # At saturation (background fills the channel) the solver reports the
+    # zero optimum with its own noise, e.g. -0.0 or -1e-17; available
+    # bandwidth is a physical quantity and must not go negative.
+    bandwidth = solution.objective
+    if -1e-9 < bandwidth <= 0.0:
+        bandwidth = 0.0
     return PathBandwidthResult(
-        available_bandwidth=solution.objective,
+        available_bandwidth=bandwidth,
         schedule=schedule,
         independent_sets=columns,
         background_demands=demands,

@@ -29,7 +29,7 @@ from repro.core.bandwidth import (
 from repro.core.cliques import RateClique, fixed_rate_cliques
 from repro.core.independent_sets import RateIndependentSet
 from repro.core.lp import LinearProgram
-from repro.errors import InterferenceError
+from repro.errors import InfeasibleProblemError, InterferenceError
 from repro.interference.base import InterferenceModel
 from repro.net.link import Link
 from repro.net.path import Path
@@ -267,15 +267,43 @@ def lower_bound_from_subset(
     ``subset_size`` to have :func:`greedy_column_subset` pick them from the
     full enumeration.  The returned ``available_bandwidth`` is a guaranteed
     lower bound on the true Eq. 6 optimum.
+
+    A greedy subset is chosen for bound quality, not feasibility, so a
+    small ``subset_size`` can miss the columns needed to deliver the
+    background demands at all.  That must not break the lower-bound
+    contract: on infeasibility the subset is grown (doubling, up to the
+    full enumeration) until the restricted LP is feasible.
+    :class:`~repro.errors.InfeasibleProblemError` therefore only escapes
+    when the background demands are genuinely unschedulable (or when
+    explicit ``columns`` were passed, which are honoured verbatim).
     """
     from repro.core.independent_sets import enumerate_maximal_independent_sets
 
-    if columns is None:
-        links = _collect_links(background, new_path)
-        full = enumerate_maximal_independent_sets(model, links)
-        if subset_size is None:
-            raise ValueError("pass either columns or subset_size")
-        columns = greedy_column_subset(full, links, subset_size)
-    return available_path_bandwidth(
-        model, new_path, background, independent_sets=columns
-    )
+    if columns is not None:
+        return available_path_bandwidth(
+            model, new_path, background, independent_sets=columns
+        )
+    links = _collect_links(background, new_path)
+    full = enumerate_maximal_independent_sets(model, links)
+    if subset_size is None:
+        raise ValueError("pass either columns or subset_size")
+    size = subset_size
+    previous = None
+    while True:
+        if size >= len(full):
+            chosen = list(full)
+        else:
+            chosen = greedy_column_subset(full, links, size)
+        # The greedy rule can stop early (no coverage gain), so doubling
+        # ``size`` may not change the selection; jump to the full family.
+        if previous is not None and len(chosen) <= len(previous):
+            chosen = list(full)
+        try:
+            return available_path_bandwidth(
+                model, new_path, background, independent_sets=chosen
+            )
+        except InfeasibleProblemError:
+            if len(chosen) >= len(full):
+                raise
+            previous = chosen
+            size = max(1, size * 2)

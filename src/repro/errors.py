@@ -24,6 +24,7 @@ __all__ = [
     "RoutingError",
     "EstimationError",
     "SimulationError",
+    "VerificationError",
 ]
 
 
@@ -137,3 +138,12 @@ class EstimationError(ReproError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event MAC simulator reached an inconsistent state."""
+
+
+class VerificationError(ReproError):
+    """A differential-verification reference was asked for an instance it
+    cannot handle exactly (e.g. an exhaustive enumeration over its cap).
+
+    Never raised for an invariant *violation* — violations are data, not
+    errors; they are reported in the verification run's outcome table.
+    """

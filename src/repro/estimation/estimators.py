@@ -183,12 +183,23 @@ class ExpectedCliqueTransmissionTime(PathBandwidthEstimator):
     needs expected time ≥ 1/(λ_i·r_i) per unit of traffic, and a clique's
     hops cannot pipeline.  More pessimistic than Eq. 13 (the paper finds it
     "a little worse").
+
+    Edge cases, aligned with the other clique-based estimators:
+
+    * a state with **no cliques** carries no local constraint, so the
+      estimate is ``inf`` (Eqs. 11–13 behave the same; ``path_state_for``
+      always produces at least a singleton clique, so this only arises for
+      hand-built states);
+    * a clique hop with **zero idleness** needs infinite expected time per
+      unit of traffic, so the whole path estimate collapses to ``0.0``.
     """
 
     name = "expected-ctt"
     label = "expected clique transmission time"
 
     def estimate(self, state: PathState) -> float:
+        if not state.cliques:
+            return float("inf")
         worst = 0.0
         for clique in state.cliques:
             total = 0.0
@@ -198,8 +209,6 @@ class ExpectedCliqueTransmissionTime(PathBandwidthEstimator):
                     return 0.0
                 total += 1.0 / (idle * state.rate_mbps(hop))
             worst = max(worst, total)
-        if worst == 0.0:
-            raise EstimationError("path state has no cliques")
         return 1.0 / worst
 
 

@@ -122,6 +122,14 @@ def run_fig3(
     rebuilds the topology and flows from the config's seeds, so the result
     is identical to the sequential run.
 
+    Sequential and parallel sweeps run the *same* per-item function
+    (``_run_metric``, rebuilding the instance from seeds), so not only the
+    tables but also the obs counter totals are identical across worker
+    counts — and across checkpoint resumes in either mode.  The sequential
+    path used to reuse one shared model across metrics, which produced the
+    same tables but different ``kernel.*`` counters than a parallel (or
+    resumed) run.
+
     The metric sweep is fault isolated: with a failure collector active
     (the CLI installs one), a metric whose run fails is recorded as an
     :class:`~repro.experiments.failures.ItemFailure` and simply left out
@@ -129,32 +137,17 @@ def run_fig3(
     checkpoint store active, completed metrics persist and a resumed run
     skips them.
     """
-    network, model, flows = _build_instance(config)
+    network, _, flows = _build_instance(config)
     result = Fig3Result(config=config, network=network, flows=flows)
     names = list(config.metrics)
     seeds = [config.topology_seed] * len(names)
-    if workers is not None and workers > 1:
-        reports = fault_tolerant_map(
-            _run_metric,
-            [(config, name) for name in names],
-            workers=workers,
-            item_keys=names,
-            item_seeds=seeds,
-        )
-    else:
-
-        def _run_shared(name: str) -> AdmissionReport:
-            return run_sequential_admission(
-                network,
-                model,
-                flows,
-                METRICS[name],
-                use_column_generation=True,
-            )
-
-        reports = fault_tolerant_map(
-            _run_shared, names, item_keys=names, item_seeds=seeds
-        )
+    reports = fault_tolerant_map(
+        _run_metric,
+        [(config, name) for name in names],
+        workers=workers,
+        item_keys=names,
+        item_seeds=seeds,
+    )
     for name, report in zip(names, reports):
         if report is not None:
             result.reports[name] = report

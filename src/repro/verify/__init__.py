@@ -1,0 +1,71 @@
+"""Verification: paper self-checks plus a differential-testing oracle.
+
+Two complementary layers answer "is this reproduction still correct?":
+
+* **paper checks** (:mod:`repro.verify.paper_checks`) — the analytically
+  exact numbers the paper prints (Scenario II's 16.2 Mbps optimum, the
+  1.05 Eq. 8 refutation, Scenario I's 1−λ vs 1−2λ), verified in
+  milliseconds;
+* **differential oracle** (:mod:`repro.verify.engine`) — random small
+  instances on which every optimized component (enumeration, pruning,
+  the Eq. 6/9 LPs, column generation, bounds, estimators, schedules) is
+  compared against deliberately shared-nothing brute-force references
+  (:mod:`repro.verify.reference`) and against the paper's ordering
+  relations (:mod:`repro.verify.invariants`).
+
+``repro verify --instances N --seed S --profile quick|deep`` runs both
+layers and renders a per-invariant pass/fail table; ``--json PATH``
+writes a schema-versioned report for CI artifacts.
+"""
+
+from repro.verify.engine import (
+    DifferentialRun,
+    InvariantSummary,
+    run_differential,
+)
+from repro.verify.instances import (
+    FAMILIES,
+    VerifyInstance,
+    generate_instance,
+    instance_strategy,
+    iter_instances,
+)
+from repro.verify.invariants import (
+    INVARIANTS,
+    InstanceArtifacts,
+    Invariant,
+    InvariantOutcome,
+)
+from repro.verify.paper_checks import (
+    VerificationCheck,
+    format_verification,
+    run_verification,
+)
+from repro.verify.report import (
+    VERIFY_SCHEMA_VERSION,
+    format_differential,
+    run_to_document,
+    write_run_document,
+)
+
+__all__ = [
+    "VerificationCheck",
+    "run_verification",
+    "format_verification",
+    "VerifyInstance",
+    "FAMILIES",
+    "generate_instance",
+    "iter_instances",
+    "instance_strategy",
+    "Invariant",
+    "InvariantOutcome",
+    "InstanceArtifacts",
+    "INVARIANTS",
+    "InvariantSummary",
+    "DifferentialRun",
+    "run_differential",
+    "VERIFY_SCHEMA_VERSION",
+    "format_differential",
+    "run_to_document",
+    "write_run_document",
+]

@@ -1,0 +1,162 @@
+"""The differential verification engine.
+
+:func:`run_differential` draws random instances, runs every applicable
+invariant on each, and aggregates the outcomes per invariant.  It is
+deliberately boring: generation and checking live elsewhere; the engine
+only orchestrates, times (obs spans ``verify.run`` / ``verify.instance``)
+and counts (``verify.{instances,checks,violations}``).
+
+A crash inside an invariant's artifacts — the optimized solver dying on
+an instance it should handle — is itself a finding, so exceptions are
+converted into violations carrying the exception text rather than
+aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import get_recorder
+from repro.verify.instances import iter_instances
+from repro.verify.invariants import (
+    INVARIANTS,
+    InstanceArtifacts,
+    Invariant,
+    InvariantOutcome,
+)
+
+__all__ = ["InvariantSummary", "DifferentialRun", "run_differential"]
+
+#: Profiles the engine understands; ``deep`` adds the MAC-simulation
+#: invariant and a finer replay quantization.
+PROFILES: Tuple[str, ...] = ("quick", "deep")
+
+
+@dataclass
+class InvariantSummary:
+    """One invariant's aggregate over a run."""
+
+    name: str
+    equation: str
+    description: str
+    #: Instances the invariant applied to.
+    applied: int = 0
+    #: How many of those passed.
+    passed: int = 0
+    #: The failing outcomes, in discovery order.
+    violations: List[InvariantOutcome] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        """Number of violations."""
+        return self.applied - self.passed
+
+
+@dataclass
+class DifferentialRun:
+    """Everything one ``run_differential`` call produced."""
+
+    profile: str
+    seed: int
+    requested_instances: int
+    #: Instance names actually generated, in order.
+    instances: List[str] = field(default_factory=list)
+    #: Every (invariant, instance) outcome.
+    outcomes: List[InvariantOutcome] = field(default_factory=list)
+    #: Per-invariant aggregates, in :data:`INVARIANTS` order.
+    summaries: List[InvariantSummary] = field(default_factory=list)
+
+    @property
+    def total_checks(self) -> int:
+        """Number of (invariant, instance) checks executed."""
+        return len(self.outcomes)
+
+    @property
+    def total_violations(self) -> int:
+        """Number of failed checks."""
+        return sum(1 for outcome in self.outcomes if not outcome.passed)
+
+    @property
+    def passed(self) -> bool:
+        """True when every executed check passed."""
+        return self.total_violations == 0
+
+
+def _check_one(
+    invariant: Invariant, artifacts: InstanceArtifacts
+) -> InvariantOutcome:
+    instance = artifacts.instance
+    try:
+        ok, detail = invariant.check(artifacts)
+    except Exception as exc:  # noqa: BLE001 - crashes are findings here
+        ok = False
+        detail = f"unexpected {type(exc).__name__}: {exc}"
+    return InvariantOutcome(
+        invariant=invariant.name,
+        instance=instance.name,
+        passed=ok,
+        detail=detail,
+    )
+
+
+def run_differential(
+    instances: int = 25,
+    seed: int = 0,
+    profile: str = "quick",
+    families: Optional[Sequence[str]] = None,
+) -> DifferentialRun:
+    """Run the differential oracle over ``instances`` random instances.
+
+    Args:
+        instances: How many instances to generate (families round-robin).
+        seed: Base seed; every (seed, count) pair replays exactly.
+        profile: ``quick`` runs the analytic invariants; ``deep`` adds
+            the CSMA-simulation check and a 10× finer schedule replay.
+        families: Restrict generation to these family keys (default all).
+
+    Returns:
+        A :class:`DifferentialRun` with per-check outcomes and
+        per-invariant summaries.
+    """
+    if profile not in PROFILES:
+        raise ConfigurationError(
+            f"unknown profile {profile!r}; choose from {', '.join(PROFILES)}"
+        )
+    replay_slots = 1_000_000 if profile == "deep" else 100_000
+    recorder = get_recorder()
+    run = DifferentialRun(
+        profile=profile, seed=seed, requested_instances=instances
+    )
+    active = [inv for inv in INVARIANTS if profile in inv.profiles]
+    with recorder.span("verify.run"):
+        for instance in iter_instances(instances, seed, families):
+            recorder.count("verify.instances")
+            run.instances.append(instance.name)
+            artifacts = InstanceArtifacts(instance, replay_slots=replay_slots)
+            with recorder.span("verify.instance"):
+                for invariant in active:
+                    if not invariant.predicate(instance):
+                        continue
+                    recorder.count("verify.checks")
+                    outcome = _check_one(invariant, artifacts)
+                    if not outcome.passed:
+                        recorder.count("verify.violations")
+                    run.outcomes.append(outcome)
+    for invariant in INVARIANTS:
+        summary = InvariantSummary(
+            name=invariant.name,
+            equation=invariant.equation,
+            description=invariant.description,
+        )
+        for outcome in run.outcomes:
+            if outcome.invariant != invariant.name:
+                continue
+            summary.applied += 1
+            if outcome.passed:
+                summary.passed += 1
+            else:
+                summary.violations.append(outcome)
+        run.summaries.append(summary)
+    return run

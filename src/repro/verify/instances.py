@@ -1,0 +1,452 @@
+"""Random instance generation for the differential oracle.
+
+Six families of small instances, each a (network, interference model,
+new path, background flows) bundle sized so the brute-force references
+in :mod:`repro.verify.reference` stay exhaustive: at most four or five
+links in the involved union, at most three rates per link, at most two
+background flows.
+
+Family map (what each one stresses):
+
+* ``declared-chain`` — abstract chains with random conflict rules,
+  including rate-*dependent* predicates of the Scenario II kind
+  ("L1 conflicts with L4 only at 54 Mbps");
+* ``geometric-chain`` — line placements under the pairwise SINR
+  (protocol) model, rates falling out of distances;
+* ``geometric-scatter`` — random planar placements with auto-built
+  links and randomly routed paths;
+* ``physical-chain`` — the same line placements under *cumulative*
+  interference, exercising the physical model's DFS enumeration;
+* ``single-clique`` — every involved link conflicts with every other,
+  backgrounds are disjoint one-hop flows: the regime where the
+  conservative estimators (Eq. 13/15) are provably below the Eq. 6
+  optimum;
+* ``single-rate-chain`` — declared chains with one rate, where the
+  classical chain of bounds (Eq. 9 ≤ min Eq. 7) is a theorem.
+
+Every builder keeps the background's *serialised* airtime below one
+period, which guarantees Eq. 6 feasibility (TDMA is a feasible point),
+so no instance is dead on arrival.
+
+Instances are constructed from a plain :class:`random.Random` so a
+(seed, family) pair is perfectly reproducible from the CLI; the
+Hypothesis strategy (:func:`instance_strategy`) drives the same
+constructors for property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+from repro.interference.declared import ConflictRule, DeclaredInterferenceModel
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.link import Link
+from repro.net.path import Path
+from repro.net.topology import Network
+from repro.phy.radio import RadioConfig
+from repro.phy.rates import IEEE80211A_PAPER_RATES
+
+__all__ = [
+    "VerifyInstance",
+    "FAMILIES",
+    "generate_instance",
+    "iter_instances",
+    "instance_strategy",
+]
+
+#: Rate pools the abstract families draw from (fastest first).
+_RATE_POOLS: Tuple[Tuple[float, ...], ...] = (
+    (54.0,),
+    (54.0, 36.0),
+    (54.0, 36.0, 18.0),
+)
+
+#: Serialised-airtime budget left to the background; the slack guarantees
+#: the Eq. 6 master is feasible via plain TDMA.
+_BACKGROUND_BUDGET = 0.85
+
+
+@dataclass(frozen=True)
+class VerifyInstance:
+    """One randomly generated verification instance."""
+
+    #: Stable display name, ``{family}-{seed}``.
+    name: str
+    #: Generating family key (see the module docstring).
+    family: str
+    #: The seed the builder consumed.
+    seed: int
+    network: Network
+    model: InterferenceModel
+    #: The candidate path whose available bandwidth is the question.
+    new_path: Path
+    #: Existing (path, demand-Mbps) flows.
+    background: Tuple[Tuple[Path, float], ...] = ()
+    #: True when every involved link conflicts with every other — the
+    #: regime where Eq. 13/15 conservativeness is a theorem.
+    single_clique: bool = False
+    #: True when every link supports exactly one rate.
+    single_rate: bool = False
+
+    @property
+    def links(self) -> List[Link]:
+        """Union of the involved paths' links, first-seen order."""
+        seen: Dict[str, Link] = {}
+        for path, _demand in self.background:
+            for link in path:
+                seen.setdefault(link.link_id, link)
+        for link in self.new_path:
+            seen.setdefault(link.link_id, link)
+        return list(seen.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VerifyInstance({self.name!r}, {len(self.links)} links, "
+            f"{len(self.background)} background flows)"
+        )
+
+
+def _restricted_radio(pool: Sequence[float]) -> RadioConfig:
+    return RadioConfig(rate_table=IEEE80211A_PAPER_RATES.restrict(list(pool)))
+
+
+def _chain_network(
+    radio: RadioConfig, n_links: int, name: str
+) -> Tuple[Network, List[Link]]:
+    network = Network(radio, name=name)
+    for index in range(n_links + 1):
+        network.add_node(f"n{index}")
+    links = [
+        network.add_link(f"n{index - 1}", f"n{index}", link_id=f"L{index}")
+        for index in range(1, n_links + 1)
+    ]
+    return network, links
+
+
+def _chain_background(
+    rng: random.Random,
+    links: Sequence[Link],
+    min_rate: float,
+    max_flows: int = 2,
+) -> Tuple[Tuple[Path, float], ...]:
+    """0–2 sub-path flows whose serialised airtime stays in budget."""
+    flows: List[Tuple[Path, float]] = []
+    budget = _BACKGROUND_BUDGET
+    for _ in range(rng.randint(0, max_flows)):
+        start = rng.randrange(len(links))
+        stop = rng.randint(start, len(links) - 1)
+        segment = links[start:stop + 1]
+        ceiling = budget * min_rate / len(segment)
+        demand = round(rng.uniform(0.05, 0.6) * ceiling, 4)
+        if demand <= 0.0:
+            continue
+        flows.append((Path(segment), demand))
+        budget -= demand * len(segment) / min_rate
+        if budget <= 0.05:
+            break
+    return tuple(flows)
+
+
+def _random_rules(
+    rng: random.Random, links: Sequence[Link], pool: Sequence[float]
+) -> List[ConflictRule]:
+    """Random conflicts between non-adjacent chain links.
+
+    Adjacent links already conflict through half-duplex; each farther
+    pair gets a rule with probability one half, rate-dependent (conflict
+    only when the nearer link transmits at the pool's fastest rate) with
+    probability 0.4 when the pool is multirate — the structure of the
+    paper's Scenario II L1–L4 rule.
+    """
+    rules: List[ConflictRule] = []
+    fastest = pool[0]
+    for i, a in enumerate(links):
+        for b in links[i + 2:]:
+            if rng.random() < 0.5:
+                continue
+            if len(pool) > 1 and rng.random() < 0.4:
+                rules.append(
+                    ConflictRule(
+                        a.link_id,
+                        b.link_id,
+                        predicate=lambda ra, _rb, fast=fastest: ra == fast,
+                    )
+                )
+            else:
+                rules.append(ConflictRule(a.link_id, b.link_id))
+    return rules
+
+
+def _declared_chain(rng: random.Random, seed: int) -> VerifyInstance:
+    pool = _RATE_POOLS[rng.randrange(len(_RATE_POOLS))]
+    n_links = rng.randint(2, 4)
+    network, links = _chain_network(
+        _restricted_radio(pool), n_links, f"verify-declared-{seed}"
+    )
+    model = DeclaredInterferenceModel(
+        network, rules=_random_rules(rng, links, pool)
+    )
+    return VerifyInstance(
+        name=f"declared-chain-{seed}",
+        family="declared-chain",
+        seed=seed,
+        network=network,
+        model=model,
+        new_path=Path(links),
+        background=_chain_background(rng, links, pool[-1]),
+        single_rate=len(pool) == 1,
+    )
+
+
+def _single_rate_chain(rng: random.Random, seed: int) -> VerifyInstance:
+    rate = rng.choice((54.0, 36.0, 18.0))
+    n_links = rng.randint(2, 4)
+    network, links = _chain_network(
+        _restricted_radio((rate,)), n_links, f"verify-single-rate-{seed}"
+    )
+    model = DeclaredInterferenceModel(
+        network, rules=_random_rules(rng, links, (rate,))
+    )
+    return VerifyInstance(
+        name=f"single-rate-chain-{seed}",
+        family="single-rate-chain",
+        seed=seed,
+        network=network,
+        model=model,
+        new_path=Path(links),
+        background=_chain_background(rng, links, rate),
+        single_rate=True,
+    )
+
+
+def _single_clique(rng: random.Random, seed: int) -> VerifyInstance:
+    rate = rng.choice((54.0, 36.0, 18.0))
+    n_links = rng.randint(1, 3)
+    network, links = _chain_network(
+        _restricted_radio((rate,)), n_links, f"verify-clique-{seed}"
+    )
+    bg_links: List[Link] = []
+    for index in range(rng.randint(0, 2)):
+        network.add_node(f"b{index}s")
+        network.add_node(f"b{index}r")
+        bg_links.append(
+            network.add_link(f"b{index}s", f"b{index}r", link_id=f"B{index}")
+        )
+    everything = links + bg_links
+    rules = [
+        ConflictRule(a.link_id, b.link_id)
+        for i, a in enumerate(everything)
+        for b in everything[i + 1:]
+        if not a.shares_node_with(b)
+    ]
+    model = DeclaredInterferenceModel(network, rules=rules)
+    budget = _BACKGROUND_BUDGET
+    background: List[Tuple[Path, float]] = []
+    for link in bg_links:
+        demand = round(rng.uniform(0.05, 0.5) * budget * rate, 4)
+        if demand <= 0.0:
+            continue
+        background.append((Path([link]), demand))
+        budget -= demand / rate
+    return VerifyInstance(
+        name=f"single-clique-{seed}",
+        family="single-clique",
+        seed=seed,
+        network=network,
+        model=model,
+        new_path=Path(links),
+        background=tuple(background),
+        single_clique=True,
+        single_rate=True,
+    )
+
+
+def _line_network(
+    rng: random.Random, seed: int, name: str
+) -> Tuple[Network, List[Link]]:
+    """Chain nodes on a line, spacing inside the 18 Mbps range."""
+    radio = _restricted_radio((54.0, 36.0, 18.0))
+    network = Network(radio, name=name)
+    n_links = rng.randint(2, 4)
+    x = 0.0
+    network.add_node("n0", x=0.0, y=0.0)
+    links: List[Link] = []
+    for index in range(1, n_links + 1):
+        x += rng.uniform(45.0, 110.0)
+        network.add_node(f"n{index}", x=x, y=0.0)
+        links.append(
+            network.add_link(f"n{index - 1}", f"n{index}", link_id=f"L{index}")
+        )
+    return network, links
+
+
+def _geometric_chain(rng: random.Random, seed: int) -> VerifyInstance:
+    network, links = _line_network(rng, seed, f"verify-geo-{seed}")
+    model = ProtocolInterferenceModel(network)
+    min_rate = min(
+        model.standalone_rates(link)[-1].mbps for link in links
+    )
+    return VerifyInstance(
+        name=f"geometric-chain-{seed}",
+        family="geometric-chain",
+        seed=seed,
+        network=network,
+        model=model,
+        new_path=Path(links),
+        background=_chain_background(rng, links, min_rate, max_flows=1),
+    )
+
+
+def _physical_chain(rng: random.Random, seed: int) -> VerifyInstance:
+    network, links = _line_network(rng, seed, f"verify-phys-{seed}")
+    model = PhysicalInterferenceModel(network)
+    usable = [link for link in links if model.standalone_rates(link)]
+    min_rate = min(
+        (model.standalone_rates(link)[-1].mbps for link in usable),
+        default=18.0,
+    )
+    return VerifyInstance(
+        name=f"physical-chain-{seed}",
+        family="physical-chain",
+        seed=seed,
+        network=network,
+        model=model,
+        new_path=Path(links),
+        background=_chain_background(rng, usable, min_rate, max_flows=1)
+        if usable
+        else (),
+    )
+
+
+def _geometric_scatter(rng: random.Random, seed: int) -> VerifyInstance:
+    import networkx as nx
+
+    for attempt in range(12):
+        radio = _restricted_radio((54.0, 36.0, 18.0))
+        network = Network(radio, name=f"verify-scatter-{seed}-{attempt}")
+        n_nodes = rng.randint(4, 6)
+        for index in range(n_nodes):
+            network.add_node(
+                f"n{index}",
+                x=rng.uniform(0.0, 260.0),
+                y=rng.uniform(0.0, 260.0),
+            )
+        network.build_links_within_range()
+        graph = network.to_digraph()
+        nodes = [node.node_id for node in network.nodes]
+        source, target = rng.sample(nodes, 2)
+        try:
+            hops = nx.shortest_path(graph, source, target)
+        except nx.NetworkXNoPath:
+            continue
+        if not 2 <= len(hops) - 1 <= 4:
+            continue
+        links = [
+            network.link_between(hops[i], hops[i + 1])
+            for i in range(len(hops) - 1)
+        ]
+        new_path = Path(links)
+        model = ProtocolInterferenceModel(network)
+        background: Tuple[Tuple[Path, float], ...] = ()
+        spare = [
+            link
+            for link in network.links
+            if link not in set(links)
+            and model.standalone_rates(link)
+        ]
+        if spare and rng.random() < 0.6:
+            extra = rng.choice(spare)
+            min_rate = model.standalone_rates(extra)[-1].mbps
+            demand = round(
+                rng.uniform(0.05, 0.4) * _BACKGROUND_BUDGET * min_rate, 4
+            )
+            if demand > 0.0:
+                background = ((Path([extra]), demand),)
+        return VerifyInstance(
+            name=f"geometric-scatter-{seed}",
+            family="geometric-scatter",
+            seed=seed,
+            network=network,
+            model=model,
+            new_path=new_path,
+            background=background,
+        )
+    # Degenerate draws (disconnected scatter): fall back to a line.
+    return _geometric_chain(rng, seed)
+
+
+#: Family key → builder, in deterministic round-robin order.
+FAMILIES: Dict[str, Callable[[random.Random, int], VerifyInstance]] = {
+    "declared-chain": _declared_chain,
+    "geometric-chain": _geometric_chain,
+    "geometric-scatter": _geometric_scatter,
+    "physical-chain": _physical_chain,
+    "single-clique": _single_clique,
+    "single-rate-chain": _single_rate_chain,
+}
+
+
+def generate_instance(
+    seed: int, family: Optional[str] = None
+) -> VerifyInstance:
+    """Build one instance deterministically from ``(seed, family)``.
+
+    With ``family`` omitted the seed also picks the family.  The same
+    pair always yields the same instance, so a violation reported by
+    ``repro verify`` replays exactly.
+    """
+    rng = random.Random(f"repro-verify:{seed}")
+    if family is None:
+        family = rng.choice(sorted(FAMILIES))
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance family {family!r}; "
+            f"known: {', '.join(sorted(FAMILIES))}"
+        ) from None
+    return builder(rng, seed)
+
+
+def iter_instances(
+    count: int,
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+) -> Iterator[VerifyInstance]:
+    """Yield ``count`` instances, families round-robin, seeds derived.
+
+    Instance ``i`` of a run with base seed ``S`` gets its own seed
+    ``S·10⁶ + i``, so runs with different base seeds never share
+    instances while any (base seed, count) pair is fully reproducible.
+    """
+    names = list(families) if families is not None else sorted(FAMILIES)
+    for name in names:
+        if name not in FAMILIES:
+            raise ConfigurationError(
+                f"unknown instance family {name!r}; "
+                f"known: {', '.join(sorted(FAMILIES))}"
+            )
+    for index in range(count):
+        family = names[index % len(names)]
+        yield generate_instance(seed * 1_000_000 + index, family=family)
+
+
+def instance_strategy(families: Optional[Sequence[str]] = None):
+    """A Hypothesis strategy emitting :class:`VerifyInstance` objects.
+
+    Imported lazily so the library keeps working where Hypothesis is not
+    installed; only property-based tests pay the dependency.
+    """
+    import hypothesis.strategies as st
+
+    names = tuple(families) if families is not None else tuple(sorted(FAMILIES))
+    return st.builds(
+        generate_instance,
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from(names),
+    )

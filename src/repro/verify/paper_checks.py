@@ -1,9 +1,11 @@
 """Self-check: the paper's hard numbers, verified in seconds.
 
-``repro verify`` runs the analytically exact reproduction targets —
-everything with a closed-form or printed value in the paper — and reports
-PASS/FAIL per check.  It is the fastest way to confirm an installation
-reproduces the paper before running the heavier experiments.
+The first half of ``repro verify``: the analytically exact reproduction
+targets — everything with a closed-form or printed value in the paper —
+reported PASS/FAIL per check.  The differential oracle over random
+instances lives in :mod:`repro.verify.engine`; this module stays the
+fastest way to confirm an installation reproduces the paper before
+running the heavier experiments.
 """
 
 from __future__ import annotations
@@ -139,6 +141,7 @@ def run_verification() -> List[VerificationCheck]:
 
 
 def format_verification(checks: List[VerificationCheck]) -> str:
+    """One PASS/FAIL line per check plus a passed-count summary line."""
     width = max(len(check.name) for check in checks)
     lines = []
     for check in checks:

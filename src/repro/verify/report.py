@@ -1,0 +1,117 @@
+"""Rendering and serialisation of differential verification runs.
+
+The table goes to the terminal (one row per invariant, violations
+detailed below it); the JSON document is schema-versioned so CI
+artifacts stay machine-readable across releases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.verify.engine import DifferentialRun
+
+__all__ = [
+    "VERIFY_SCHEMA_VERSION",
+    "format_differential",
+    "run_to_document",
+    "write_run_document",
+]
+
+#: Bump when the JSON document's shape changes incompatibly.
+VERIFY_SCHEMA_VERSION = 1
+
+#: How many violations to spell out per invariant in the text report.
+_MAX_DETAILED = 5
+
+
+def format_differential(run: DifferentialRun) -> str:
+    """Human-readable per-invariant table plus violation details."""
+    rows = []
+    for summary in run.summaries:
+        if summary.applied == 0:
+            status = "  --"
+            applied = "not exercised"
+        elif summary.failed == 0:
+            status = "PASS"
+            applied = f"{summary.passed}/{summary.applied} instances"
+        else:
+            status = "FAIL"
+            applied = f"{summary.failed}/{summary.applied} violations"
+        rows.append((status, summary.name, summary.equation, applied))
+    name_width = max(len(row[1]) for row in rows)
+    eq_width = max(len(row[2]) for row in rows)
+    lines = [
+        f"differential oracle: {run.requested_instances} instances, "
+        f"seed {run.seed}, profile {run.profile}"
+    ]
+    for status, name, equation, applied in rows:
+        lines.append(
+            f"  [{status}] {name:<{name_width}}  {equation:<{eq_width}}  "
+            f"{applied}"
+        )
+    for summary in run.summaries:
+        if not summary.violations:
+            continue
+        lines.append(f"  {summary.name}:")
+        for outcome in summary.violations[:_MAX_DETAILED]:
+            lines.append(f"    {outcome.instance}: {outcome.detail}")
+        hidden = len(summary.violations) - _MAX_DETAILED
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more")
+    verdict = "all invariants hold" if run.passed else (
+        f"{run.total_violations} violations"
+    )
+    lines.append(
+        f"{run.total_checks} checks over {len(run.instances)} instances: "
+        f"{verdict}"
+    )
+    return "\n".join(lines)
+
+
+def run_to_document(
+    run: DifferentialRun, counters: Dict[str, int] = None
+) -> Dict[str, Any]:
+    """The run as a schema-versioned, JSON-serialisable document."""
+    return {
+        "schema_version": VERIFY_SCHEMA_VERSION,
+        "profile": run.profile,
+        "seed": run.seed,
+        "requested_instances": run.requested_instances,
+        "instances": list(run.instances),
+        "passed": run.passed,
+        "total_checks": run.total_checks,
+        "total_violations": run.total_violations,
+        "invariants": [
+            {
+                "name": summary.name,
+                "equation": summary.equation,
+                "description": summary.description,
+                "applied": summary.applied,
+                "passed": summary.passed,
+                "failed": summary.failed,
+                "violations": [
+                    {
+                        "instance": outcome.instance,
+                        "detail": outcome.detail,
+                    }
+                    for outcome in summary.violations
+                ],
+            }
+            for summary in run.summaries
+        ],
+        "counters": dict(counters or {}),
+    }
+
+
+def write_run_document(
+    path: "str | Path", run: DifferentialRun, counters: Dict[str, int] = None
+) -> None:
+    """Write :func:`run_to_document` to ``path`` as indented JSON."""
+    document = run_to_document(run, counters)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

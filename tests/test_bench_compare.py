@@ -1,0 +1,186 @@
+"""The counter regression gate (tools/bench_compare.py)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    try:
+        import bench_compare
+    finally:
+        sys.path.pop(0)
+    return bench_compare
+
+
+BASELINE_COUNTERS = {
+    "enum.dfs_nodes": 100,
+    "cg.iterations": 10,
+    "cg.columns_added": 5,
+    "lp.solves": 20,
+}
+
+
+def make_baseline(counters=None, hops=4, label="seed"):
+    """A minimal BENCH_<date>.json document with one counter-bearing run."""
+    counters = BASELINE_COUNTERS if counters is None else counters
+    return {
+        "runs": [
+            {
+                "label": label,
+                "solver_scaling": [
+                    {"hops": hops, "counters": {"end_to_end": dict(counters)}}
+                ],
+            }
+        ]
+    }
+
+
+def write(path, document):
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+class TestCompare:
+    def test_equal_counters_pass(self, bench_compare):
+        lines, regressions = bench_compare.compare(
+            dict(BASELINE_COUNTERS), dict(BASELINE_COUNTERS)
+        )
+        assert regressions == []
+        assert all("ok" in line for line in lines)
+
+    def test_growth_is_a_regression(self, bench_compare):
+        grown = dict(BASELINE_COUNTERS, **{"lp.solves": 21})
+        lines, regressions = bench_compare.compare(grown, BASELINE_COUNTERS)
+        assert regressions == ["lp.solves: 21 > baseline 20"]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_drop_is_an_improvement_not_a_failure(self, bench_compare):
+        shrunk = dict(BASELINE_COUNTERS, **{"enum.dfs_nodes": 50})
+        lines, regressions = bench_compare.compare(shrunk, BASELINE_COUNTERS)
+        assert regressions == []
+        assert any("improved" in line for line in lines)
+
+    def test_tolerance_absorbs_growth(self, bench_compare):
+        grown = dict(BASELINE_COUNTERS, **{"lp.solves": 21})
+        _, regressions = bench_compare.compare(
+            grown, BASELINE_COUNTERS, tolerance=0.10
+        )
+        assert regressions == []
+
+    def test_missing_counter_fails(self, bench_compare):
+        partial = dict(BASELINE_COUNTERS)
+        del partial["cg.iterations"]
+        _, regressions = bench_compare.compare(partial, BASELINE_COUNTERS)
+        assert regressions == ["cg.iterations: missing from smoke trace"]
+
+
+class TestBaselineCounters:
+    def test_sums_segments(self, bench_compare):
+        document = {
+            "runs": [
+                {
+                    "label": "two-segment",
+                    "solver_scaling": [
+                        {
+                            "hops": 4,
+                            "counters": {
+                                "enumeration": {"enum.dfs_nodes": 60},
+                                "end_to_end": {
+                                    "enum.dfs_nodes": 40,
+                                    "lp.solves": 20,
+                                },
+                            },
+                        }
+                    ],
+                }
+            ]
+        }
+        label, totals = bench_compare.baseline_counters(document)
+        assert label == "two-segment"
+        assert totals == {"enum.dfs_nodes": 100, "lp.solves": 20}
+
+    def test_counterless_baseline_raises(self, bench_compare):
+        document = {
+            "runs": [{"label": "old", "solver_scaling": [{"hops": 4}]}]
+        }
+        with pytest.raises(LookupError):
+            bench_compare.baseline_counters(document)
+
+
+class TestMainExitCodes:
+    def test_clean_run_exits_zero(self, bench_compare, tmp_path, capsys):
+        trace = write(
+            tmp_path / "trace.json", {"counters": dict(BASELINE_COUNTERS)}
+        )
+        baseline = write(tmp_path / "BENCH_2026-01-01.json", make_baseline())
+        assert bench_compare.main([trace, "--baseline", baseline]) == 0
+        assert "no counter regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, bench_compare, tmp_path, capsys):
+        grown = dict(BASELINE_COUNTERS, **{"enum.dfs_nodes": 101})
+        trace = write(tmp_path / "trace.json", {"counters": grown})
+        baseline = write(tmp_path / "BENCH_2026-01-01.json", make_baseline())
+        assert bench_compare.main([trace, "--baseline", baseline]) == 1
+        assert "regressions detected" in capsys.readouterr().err
+
+    def test_missing_trace_exits_two(self, bench_compare, tmp_path, capsys):
+        baseline = write(tmp_path / "BENCH_2026-01-01.json", make_baseline())
+        missing = str(tmp_path / "nope.json")
+        assert bench_compare.main([missing, "--baseline", baseline]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, bench_compare, tmp_path, capsys):
+        trace = write(
+            tmp_path / "trace.json", {"counters": dict(BASELINE_COUNTERS)}
+        )
+        missing = str(tmp_path / "nope.json")
+        assert bench_compare.main([trace, "--baseline", missing]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_two(self, bench_compare, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text('{"counters": {truncated', encoding="utf-8")
+        baseline = write(tmp_path / "BENCH_2026-01-01.json", make_baseline())
+        code = bench_compare.main([str(trace), "--baseline", baseline])
+        assert code == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(
+        self, bench_compare, tmp_path, capsys
+    ):
+        trace = write(
+            tmp_path / "trace.json", {"counters": dict(BASELINE_COUNTERS)}
+        )
+        baseline = tmp_path / "BENCH_2026-01-01.json"
+        baseline.write_text("not json at all", encoding="utf-8")
+        code = bench_compare.main([trace, "--baseline", str(baseline)])
+        assert code == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_non_object_trace_exits_two(self, bench_compare, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text("[1, 2, 3]", encoding="utf-8")
+        baseline = write(tmp_path / "BENCH_2026-01-01.json", make_baseline())
+        code = bench_compare.main([str(trace), "--baseline", baseline])
+        assert code == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_counterless_baseline_exits_two(
+        self, bench_compare, tmp_path, capsys
+    ):
+        trace = write(
+            tmp_path / "trace.json", {"counters": dict(BASELINE_COUNTERS)}
+        )
+        baseline = write(
+            tmp_path / "BENCH_2026-01-01.json",
+            {"runs": [{"label": "old", "solver_scaling": [{"hops": 4}]}]},
+        )
+        assert bench_compare.main([trace, "--baseline", baseline]) == 2
+        assert "no run with per-segment counters" in capsys.readouterr().err

@@ -125,10 +125,22 @@ class TestExpectedCtt:
         state = make_state(s2_bundle, (0.0, 1.0, 1.0, 1.0))
         assert ExpectedCliqueTransmissionTime().estimate(state) == 0.0
 
-    def test_no_cliques_raises(self, s2_bundle):
+    def test_no_cliques_means_unconstrained(self, s2_bundle):
+        """Regression: a clique-free state used to raise EstimationError
+        here while Eqs. 11–13 returned inf for the same input.  All four
+        clique-based estimators now agree: no cliques → no local
+        constraint → inf."""
         state = make_state(s2_bundle, (1.0,) * 4, cliques=())
-        with pytest.raises(EstimationError):
-            ExpectedCliqueTransmissionTime().estimate(state)
+        assert ExpectedCliqueTransmissionTime().estimate(state) == float("inf")
+        for name in ("clique", "min-clique-bottleneck", "conservative"):
+            assert ESTIMATORS[name](state) == float("inf")
+
+    def test_zero_idleness_beats_missing_cliques(self, s2_bundle):
+        """λ_i = 0 inside a clique still collapses the estimate to zero."""
+        state = make_state(
+            s2_bundle, (0.0, 1.0, 1.0, 1.0), cliques=((0, 1), (2, 3))
+        )
+        assert ExpectedCliqueTransmissionTime().estimate(state) == 0.0
 
 
 class TestRegistry:

@@ -1,0 +1,86 @@
+"""Fig. 3 sweeps: counters and tables identical across workers and resumes.
+
+The sequential path used to reuse one shared interference model across
+metrics, which produced the same tables but different ``kernel.*``
+counters than a parallel (or resumed) run; both paths now run the same
+per-item function, so the obs counter totals are pinned equal here.
+"""
+
+import pytest
+
+from repro.experiments.checkpoint import CheckpointStore, use_checkpoint_store
+from repro.experiments.failures import collect_failures
+from repro.experiments.fig3_routing import Fig3Config, run_fig3
+from repro.experiments.parallel import set_worker_fault_hook
+from repro.obs import Recorder, use_recorder
+
+#: Two flows and two metrics keep each run well under a second while still
+#: exercising the parallel and checkpoint machinery with multiple items.
+SMALL = Fig3Config(n_flows=2, metrics=("hop-count", "e2eTD"))
+
+
+def run_with_counters(workers=None, store=None):
+    recorder = Recorder()
+    scope = use_checkpoint_store(store) if store is not None else None
+    with use_recorder(recorder):
+        if scope is not None:
+            with scope:
+                result = run_fig3(SMALL, workers=workers)
+        else:
+            result = run_fig3(SMALL, workers=workers)
+    return result, recorder.counters
+
+
+class TestWorkerParity:
+    def test_counters_and_tables_match_across_workers(self):
+        sequential, seq_counters = run_with_counters(workers=None)
+        parallel, par_counters = run_with_counters(workers=2)
+        assert sequential.table() == parallel.table()
+        assert seq_counters == par_counters
+        assert seq_counters.get("lp.solves", 0) > 0
+
+
+class TestResumeParity:
+    @pytest.fixture()
+    def make_interrupted_store(self, tmp_path):
+        """Checkpoint-dir factory: hop-count stored, e2eTD's item crashed.
+
+        A factory because resuming *completes* the store (the re-executed
+        metric is persisted), so every resumed run under comparison needs
+        its own identical copy of the interrupted state.
+        """
+
+        def build(name):
+            store = CheckpointStore(str(tmp_path / name), "fig3")
+            set_worker_fault_hook(lambda key: key == "e2eTD")
+            try:
+                with collect_failures() as failures:
+                    partial, _ = run_with_counters(store=store)
+            finally:
+                set_worker_fault_hook(None)
+            assert [f.item_key for f in failures] == ["e2eTD"]
+            assert sorted(partial.reports) == ["hop-count"]
+            assert store.keys() == ["hop-count"]
+            return store
+
+        return build
+
+    def test_resumed_table_matches_uninterrupted(self, make_interrupted_store):
+        uninterrupted, _ = run_with_counters()
+        resumed, _ = run_with_counters(store=make_interrupted_store("a"))
+        assert sorted(resumed.reports) == ["e2eTD", "hop-count"]
+        assert resumed.table() == uninterrupted.table()
+
+    def test_resumed_counters_match_across_workers(
+        self, make_interrupted_store
+    ):
+        resumed_seq, seq_counters = run_with_counters(
+            store=make_interrupted_store("seq")
+        )
+        resumed_par, par_counters = run_with_counters(
+            store=make_interrupted_store("par"), workers=2
+        )
+        assert resumed_seq.table() == resumed_par.table()
+        assert seq_counters == par_counters
+        # The stored metric loads from the checkpoint instead of re-solving.
+        assert seq_counters.get("checkpoint.hits", 0) >= 1

@@ -44,6 +44,26 @@ TRACKED_COUNTERS = (
 SMOKE_HOPS = 4
 
 
+def _load_json(path: Path) -> dict:
+    """Parse ``path`` as JSON, failing with a usable one-line message.
+
+    Malformed JSON (a truncated trace from a crashed runner, say) is a
+    usage error, not a regression: the caller maps it to exit code 2 so
+    CI distinguishes "inputs unusable" from "counters grew".
+    """
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed JSON: {error}") from error
+    except OSError as error:
+        raise OSError(f"{path}: unreadable: {error}") from error
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{path}: expected a JSON object, got {type(document).__name__}"
+        )
+    return document
+
+
 def _default_baseline() -> Path | None:
     candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
     return candidates[-1] if candidates else None
@@ -142,8 +162,12 @@ def main(argv=None) -> int:
         print(f"smoke trace not found: {trace_path}", file=sys.stderr)
         return 2
 
-    trace = json.loads(trace_path.read_text())
-    document = json.loads(baseline_path.read_text())
+    try:
+        trace = _load_json(trace_path)
+        document = _load_json(baseline_path)
+    except (ValueError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         label, expected = baseline_counters(document)
     except LookupError as error:
