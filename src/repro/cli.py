@@ -15,17 +15,27 @@ completed items and prints byte-identical tables.  ``--inject-faults``
 activates the deterministic chaos harness (:mod:`repro.testing.faults`)
 used by CI to exercise exactly these paths.
 
+Observability: ``--trace`` prints the span tree, ``--trace-json`` /
+``--trace-events`` write machine-readable reports (``-`` = stdout, after
+the tables), and every traced run appends a record to the run-history
+store (default ``.repro-history/``; ``--no-history`` opts out).  The
+``repro obs`` group inspects that store: ``repro obs history``, ``repro
+obs last``, ``repro obs diff A B [--strict]``.
+
 Exit codes: 0 success (including absorbed partial failures), 1 solver or
-model failure (infeasible problem, exhausted solver fallbacks, or partial
-failures under ``--strict``), 2 usage errors (unknown experiment, bad
-configuration, unusable checkpoint directory).
+model failure (infeasible problem, exhausted solver fallbacks, partial
+failures under ``--strict``, or a trace regression under ``repro obs
+diff --strict``), 2 usage errors (unknown experiment, bad configuration,
+unusable checkpoint directory, unresolvable history refs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from contextlib import nullcontext
 from typing import List, Optional
 
@@ -39,7 +49,9 @@ from repro.obs import (
     get_recorder,
     use_recorder,
     write_run_report,
+    write_trace_events,
 )
+from repro.obs import history as obs_history
 
 __all__ = ["main", "build_parser"]
 
@@ -131,7 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the machine-readable run report (spans, counters, "
-        "gauges, failures; schema-versioned JSON) to PATH",
+        "gauges, failures; schema-versioned JSON) to PATH ('-' = stdout, "
+        "after the tables)",
+    )
+    run_parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help="record per-span begin/end events and write a Chrome "
+        "trace-event JSON timeline to PATH ('-' = stdout) — load it in "
+        "https://ui.perfetto.dev; parallel sweeps get one track per "
+        "worker",
+    )
+    run_parser.add_argument(
+        "--history-dir",
+        metavar="DIR",
+        default=None,
+        help="run-history store a traced run appends its record to "
+        f"(default {obs_history.DEFAULT_HISTORY_DIR!r})",
+    )
+    run_parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this traced run to the run-history store",
     )
     run_parser.add_argument(
         "--checkpoint-dir",
@@ -162,6 +196,74 @@ def build_parser() -> argparse.ArgumentParser:
         "'solver-fatal@2' (exhaust every attempt of the 2nd solve), "
         "'worker@1' (crash the worker of the 1st sweep item); "
         "comma-separate to combine",
+    )
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="inspect the run-history store and diff recorded traces",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command")
+
+    def add_history_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--history-dir",
+            metavar="DIR",
+            default=None,
+            help="run-history store to read "
+            f"(default {obs_history.DEFAULT_HISTORY_DIR!r})",
+        )
+
+    history_parser = obs_sub.add_parser(
+        "history", help="table of recorded runs (or one full record)"
+    )
+    add_history_dir(history_parser)
+    history_parser.add_argument(
+        "run_id",
+        nargs="?",
+        default=None,
+        help="show this run's full record (id, unique prefix, 'last', "
+        "'-2', ...) instead of the table",
+    )
+    history_parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="rows in the table (default 20, newest kept)",
+    )
+    last_parser = obs_sub.add_parser(
+        "last", help="show the most recent recorded run"
+    )
+    add_history_dir(last_parser)
+    diff_parser = obs_sub.add_parser(
+        "diff",
+        help="counter/span deltas between two recorded runs",
+    )
+    add_history_dir(diff_parser)
+    diff_parser.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN",
+        help="two run refs (baseline, candidate) — ids, unique prefixes, "
+        "'last', '-2', ...; default: the previous run vs the last",
+    )
+    diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="allowed relative counter growth before a regression is "
+        "flagged (default 0: counters are deterministic)",
+    )
+    diff_parser.add_argument(
+        "--span-threshold",
+        type=float,
+        default=None,
+        help="also gate top-level span seconds at this relative growth "
+        "(default: spans are reported, never gated — wall time is noisy)",
+    )
+    diff_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when the diff flags a regression (default: report "
+        "and exit 0)",
     )
     return parser
 
@@ -195,15 +297,19 @@ def _configured_runner(experiment_id: str, args: argparse.Namespace):
     }
     def call():
         # The override path bypasses run_experiment, so it opens the
-        # experiment span and failure tag itself to keep traces and
-        # failure reports uniform.
+        # experiment span, failure tag, and run tally itself to keep
+        # traces, failure reports, and history records uniform.
         from repro.experiments.failures import tag_experiment
 
-        with get_recorder().span(f"experiment.{experiment_id}"), \
+        recorder = get_recorder()
+        with recorder.span(f"experiment.{experiment_id}"), \
                 tag_experiment(experiment_id):
             if workers is not None and experiment_id in {"e3", "e4", "e5"}:
-                return runners[experiment_id](config, workers=workers)
-            return runners[experiment_id](config)
+                result = runners[experiment_id](config, workers=workers)
+            else:
+                result = runners[experiment_id](config)
+        recorder.count("experiment.runs")
+        return result
 
     return call
 
@@ -220,12 +326,85 @@ def _list_experiments() -> str:
     return "\n".join(["available experiments:"] + lines)
 
 
+def _resolve_history_store(history_dir: Optional[str]):
+    """The history store a command should use (CLI flag over default)."""
+    return obs_history.HistoryStore(
+        history_dir if history_dir is not None
+        else obs_history.DEFAULT_HISTORY_DIR
+    )
+
+
+def _obs_main(args: argparse.Namespace) -> int:
+    """The ``repro obs`` group: history table, last record, trace diff."""
+    store = _resolve_history_store(getattr(args, "history_dir", None))
+    if args.obs_command in (None, "history"):
+        records = store.runs()
+        run_id = getattr(args, "run_id", None)
+        if run_id is None:
+            limit = getattr(args, "limit", 20)
+            print(obs_history.format_history_table(records, limit=limit))
+            return 0
+        try:
+            record = store.resolve(run_id, records)
+        except LookupError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=2))
+        return 0
+    if args.obs_command == "last":
+        record = store.last()
+        if record is None:
+            print(
+                f"history store {store.path} has no recorded runs",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(record, indent=2))
+        return 0
+    # diff
+    records = store.runs()
+    refs = args.runs
+    if refs and len(refs) != 2:
+        print(
+            "repro obs diff takes exactly two run refs (or none for "
+            "'previous vs last')",
+            file=sys.stderr,
+        )
+        return 2
+    if not refs:
+        if len(records) < 2:
+            print(
+                f"history store {store.path} holds "
+                f"{len(records)} run(s); nothing to diff yet"
+            )
+            return 0
+        refs = ["-2", "-1"]
+    try:
+        baseline = store.resolve(refs[0], records)
+        candidate = store.resolve(refs[1], records)
+    except LookupError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    diff = obs_history.diff_runs(
+        baseline,
+        candidate,
+        counter_threshold=args.threshold,
+        span_threshold=args.span_threshold,
+    )
+    print(obs_history.format_diff(diff))
+    if diff["regressions"] and args.strict:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None or args.command == "list":
         print(_list_experiments())
         return 0
+    if args.command == "obs":
+        return _obs_main(args)
     if args.command == "verify":
         from repro.verify import (
             format_differential,
@@ -253,11 +432,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_run_document(args.json, run, counters=recorder.counters)
         paper_ok = all(check.passed for check in checks)
         return 0 if paper_ok and run.passed else 1
-    tracing = args.trace or args.trace_json is not None
-    recorder = Recorder() if tracing else None
+    tracing = (
+        args.trace
+        or args.trace_json is not None
+        or args.trace_events is not None
+    )
+    recorder = (
+        Recorder(events=args.trace_events is not None) if tracing else None
+    )
     exit_code = 0
     ran: List[str] = []
     all_failures: List[object] = []
+    started = time.perf_counter()
     if args.inject_faults is not None:
         from repro.testing.faults import inject_faults, plan_from_spec
 
@@ -308,10 +494,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
                 if args.strict:
                     exit_code = max(exit_code, 1)
+    wall_seconds = time.perf_counter() - started
     if recorder is not None:
         if args.trace:
             print(format_trace(recorder))
             print()
+        if not args.no_history and ran:
+            try:
+                store = _resolve_history_store(args.history_dir)
+                record = obs_history.build_run_record(
+                    recorder,
+                    experiments=ran,
+                    label="run",
+                    wall_seconds=wall_seconds,
+                    fingerprint=obs_history.args_fingerprint(
+                        {
+                            "experiments": list(args.experiments),
+                            "topology_seed": args.topology_seed,
+                            "flow_seed": args.flow_seed,
+                            "flows": args.flows,
+                            "workers": args.workers,
+                        }
+                    ),
+                    failures=len(all_failures),
+                )
+                store.append(record)
+                print(
+                    f"recorded run {record['run_id']} -> {store.path}",
+                    file=sys.stderr,
+                )
+            except OSError as error:
+                # History is telemetry: an unwritable store must never
+                # fail a run that produced its tables.
+                print(
+                    f"history store unavailable: {error}", file=sys.stderr
+                )
+        # Stdout-bound JSON goes last, after tables, trace text, and any
+        # failure report — pipelines can split on the final document.
         if args.trace_json is not None:
             write_run_report(
                 recorder,
@@ -319,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 experiments=ran,
                 failures=all_failures,
             )
+        if args.trace_events is not None:
+            write_trace_events(recorder, args.trace_events)
     return exit_code
 
 

@@ -67,16 +67,18 @@ def set_worker_fault_hook(hook: Optional[Callable[[str], bool]]) -> None:
 
 
 def _traced_call(
-    payload: Tuple[Callable[[Any], Any], Any],
+    payload: Tuple[Callable[[Any], Any], Any, bool],
 ) -> Tuple[Any, float, Dict[str, Any]]:
     """Worker-side wrapper: run one item under a fresh recorder.
 
-    Returns (result, wall seconds, recorder snapshot).  Module-level so it
-    pickles; the previous recorder is always restored because pool workers
-    are reused across items.
+    Returns (result, wall seconds, recorder snapshot).  ``events`` is the
+    parent recorder's event mode: an event-mode parent gets event-mode
+    workers, so each worker ships a timeline the parent keeps as its own
+    export track.  Module-level so it pickles; the previous recorder is
+    always restored because pool workers are reused across items.
     """
-    fn, item = payload
-    recorder = Recorder()
+    fn, item, events = payload
+    recorder = Recorder(events=events)
     started = time.perf_counter()
     with use_recorder(recorder):
         result = fn(item)
@@ -84,7 +86,7 @@ def _traced_call(
 
 
 def _isolated_call(
-    payload: Tuple[Callable[[Any], Any], Any, bool, bool],
+    payload: Tuple[Callable[[Any], Any], Any, bool, bool, bool],
 ) -> Tuple[Any, float, Optional[Dict[str, Any]]]:
     """Worker-side wrapper for fault-tolerant sweeps.
 
@@ -92,12 +94,12 @@ def _isolated_call(
     exits hard (``os._exit``), exactly like a segfaulting or OOM-killed
     worker, which surfaces in the parent as ``BrokenProcessPool``.
     """
-    fn, item, crash, traced = payload
+    fn, item, crash, traced, events = payload
     if crash:
         os._exit(77)
     if not traced:
         return fn(item), 0.0, None
-    recorder = Recorder()
+    recorder = Recorder(events=events)
     started = time.perf_counter()
     with use_recorder(recorder):
         result = fn(item)
@@ -133,8 +135,9 @@ def parallel_map(
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
         if not recorder.enabled:
             return list(pool.map(fn, items))
+        events = getattr(recorder, "events_enabled", False)
         outcomes = list(
-            pool.map(_traced_call, [(fn, item) for item in items])
+            pool.map(_traced_call, [(fn, item, events) for item in items])
         )
     results = []
     for index, (result, seconds, snapshot) in enumerate(outcomes):
@@ -251,6 +254,7 @@ def fault_tolerant_map(
         return results
 
     traced = recorder.enabled
+    events = getattr(recorder, "events_enabled", False)
     stranded: List[int] = []
     broke = False
     with ProcessPoolExecutor(
@@ -258,7 +262,8 @@ def fault_tolerant_map(
     ) as pool:
         futures = {
             index: pool.submit(
-                _isolated_call, (fn, items[index], crashes[index], traced)
+                _isolated_call,
+                (fn, items[index], crashes[index], traced, events),
             )
             for index in pending
         }

@@ -37,7 +37,8 @@ class ExperimentSpec:
         Runs under an experiment tag so item failures recorded by
         fault-isolated sweeps carry this experiment's id.
         """
-        with get_recorder().span(f"experiment.{self.experiment_id}"), \
+        recorder = get_recorder()
+        with recorder.span(f"experiment.{self.experiment_id}"), \
                 tag_experiment(self.experiment_id):
             if workers is not None and workers > 1:
                 if not self.supports_workers:
@@ -45,8 +46,14 @@ class ExperimentSpec:
                         f"experiment {self.experiment_id!r} does not "
                         "support parallel workers"
                     )
-                return self.runner(workers=workers)
-            return self.runner()
+                result = self.runner(workers=workers)
+            else:
+                result = self.runner()
+        # Completed-experiment tally: history records carry it, so a
+        # cross-run diff can tell "the workload shrank" from "the solver
+        # got cheaper".
+        recorder.count("experiment.runs")
+        return result
 
 
 def _registry() -> Dict[str, ExperimentSpec]:

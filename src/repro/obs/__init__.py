@@ -20,6 +20,14 @@ Typical use::
 or, from the command line, ``repro run e3 --trace`` /
 ``--trace-json report.json``.
 
+Beyond aggregates, v2 adds three persistent/inspectable layers:
+per-event **timelines** (``Recorder(events=True)``, exported as Chrome
+trace-event JSON via ``repro run e3 --trace-events out.json`` and loaded
+in Perfetto), the append-only **run-history store**
+(:class:`HistoryStore`, default ``.repro-history/``, appended by every
+traced CLI run), and **cross-run diffing** (``repro obs history`` /
+``last`` / ``diff``, with ``--strict`` gating counter growth in CI).
+
 Naming scheme (dotted, component-first): spans ``experiment.<id>``,
 ``enum.sets``, ``enum.independent_sets``, ``cg.solve``, ``cg.iteration``,
 ``cg.pricing``, ``lp.solve``, ``mac.run``, ``parallel.worker[<i>]``;
@@ -31,6 +39,18 @@ sets_pruned}``, ``cg.{iterations,columns_added}``,
 ``lp.{rows,cols,nnz}``.
 """
 
+from repro.obs.events import DEFAULT_MAX_EVENTS, EventBuffer
+from repro.obs.export import to_trace_events, write_trace_events
+from repro.obs.history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    args_fingerprint,
+    build_run_record,
+    diff_runs,
+    format_diff,
+    format_history_table,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -40,7 +60,12 @@ from repro.obs.recorder import (
     set_recorder,
     use_recorder,
 )
-from repro.obs.report import format_trace, run_report, write_run_report
+from repro.obs.report import (
+    environment_info,
+    format_trace,
+    run_report,
+    write_run_report,
+)
 
 __all__ = [
     "Recorder",
@@ -53,4 +78,17 @@ __all__ = [
     "format_trace",
     "run_report",
     "write_run_report",
+    "environment_info",
+    "EventBuffer",
+    "DEFAULT_MAX_EVENTS",
+    "to_trace_events",
+    "write_trace_events",
+    "HistoryStore",
+    "DEFAULT_HISTORY_DIR",
+    "HISTORY_SCHEMA_VERSION",
+    "build_run_record",
+    "args_fingerprint",
+    "diff_runs",
+    "format_diff",
+    "format_history_table",
 ]

@@ -1,0 +1,81 @@
+"""Bounded per-event buffer for span begin/end timelines.
+
+The aggregate span tree (:mod:`repro.obs.recorder`) answers "how much
+time, in total, went where"; it cannot answer "what happened *when*" —
+which column-generation iteration stalled, whether worker 3 started late,
+how the LP solves interleave.  Event mode answers that: a recorder
+constructed with ``Recorder(events=True)`` additionally appends one
+``("B"|"E", span name, monotonic timestamp)`` record per span begin/end
+into an :class:`EventBuffer`.
+
+The buffer is bounded (default :data:`DEFAULT_MAX_EVENTS` records).  On
+overflow it keeps the *oldest* events — the structurally interesting
+prefix of the run, whose begin/end pairs stay consistent — and counts
+what it refused in :attr:`EventBuffer.dropped`, so exports can say
+"truncated after N events" instead of silently lying.  Event mode is
+strictly opt-in: the default aggregate mode and the null recorder never
+touch a buffer (one ``is None`` check per span boundary, no allocation).
+
+Timestamps are ``time.perf_counter()`` readings — monotonic, but only
+comparable within one process.  A worker recorder therefore ships its
+buffer inside :meth:`~repro.obs.recorder.Recorder.snapshot` together
+with its own ``origin``; the exporter (:mod:`repro.obs.export`) rebases
+every track to its origin, so merged timelines stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["EventBuffer", "DEFAULT_MAX_EVENTS"]
+
+#: Default event capacity.  At two events per span activation this holds
+#: ~32k spans — far beyond any experiment in the suite; the cap exists so
+#: a runaway loop cannot eat memory, not as a working limit.
+DEFAULT_MAX_EVENTS = 65536
+
+#: One event: ("B" or "E", span name, perf_counter seconds).
+EventRecord = Tuple[str, str, float]
+
+
+class EventBuffer:
+    """Append-only, capacity-bounded buffer of span begin/end events."""
+
+    __slots__ = ("capacity", "dropped", "_records")
+
+    def __init__(self, capacity: int = DEFAULT_MAX_EVENTS):
+        if capacity <= 0:
+            raise ValueError(f"event capacity must be positive: {capacity}")
+        self.capacity = capacity
+        #: Events refused because the buffer was full.
+        self.dropped = 0
+        self._records: List[EventRecord] = []
+
+    def append(self, phase: str, name: str, timestamp: float) -> None:
+        """Record one event; past capacity it is counted, not stored."""
+        if len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append((phase, name, timestamp))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[EventRecord]:
+        """The stored events, oldest first (a copy)."""
+        return list(self._records)
+
+    def to_dict(self, pid: int, origin: float) -> Dict[str, Any]:
+        """JSON-able form used inside recorder snapshots.
+
+        ``origin`` is the owning recorder's construction timestamp (the
+        zero point for this buffer's clock); ``pid`` identifies the
+        process that recorded, since timestamps never compare across
+        processes.
+        """
+        return {
+            "pid": pid,
+            "origin": origin,
+            "records": [list(record) for record in self._records],
+            "dropped": self.dropped,
+        }

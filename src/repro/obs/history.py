@@ -1,0 +1,445 @@
+"""Persistent run-history store and cross-run trace diffing.
+
+A trace that vanishes when the process exits cannot catch a regression:
+somebody has to remember what last week's run looked like.  The
+:class:`HistoryStore` remembers — every traced ``repro run`` (and the
+benchmark harness) appends one schema-versioned record to an append-only
+JSONL file, default ``.repro-history/runs.jsonl``: experiment ids, an
+arguments fingerprint, environment (git SHA, package version, platform),
+wall time, the full counter/gauge snapshot, and the top-level span
+totals.
+
+Durability follows :class:`~repro.experiments.checkpoint.CheckpointStore`:
+each line is a checksum envelope (``{"schema_version", "sha256",
+"record"}``) written with a single ``O_APPEND`` write, so concurrent
+appenders interleave whole lines and a torn or bit-rotted line fails its
+checksum instead of poisoning the file.  Corrupt lines are skipped with a
+warning — reading history is never fatal.
+
+On top of the store, :func:`diff_runs` compares two records —
+deterministic counters exactly, span seconds against a configurable
+relative threshold — and feeds ``repro obs history`` / ``repro obs
+last`` / ``repro obs diff`` (nonzero exit on regression under
+``--strict``, which is how CI gates the bench smoke run against its
+previous incarnation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.recorder import get_recorder
+from repro.obs.report import environment_info
+
+__all__ = [
+    "HistoryStore",
+    "DEFAULT_HISTORY_DIR",
+    "HISTORY_SCHEMA_VERSION",
+    "build_run_record",
+    "args_fingerprint",
+    "diff_runs",
+    "format_diff",
+    "format_history_table",
+]
+
+#: Version of the per-line record layout.  Bump on rename/removal;
+#: additions are backward compatible.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Where traced runs land unless ``--history-dir`` says otherwise.
+DEFAULT_HISTORY_DIR = ".repro-history"
+
+_RUNS_FILENAME = "runs.jsonl"
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _new_run_id() -> str:
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+def args_fingerprint(arguments: Dict[str, Any]) -> str:
+    """Short stable digest of a run's effective arguments.
+
+    Two records with equal fingerprints solved the same workload, so
+    their counters are comparable; the diff warns when they differ.
+    """
+    canonical = json.dumps(
+        arguments, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def build_run_record(
+    recorder,
+    experiments: Sequence[str] = (),
+    label: str = "run",
+    wall_seconds: Optional[float] = None,
+    fingerprint: Optional[str] = None,
+    failures: int = 0,
+) -> Dict[str, Any]:
+    """One history record for a finished run under ``recorder``.
+
+    Only top-level span totals are kept (name, calls, total/max
+    seconds) — history answers "did the run get slower / do more work",
+    the full tree stays in ``--trace-json``.
+    """
+    snapshot = recorder.snapshot()
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "run_id": _new_run_id(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "label": label,
+        "experiments": list(experiments),
+        "args_fingerprint": fingerprint,
+        "environment": environment_info(),
+        "wall_seconds": wall_seconds,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": [
+            {
+                "name": span["name"],
+                "calls": span["calls"],
+                "seconds": span["seconds"],
+                "max_seconds": span.get("max_seconds", 0.0),
+            }
+            for span in snapshot["spans"]
+        ],
+        "failures": failures,
+    }
+
+
+class HistoryStore:
+    """Append-only JSONL store of run records under one directory."""
+
+    def __init__(self, root: str = DEFAULT_HISTORY_DIR):
+        self.root = root
+        self.path = os.path.join(root, _RUNS_FILENAME)
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append ``record`` inside a checksum envelope; returns it.
+
+        The envelope line is written with one ``O_APPEND`` ``write``
+        call — concurrent appenders (parallel CI shards, say) interleave
+        whole lines, never bytes.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        canonical = _canonical(record)
+        envelope = {
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "sha256": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+            "record": record,
+        }
+        line = _canonical(envelope) + "\n"
+        fd = os.open(
+            self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        get_recorder().count("history.appends")
+        return record
+
+    # -- reading ---------------------------------------------------------------
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """Every well-formed record, oldest first.
+
+        A line that fails to parse, carries an unknown schema version,
+        or fails its checksum is skipped with a ``RuntimeWarning`` (and
+        the ``history.corrupt_lines`` counter) — one damaged line costs
+        one record, never the store.
+        """
+        if not os.path.exists(self.path):
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    envelope = json.loads(line)
+                    if (
+                        envelope.get("schema_version")
+                        != HISTORY_SCHEMA_VERSION
+                    ):
+                        raise ValueError("unknown envelope schema version")
+                    record = envelope["record"]
+                    digest = hashlib.sha256(
+                        _canonical(record).encode("utf-8")
+                    ).hexdigest()
+                    if digest != envelope.get("sha256"):
+                        raise ValueError("record checksum mismatch")
+                except Exception as error:
+                    get_recorder().count("history.corrupt_lines")
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping corrupt history "
+                        f"line ({error})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                records.append(record)
+        return records
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        """The most recent record, or ``None`` for an empty store."""
+        records = self.runs()
+        return records[-1] if records else None
+
+    def resolve(
+        self, ref: str, records: Optional[List[Dict[str, Any]]] = None
+    ) -> Dict[str, Any]:
+        """The record a CLI ref names.
+
+        Accepted forms: ``last``/``latest``, ``prev``/``previous``,
+        ``-N`` (Nth newest), a full run id, or a unique run-id prefix.
+        Raises ``LookupError`` when nothing (or more than one thing)
+        matches.
+        """
+        records = self.runs() if records is None else records
+        if not records:
+            raise LookupError(f"history store {self.path} is empty")
+        if ref in ("last", "latest"):
+            return records[-1]
+        if ref in ("prev", "previous"):
+            ref = "-2"
+        match = re.fullmatch(r"-(\d+)", ref)
+        if match:
+            index = int(match.group(1))
+            if index < 1 or index > len(records):
+                raise LookupError(
+                    f"run ref {ref!r} out of range (store holds "
+                    f"{len(records)} runs)"
+                )
+            return records[-index]
+        exact = [r for r in records if r.get("run_id") == ref]
+        if exact:
+            return exact[-1]
+        prefixed = [
+            r for r in records if str(r.get("run_id", "")).startswith(ref)
+        ]
+        if len(prefixed) == 1:
+            return prefixed[0]
+        if prefixed:
+            raise LookupError(
+                f"run ref {ref!r} is ambiguous "
+                f"({len(prefixed)} matching runs)"
+            )
+        raise LookupError(f"no run matching {ref!r} in {self.path}")
+
+
+# -- diffing -------------------------------------------------------------------
+
+
+def diff_runs(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    counter_threshold: float = 0.0,
+    span_threshold: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Counter and span deltas between two history records.
+
+    Counters are deterministic per workload, so a counter of
+    ``candidate`` exceeding its ``baseline`` value by more than
+    ``counter_threshold`` (relative) is a regression; drops are
+    improvements.  Counters present on only one side are reported as
+    added/removed, never as regressions — new instrumentation must not
+    fail the gate.  Span seconds are compared only when
+    ``span_threshold`` is given (wall time is noisy; the gate is opt-in).
+    Mismatched args fingerprints produce a warning entry: the runs
+    solved different workloads, so deltas are descriptive, not gating.
+    """
+    warnings_list: List[str] = []
+    fp_a = baseline.get("args_fingerprint")
+    fp_b = candidate.get("args_fingerprint")
+    if fp_a != fp_b:
+        warnings_list.append(
+            f"args fingerprints differ ({fp_a} vs {fp_b}): the runs "
+            "solved different workloads"
+        )
+    if baseline.get("experiments") != candidate.get("experiments"):
+        warnings_list.append(
+            f"experiment sets differ ({baseline.get('experiments')} vs "
+            f"{candidate.get('experiments')})"
+        )
+
+    counters_a = baseline.get("counters", {})
+    counters_b = candidate.get("counters", {})
+    counter_rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        a = counters_a.get(name)
+        b = counters_b.get(name)
+        if a is None:
+            status = "added"
+        elif b is None:
+            status = "removed"
+        elif b > a * (1.0 + counter_threshold):
+            status = "regression"
+            regressions.append(
+                f"counter {name}: {a} -> {b}"
+                + (
+                    f" (+{counter_threshold:.0%} tolerance)"
+                    if counter_threshold
+                    else ""
+                )
+            )
+        elif b < a:
+            status = "improved"
+        else:
+            status = "ok"
+        counter_rows.append(
+            {
+                "name": name,
+                "baseline": a,
+                "candidate": b,
+                "delta": (b - a) if a is not None and b is not None else None,
+                "status": status,
+            }
+        )
+
+    spans_a = {s["name"]: s for s in baseline.get("spans", [])}
+    spans_b = {s["name"]: s for s in candidate.get("spans", [])}
+    span_rows: List[Dict[str, Any]] = []
+    for name in sorted(set(spans_a) | set(spans_b)):
+        a_sec = spans_a.get(name, {}).get("seconds")
+        b_sec = spans_b.get(name, {}).get("seconds")
+        status = "ok"
+        if a_sec is None:
+            status = "added"
+        elif b_sec is None:
+            status = "removed"
+        elif (
+            span_threshold is not None
+            and b_sec > a_sec * (1.0 + span_threshold)
+        ):
+            status = "regression"
+            regressions.append(
+                f"span {name}: {a_sec:.4f}s -> {b_sec:.4f}s "
+                f"(+{span_threshold:.0%} threshold)"
+            )
+        span_rows.append(
+            {
+                "name": name,
+                "baseline_seconds": a_sec,
+                "candidate_seconds": b_sec,
+                "status": status,
+            }
+        )
+
+    return {
+        "baseline": {
+            "run_id": baseline.get("run_id"),
+            "timestamp": baseline.get("timestamp"),
+        },
+        "candidate": {
+            "run_id": candidate.get("run_id"),
+            "timestamp": candidate.get("timestamp"),
+        },
+        "counter_threshold": counter_threshold,
+        "span_threshold": span_threshold,
+        "warnings": warnings_list,
+        "counters": counter_rows,
+        "spans": span_rows,
+        "regressions": regressions,
+    }
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`diff_runs` result."""
+    lines = [
+        f"diff: {diff['baseline']['run_id']} (baseline) vs "
+        f"{diff['candidate']['run_id']} (candidate)"
+    ]
+    for warning in diff["warnings"]:
+        lines.append(f"  warning: {warning}")
+    changed = [
+        row for row in diff["counters"] if row["status"] != "ok"
+    ]
+    lines.append(
+        f"counters: {len(diff['counters'])} compared, "
+        f"{len(changed)} changed"
+    )
+    if changed:
+        width = max(len(row["name"]) for row in changed)
+        for row in changed:
+            a = "-" if row["baseline"] is None else row["baseline"]
+            b = "-" if row["candidate"] is None else row["candidate"]
+            delta = row["delta"]
+            delta_text = (
+                f"{delta:+d}" if isinstance(delta, int) else ""
+            )
+            lines.append(
+                f"  {row['name']:<{width}}  {a:>10} -> {b:>10}  "
+                f"{delta_text:>8}  {row['status']}"
+            )
+    flagged = [row for row in diff["spans"] if row["status"] != "ok"]
+    if diff["span_threshold"] is not None or flagged:
+        lines.append(f"spans: {len(diff['spans'])} compared")
+        for row in flagged:
+            a = row["baseline_seconds"]
+            b = row["candidate_seconds"]
+            a_text = "-" if a is None else f"{a * 1e3:.3f} ms"
+            b_text = "-" if b is None else f"{b * 1e3:.3f} ms"
+            lines.append(
+                f"  {row['name']}  {a_text} -> {b_text}  {row['status']}"
+            )
+    if diff["regressions"]:
+        lines.append("regressions:")
+        lines.extend(f"  {entry}" for entry in diff["regressions"])
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def format_history_table(
+    records: List[Dict[str, Any]], limit: int = 20
+) -> str:
+    """Table of the newest ``limit`` records, oldest of them first."""
+    if not records:
+        return "history: (no recorded runs)"
+    window = records[-limit:]
+    rows = []
+    for record in window:
+        wall = record.get("wall_seconds")
+        rows.append(
+            (
+                str(record.get("run_id", "?")),
+                str(record.get("timestamp", "?")),
+                str(record.get("label", "?")),
+                ",".join(record.get("experiments", [])) or "-",
+                f"{wall:.2f}s" if isinstance(wall, (int, float)) else "-",
+                str(record.get("failures", 0)),
+            )
+        )
+    headers = ("run id", "timestamp", "label", "experiments", "wall", "fail")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        f"history: {len(records)} recorded runs"
+        + (f" (showing last {len(window)})" if len(records) > len(window) else "")
+    ]
+    lines.append(
+        "  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -25,13 +25,23 @@ fresh one and ship back :meth:`Recorder.snapshot`, which the parent grafts
 with :meth:`Recorder.merge` (counters add, gauges last-win, span trees
 attach under the current span).  Merging in submission order keeps traces
 deterministic.
+
+Beyond the aggregate tree, ``Recorder(events=True)`` opts into **event
+mode**: every span begin/end additionally lands in a bounded
+:class:`~repro.obs.events.EventBuffer` (individual events, monotonic
+timestamps), and snapshots merged from workers are kept as separate
+*tracks* so :mod:`repro.obs.export` can emit one timeline per worker.
+Aggregate mode and the null recorder never allocate for events.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.events import DEFAULT_MAX_EVENTS, EventBuffer
 
 __all__ = [
     "Recorder",
@@ -51,12 +61,14 @@ SCHEMA_VERSION = 1
 class SpanNode:
     """One node of the aggregated span tree."""
 
-    __slots__ = ("name", "calls", "seconds", "children")
+    __slots__ = ("name", "calls", "seconds", "max_seconds", "children")
 
     def __init__(self, name: str):
         self.name = name
         self.calls = 0
         self.seconds = 0.0
+        #: Longest single activation — exposes skew the total hides.
+        self.max_seconds = 0.0
         self.children: Dict[str, "SpanNode"] = {}
 
     def child(self, name: str) -> "SpanNode":
@@ -71,6 +83,7 @@ class SpanNode:
             "name": self.name,
             "calls": self.calls,
             "seconds": self.seconds,
+            "max_seconds": self.max_seconds,
             "children": [c.to_dict() for c in self.children.values()],
         }
 
@@ -88,15 +101,28 @@ class _SpanHandle:
         self.seconds = 0.0
 
     def __enter__(self) -> "_SpanHandle":
-        self._recorder._stack.append(self._node)
+        recorder = self._recorder
+        recorder._stack.append(self._node)
         self._start = time.perf_counter()
+        events = recorder._events
+        if events is not None:
+            events.append("B", self._node.name, self._start)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.seconds = time.perf_counter() - self._start
-        self._node.calls += 1
-        self._node.seconds += self.seconds
-        self._recorder._stack.pop()
+        end = time.perf_counter()
+        elapsed = end - self._start
+        self.seconds = elapsed
+        node = self._node
+        node.calls += 1
+        node.seconds += elapsed
+        if elapsed > node.max_seconds:
+            node.max_seconds = elapsed
+        recorder = self._recorder
+        recorder._stack.pop()
+        events = recorder._events
+        if events is not None:
+            events.append("E", node.name, end)
         return False
 
 
@@ -121,6 +147,7 @@ class NullRecorder:
 
     __slots__ = ()
     enabled = False
+    events_enabled = False
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
@@ -153,15 +180,31 @@ NULL_RECORDER = NullRecorder()
 
 
 class Recorder:
-    """An enabled recorder: span tree, counters and gauges."""
+    """An enabled recorder: span tree, counters and gauges.
+
+    ``events=True`` additionally captures an individual begin/end event
+    per span activation (bounded by ``max_events``) and keeps worker
+    snapshots merged with :meth:`merge` as separate event *tracks* — the
+    raw material for the Chrome trace-event export.  The default
+    aggregate mode allocates nothing for events.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(
+        self, events: bool = False, max_events: int = DEFAULT_MAX_EVENTS
+    ):
         self._root = SpanNode("<root>")
         self._stack: List[SpanNode] = [self._root]
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._events: Optional[EventBuffer] = (
+            EventBuffer(max_events) if events else None
+        )
+        #: Zero point of this recorder's event clock.
+        self._origin = time.perf_counter() if events else 0.0
+        #: Event tracks adopted from merged worker snapshots.
+        self._tracks: List[Dict[str, Any]] = []
 
     # -- recording -------------------------------------------------------------
 
@@ -199,14 +242,31 @@ class Recorder:
         """Root of the span tree (its children are the top-level spans)."""
         return self._root
 
+    @property
+    def events_enabled(self) -> bool:
+        """Whether this recorder captures per-event timelines."""
+        return self._events is not None
+
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-able state: schema version, counters, gauges, span tree."""
-        return {
+        """JSON-able state: schema version, counters, gauges, span tree.
+
+        In event mode the snapshot additionally carries this recorder's
+        own event timeline under ``events`` and any adopted worker
+        timelines under ``tracks``; aggregate-mode snapshots are
+        unchanged (no extra keys), so trace documents stay byte-stable
+        when event mode is off.
+        """
+        snap = {
             "schema_version": SCHEMA_VERSION,
             "counters": {k: self._counters[k] for k in sorted(self._counters)},
             "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
             "spans": [c.to_dict() for c in self._root.children.values()],
         }
+        if self._events is not None:
+            snap["events"] = self._events.to_dict(os.getpid(), self._origin)
+            if self._tracks:
+                snap["tracks"] = [dict(track) for track in self._tracks]
+        return snap
 
     # -- merging ---------------------------------------------------------------
 
@@ -225,6 +285,11 @@ class Recorder:
         measured wall time), else the sum of the snapshot's top-level
         spans.  Call in submission order to keep merged traces
         deterministic.
+
+        When both sides run in event mode, the snapshot's event timeline
+        is adopted as a separate *track* labelled ``under`` (timestamps
+        from another process never splice into this recorder's own
+        timeline — they share no clock).
         """
         for name, value in snapshot.get("counters", {}).items():
             self._counters[name] = self._counters.get(name, 0) + value
@@ -238,15 +303,37 @@ class Recorder:
             if seconds is None:
                 seconds = sum(s.get("seconds", 0.0) for s in spans)
             synthetic.seconds += seconds
+            if seconds > synthetic.max_seconds:
+                synthetic.max_seconds = seconds
             parent = synthetic
         for span in spans:
             _graft(parent, span)
+        if self._events is not None:
+            worker_events = snapshot.get("events")
+            if worker_events is not None and worker_events.get("records"):
+                self._tracks.append(
+                    {
+                        "label": under
+                        if under is not None
+                        else f"track[{len(self._tracks)}]",
+                        "pid": worker_events.get("pid"),
+                        "origin": worker_events.get("origin", 0.0),
+                        "records": [
+                            list(record)
+                            for record in worker_events["records"]
+                        ],
+                        "dropped": worker_events.get("dropped", 0),
+                    }
+                )
+            for track in snapshot.get("tracks", []):
+                self._tracks.append(dict(track))
 
 
 def _graft(parent: SpanNode, span: Dict[str, Any]) -> None:
     node = parent.child(span["name"])
     node.calls += span.get("calls", 0)
     node.seconds += span.get("seconds", 0.0)
+    node.max_seconds = max(node.max_seconds, span.get("max_seconds", 0.0))
     for child in span.get("children", []):
         _graft(node, child)
 

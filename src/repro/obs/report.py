@@ -9,12 +9,69 @@ downstream tooling can parse without scraping text.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
+import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.recorder import SCHEMA_VERSION, Recorder
 
-__all__ = ["format_trace", "run_report", "write_run_report"]
+__all__ = [
+    "format_trace",
+    "run_report",
+    "write_run_report",
+    "environment_info",
+]
+
+#: Cached (resolved, value) for the git SHA lookup: one subprocess per
+#: process, not one per report.
+_git_sha_cache: Optional[List[Optional[str]]] = None
+
+
+def _git_sha() -> Optional[str]:
+    """The source tree's commit SHA, or ``None`` outside a git checkout."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        sha: Optional[str] = None
+        try:
+            completed = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            if completed.returncode == 0:
+                sha = completed.stdout.strip() or None
+        except Exception:
+            sha = None
+        _git_sha_cache = [sha]
+    return _git_sha_cache[0]
+
+
+def environment_info() -> Dict[str, Any]:
+    """Attribution block shared by run reports and history records.
+
+    ``git_sha`` is ``None`` when the package runs outside a git checkout
+    (an installed wheel, say); everything else is always present.
+    """
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "package_version": __version__,
+        "git_sha": _git_sha(),
+    }
+
+
+def _self_seconds(span: Dict[str, Any]) -> float:
+    children = sum(
+        c.get("seconds", 0.0) for c in span.get("children", [])
+    )
+    return max(0.0, span.get("seconds", 0.0) - children)
 
 
 def _span_lines(
@@ -23,7 +80,9 @@ def _span_lines(
     label = "  " * depth + span["name"]
     lines.append(
         f"  {label:<{name_width}}  {span['calls']:>7}x  "
-        f"{span['seconds'] * 1e3:>10.3f} ms"
+        f"{span['seconds'] * 1e3:>10.3f} ms  "
+        f"{_self_seconds(span) * 1e3:>10.3f} ms  "
+        f"{span.get('max_seconds', 0.0) * 1e3:>10.3f} ms"
     )
     for child in span.get("children", []):
         _span_lines(child, depth + 1, lines, name_width)
@@ -46,7 +105,7 @@ def format_trace(recorder: Recorder) -> str:
         lines: List[str] = []
         for span in spans:
             _span_lines(span, 0, lines, width)
-        parts.append("spans (calls, total time):")
+        parts.append("spans (calls, total, self, max-call):")
         parts.extend(lines)
     else:
         parts.append("spans: (none recorded)")
@@ -95,6 +154,7 @@ def run_report(
         "schema_version": SCHEMA_VERSION,
         "generator": "repro.obs",
         "python": platform.python_version(),
+        "environment": environment_info(),
         "experiments": list(experiments) if experiments is not None else [],
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
@@ -109,11 +169,20 @@ def write_run_report(
     experiments: Optional[Sequence[str]] = None,
     failures: Optional[Sequence[Any]] = None,
 ) -> Dict[str, Any]:
-    """Write :func:`run_report` to ``path`` as JSON; returns the document."""
+    """Write :func:`run_report` to ``path`` as JSON; returns the document.
+
+    ``path`` ``"-"`` writes to stdout (for pipelines); the CLI prints the
+    experiment tables first, so the JSON is always the last thing on the
+    stream.
+    """
     document = run_report(
         recorder, experiments=experiments, failures=failures
     )
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
+    if path == "-":
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
     return document

@@ -14,6 +14,23 @@ from repro.interference.physical import PhysicalInterferenceModel
 from repro.workloads.scenarios import scenario_one, scenario_two
 
 
+@pytest.fixture(autouse=True)
+def _isolated_history_store(tmp_path, monkeypatch):
+    """Point the default run-history store at a per-test directory.
+
+    Traced CLI runs append to ``.repro-history/`` in the working
+    directory by default; without this, every test that touches
+    ``--trace`` would leave records in the repo root.
+    """
+    from repro.obs import history
+
+    monkeypatch.setattr(
+        history,
+        "DEFAULT_HISTORY_DIR",
+        str(tmp_path / "repro-history"),
+    )
+
+
 @pytest.fixture
 def s1_bundle():
     """Scenario I with the canonical λ = 0.3."""

@@ -184,3 +184,58 @@ class TestMainExitCodes:
         )
         assert bench_compare.main([trace, "--baseline", baseline]) == 2
         assert "no run with per-segment counters" in capsys.readouterr().err
+
+
+class TestHistoryMode:
+    """The history-store baseline source (``--history DIR``)."""
+
+    def _seed(self, tmp_path, counters_list):
+        from repro.obs import HistoryStore, Recorder, build_run_record
+
+        store = HistoryStore(str(tmp_path / "h"))
+        for counters in counters_list:
+            recorder = Recorder()
+            for name, value in counters.items():
+                recorder.count(name, value)
+            store.append(
+                build_run_record(
+                    recorder, experiments=["bench"], label="bench-smoke"
+                )
+            )
+        return str(tmp_path / "h")
+
+    def test_identical_runs_exit_zero(self, bench_compare, tmp_path, capsys):
+        root = self._seed(
+            tmp_path, [dict(BASELINE_COUNTERS), dict(BASELINE_COUNTERS)]
+        )
+        assert bench_compare.main(["--history", root]) == 0
+        assert "no counter regressions" in capsys.readouterr().out
+
+    def test_counter_growth_exits_one(self, bench_compare, tmp_path, capsys):
+        grown = dict(BASELINE_COUNTERS, **{"lp.solves": 21})
+        root = self._seed(tmp_path, [dict(BASELINE_COUNTERS), grown])
+        assert bench_compare.main(["--history", root]) == 1
+        assert "regressions detected" in capsys.readouterr().err
+
+    def test_single_run_exits_zero(self, bench_compare, tmp_path, capsys):
+        root = self._seed(tmp_path, [dict(BASELINE_COUNTERS)])
+        assert bench_compare.main(["--history", root]) == 0
+        assert "nothing to gate against" in capsys.readouterr().out
+
+    def test_empty_store_exits_two(self, bench_compare, tmp_path, capsys):
+        root = str(tmp_path / "empty")
+        assert bench_compare.main(["--history", root]) == 2
+        assert "no counter-bearing runs" in capsys.readouterr().err
+
+    def test_history_and_trace_together_is_usage_error(
+        self, bench_compare, tmp_path, capsys
+    ):
+        trace = write(
+            tmp_path / "trace.json", {"counters": dict(BASELINE_COUNTERS)}
+        )
+        code = bench_compare.main([trace, "--history", str(tmp_path / "h")])
+        assert code == 2
+
+    def test_no_inputs_is_usage_error(self, bench_compare, capsys):
+        assert bench_compare.main([]) == 2
+        assert "required" in capsys.readouterr().err

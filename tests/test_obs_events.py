@@ -1,0 +1,232 @@
+"""Event timelines: buffer bounds, event-mode recording, worker tracks,
+and the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.experiments.fig3_routing import Fig3Config, run_fig3
+from repro.obs import (
+    NULL_RECORDER,
+    EventBuffer,
+    Recorder,
+    to_trace_events,
+    use_recorder,
+    write_trace_events,
+)
+
+#: Small Fig. 3 instance: two flows, two metrics — seconds, not minutes.
+SMALL = Fig3Config(n_flows=2, metrics=("hop-count", "e2eTD"))
+
+
+class TestEventBuffer:
+    def test_appends_in_order(self):
+        buffer = EventBuffer(capacity=8)
+        buffer.append("B", "a", 1.0)
+        buffer.append("E", "a", 2.0)
+        assert buffer.records() == [("B", "a", 1.0), ("E", "a", 2.0)]
+        assert buffer.dropped == 0
+
+    def test_capacity_bounds_and_counts_overflow(self):
+        buffer = EventBuffer(capacity=3)
+        for index in range(10):
+            buffer.append("B", f"s{index}", float(index))
+        assert len(buffer) == 3
+        assert buffer.dropped == 7
+        # The oldest events (the structural prefix) are the ones kept.
+        assert [record[1] for record in buffer.records()] == [
+            "s0",
+            "s1",
+            "s2",
+        ]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventBuffer(capacity=0)
+
+
+class TestEventMode:
+    def test_event_mode_records_begin_end_pairs(self):
+        recorder = Recorder(events=True)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        events = recorder.snapshot()["events"]
+        phases_names = [(r[0], r[1]) for r in events["records"]]
+        assert phases_names == [
+            ("B", "outer"),
+            ("B", "inner"),
+            ("E", "inner"),
+            ("E", "outer"),
+        ]
+        timestamps = [r[2] for r in events["records"]]
+        assert timestamps == sorted(timestamps)
+        assert events["dropped"] == 0
+        assert isinstance(events["pid"], int)
+
+    def test_aggregate_mode_allocates_no_event_state(self):
+        recorder = Recorder()
+        with recorder.span("s"):
+            pass
+        assert recorder.events_enabled is False
+        assert recorder._events is None
+        assert "events" not in recorder.snapshot()
+        assert "tracks" not in recorder.snapshot()
+
+    def test_null_recorder_has_no_event_mode(self):
+        assert NULL_RECORDER.events_enabled is False
+        assert "events" not in NULL_RECORDER.snapshot()
+
+    def test_event_mode_does_not_change_aggregates(self):
+        plain, evented = Recorder(), Recorder(events=True)
+        for recorder in (plain, evented):
+            with recorder.span("a"):
+                recorder.count("hits", 2)
+        assert plain.counters == evented.counters
+        plain_spans = plain.snapshot()["spans"]
+        event_spans = evented.snapshot()["spans"]
+        assert [s["name"] for s in plain_spans] == [
+            s["name"] for s in event_spans
+        ]
+
+    def test_bounded_buffer_in_event_mode(self):
+        recorder = Recorder(events=True, max_events=4)
+        for _ in range(10):
+            with recorder.span("loop"):
+                pass
+        events = recorder.snapshot()["events"]
+        assert len(events["records"]) == 4
+        assert events["dropped"] == 16  # 10 spans = 20 events, 4 kept
+        # The aggregate tree still saw every activation.
+        [loop] = recorder.snapshot()["spans"]
+        assert loop["calls"] == 10
+
+
+class TestMergeTracks:
+    def _worker_snapshot(self):
+        worker = Recorder(events=True)
+        with worker.span("work"):
+            pass
+        return worker.snapshot()
+
+    def test_merge_adopts_worker_events_as_track(self):
+        recorder = Recorder(events=True)
+        recorder.merge(
+            self._worker_snapshot(), under="parallel.worker[0]", seconds=0.5
+        )
+        [track] = recorder.snapshot()["tracks"]
+        assert track["label"] == "parallel.worker[0]"
+        assert [r[1] for r in track["records"]] == ["work", "work"]
+
+    def test_merge_order_is_track_order(self):
+        recorder = Recorder(events=True)
+        for index in range(3):
+            recorder.merge(
+                self._worker_snapshot(),
+                under=f"parallel.worker[{index}]",
+                seconds=0.1,
+            )
+        labels = [t["label"] for t in recorder.snapshot()["tracks"]]
+        assert labels == [f"parallel.worker[{i}]" for i in range(3)]
+
+    def test_aggregate_parent_discards_worker_events(self):
+        recorder = Recorder()  # aggregate mode
+        recorder.merge(self._worker_snapshot(), under="w", seconds=0.1)
+        assert "tracks" not in recorder.snapshot()
+
+
+def _x_events_by_track(document):
+    tracks = {}
+    for event in document["traceEvents"]:
+        if event["ph"] == "X":
+            tracks.setdefault(event["tid"], []).append(event)
+    return tracks
+
+
+class TestTraceEventExport:
+    def _recorder(self):
+        recorder = Recorder(events=True)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        worker = Recorder(events=True)
+        with worker.span("work"):
+            pass
+        recorder.merge(
+            worker.snapshot(), under="parallel.worker[0]", seconds=0.25
+        )
+        return recorder
+
+    def test_export_is_valid_json_with_expected_tracks(self):
+        document = json.loads(json.dumps(to_trace_events(self._recorder())))
+        assert document["otherData"]["tracks"] == 2
+        names = [
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["main", "parallel.worker[0]"]
+
+    def test_per_track_timestamps_monotone_and_nested(self):
+        document = to_trace_events(self._recorder())
+        for events in _x_events_by_track(document).values():
+            starts = [e["ts"] for e in events]
+            assert starts == sorted(starts)
+            assert all(e["ts"] >= 0.0 for e in events)
+            # Intervals on one track nest or are disjoint, never
+            # partially overlapping.
+            open_ends = []
+            for event in events:
+                start, end = event["ts"], event["ts"] + event["dur"]
+                while open_ends and start >= open_ends[-1] - 1e-6:
+                    open_ends.pop()
+                assert all(end <= e + 1e-3 for e in open_ends)
+                open_ends.append(end)
+
+    def test_aggregate_recorder_is_rejected(self):
+        with pytest.raises(ValueError):
+            to_trace_events(Recorder())
+
+    def test_truncated_buffer_closes_open_spans(self):
+        recorder = Recorder(events=True, max_events=3)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                with recorder.span("deep"):
+                    pass
+        # 6 events generated, 3 kept: B outer, B inner, B deep.
+        document = to_trace_events(recorder)
+        events = _x_events_by_track(document)[0]
+        assert {e["name"] for e in events} == {"outer", "inner", "deep"}
+        assert document["otherData"]["dropped_events"] == 3
+
+    def test_write_to_file_and_stdout(self, tmp_path, capsys):
+        recorder = self._recorder()
+        path = tmp_path / "trace.json"
+        written = write_trace_events(recorder, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(written)
+        )
+        write_trace_events(recorder, "-")
+        streamed = json.loads(capsys.readouterr().out)
+        assert streamed["otherData"]["generator"] == "repro.obs"
+
+
+class TestParallelEventPropagation:
+    def test_parallel_run_yields_one_track_per_worker(self):
+        recorder = Recorder(events=True)
+        with use_recorder(recorder):
+            run_fig3(SMALL, workers=2)
+        tracks = recorder.snapshot().get("tracks", [])
+        labels = [t["label"] for t in tracks]
+        assert "parallel.worker[0]" in labels
+        assert "parallel.worker[1]" in labels
+        # Worker timelines carry the solver stack's spans.
+        names = {r[1] for t in tracks for r in t["records"]}
+        assert "cg.solve" in names
+
+    def test_parallel_tables_identical_with_event_mode(self):
+        untraced = run_fig3(SMALL).table()
+        recorder = Recorder(events=True)
+        with use_recorder(recorder):
+            evented = run_fig3(SMALL, workers=2).table()
+        assert evented == untraced

@@ -1,0 +1,338 @@
+"""The run-history store: roundtrip, corruption, concurrency, refs,
+diffing, and the `repro obs` CLI group."""
+
+import json
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    Recorder,
+    args_fingerprint,
+    build_run_record,
+    diff_runs,
+    format_diff,
+    format_history_table,
+)
+
+
+def _record(counters=None, spans=None, label="run", experiments=("e2",)):
+    recorder = Recorder()
+    for name, value in (counters or {"lp.solves": 3}).items():
+        recorder.count(name, value)
+    for name in spans or ("experiment.e2",):
+        with recorder.span(name):
+            pass
+    return build_run_record(
+        recorder,
+        experiments=list(experiments),
+        label=label,
+        wall_seconds=0.5,
+        fingerprint=args_fingerprint({"experiments": list(experiments)}),
+    )
+
+
+class TestRoundtrip:
+    def test_append_then_read_back(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        first = store.append(_record())
+        second = store.append(_record(counters={"lp.solves": 5}))
+        records = store.runs()
+        assert [r["run_id"] for r in records] == [
+            first["run_id"],
+            second["run_id"],
+        ]
+        assert records[0]["schema_version"] == HISTORY_SCHEMA_VERSION
+        assert records[0]["counters"] == {"lp.solves": 3}
+        assert records[1]["counters"] == {"lp.solves": 5}
+
+    def test_record_carries_environment_and_span_totals(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        store.append(_record())
+        [record] = store.runs()
+        env = record["environment"]
+        assert env["package_version"]
+        assert "git_sha" in env and "platform" in env
+        [span] = record["spans"]
+        assert span["name"] == "experiment.e2"
+        assert set(span) == {"name", "calls", "seconds", "max_seconds"}
+
+    def test_empty_store_reads_empty(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "missing"))
+        assert store.runs() == []
+        assert store.last() is None
+
+
+class TestCorruption:
+    def _store_with_damage(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        keep_a = store.append(_record())["run_id"]
+        # Damage 1: not JSON at all.
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write("this is not json\n")
+        # Damage 2: valid JSON whose record was tampered with.
+        with open(store.path, "r", encoding="utf-8") as handle:
+            envelope = json.loads(handle.readline())
+        envelope["record"]["counters"]["lp.solves"] = 999_999
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(envelope) + "\n")
+        # Damage 3: truncated line (torn write).
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "sha256": "ab\n')
+        keep_b = store.append(_record())["run_id"]
+        return store, [keep_a, keep_b]
+
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path):
+        store, kept = self._store_with_damage(tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt history"):
+            records = store.runs()
+        assert [r["run_id"] for r in records] == kept
+
+    def test_corruption_never_fatal_for_cli(self, tmp_path, capsys):
+        store, kept = self._store_with_damage(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code = main(
+                ["obs", "history", "--history-dir", str(tmp_path / "h")]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        for run_id in kept:
+            assert run_id in out
+
+
+class TestConcurrentAppend:
+    def test_parallel_appenders_interleave_whole_lines(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+
+        def append_many(worker):
+            for index in range(25):
+                store.append(
+                    _record(counters={"worker": worker, "index": index})
+                )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(append_many, range(8)))
+        records = store.runs()
+        assert len(records) == 200
+        seen = {
+            (r["counters"]["worker"], r["counters"]["index"])
+            for r in records
+        }
+        assert len(seen) == 200
+
+
+class TestResolve:
+    def test_refs(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        ids = [store.append(_record())["run_id"] for _ in range(3)]
+        records = store.runs()
+        assert store.resolve("last", records)["run_id"] == ids[-1]
+        assert store.resolve("prev", records)["run_id"] == ids[-2]
+        assert store.resolve("-3", records)["run_id"] == ids[0]
+        assert store.resolve(ids[1], records)["run_id"] == ids[1]
+
+    def test_unknown_and_out_of_range(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        store.append(_record())
+        with pytest.raises(LookupError):
+            store.resolve("nope")
+        with pytest.raises(LookupError):
+            store.resolve("-5")
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(LookupError):
+            HistoryStore(str(tmp_path / "h")).resolve("last")
+
+
+class TestDiff:
+    def test_identical_runs_diff_clean(self):
+        a = _record(counters={"lp.solves": 3, "cg.iterations": 7})
+        b = _record(counters={"lp.solves": 3, "cg.iterations": 7})
+        diff = diff_runs(a, b)
+        assert diff["regressions"] == []
+        assert all(row["status"] == "ok" for row in diff["counters"])
+        assert "no regressions" in format_diff(diff)
+
+    def test_counter_growth_is_regression(self):
+        a = _record(counters={"lp.solves": 3})
+        b = _record(counters={"lp.solves": 4})
+        diff = diff_runs(a, b)
+        assert len(diff["regressions"]) == 1
+        assert "lp.solves" in diff["regressions"][0]
+
+    def test_threshold_absorbs_small_growth(self):
+        a = _record(counters={"lp.solves": 100})
+        b = _record(counters={"lp.solves": 104})
+        assert diff_runs(a, b, counter_threshold=0.05)["regressions"] == []
+        assert diff_runs(a, b, counter_threshold=0.01)["regressions"]
+
+    def test_added_and_removed_counters_never_regress(self):
+        a = _record(counters={"old.counter": 5})
+        b = _record(counters={"new.counter": 9})
+        diff = diff_runs(a, b)
+        assert diff["regressions"] == []
+        statuses = {row["name"]: row["status"] for row in diff["counters"]}
+        assert statuses == {
+            "old.counter": "removed",
+            "new.counter": "added",
+        }
+
+    def test_span_gate_is_opt_in(self):
+        a = _record()
+        b = _record()
+        b["spans"][0]["seconds"] = a["spans"][0]["seconds"] * 100 + 1.0
+        assert diff_runs(a, b)["regressions"] == []
+        assert diff_runs(a, b, span_threshold=0.5)["regressions"]
+
+    def test_fingerprint_mismatch_warns(self):
+        a = _record(experiments=("e2",))
+        b = _record(experiments=("e3",))
+        diff = diff_runs(a, b)
+        assert any("fingerprints differ" in w for w in diff["warnings"])
+
+
+class TestFormatting:
+    def test_history_table_lists_runs(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h"))
+        run_id = store.append(_record(label="bench"))["run_id"]
+        text = format_history_table(store.runs())
+        assert run_id in text and "bench" in text
+
+    def test_empty_table(self):
+        assert "no recorded runs" in format_history_table([])
+
+
+class TestObsCli:
+    def _seed_store(self, tmp_path, counters_list):
+        store = HistoryStore(str(tmp_path / "h"))
+        for counters in counters_list:
+            store.append(_record(counters=counters))
+        return str(tmp_path / "h")
+
+    def test_diff_identical_exits_zero(self, tmp_path, capsys):
+        root = self._seed_store(
+            tmp_path, [{"lp.solves": 3}, {"lp.solves": 3}]
+        )
+        code = main(["obs", "diff", "--history-dir", root, "--strict"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_regression_strict_exits_nonzero(self, tmp_path, capsys):
+        root = self._seed_store(
+            tmp_path, [{"lp.solves": 3}, {"lp.solves": 30}]
+        )
+        assert main(["obs", "diff", "--history-dir", root]) == 0
+        capsys.readouterr()
+        code = main(["obs", "diff", "--history-dir", root, "--strict"])
+        assert code == 1
+        assert "lp.solves" in capsys.readouterr().out
+
+    def test_diff_single_run_exits_zero(self, tmp_path, capsys):
+        root = self._seed_store(tmp_path, [{"lp.solves": 3}])
+        code = main(["obs", "diff", "--history-dir", root, "--strict"])
+        assert code == 0
+        assert "nothing to diff" in capsys.readouterr().out
+
+    def test_diff_explicit_refs_and_bad_ref(self, tmp_path, capsys):
+        root = self._seed_store(
+            tmp_path, [{"lp.solves": 5}, {"lp.solves": 4}, {"lp.solves": 3}]
+        )
+        assert (
+            main(["obs", "diff", "-3", "-1", "--history-dir", root]) == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["obs", "diff", "nope", "-1", "--history-dir", root]) == 2
+        )
+
+    def test_diff_wrong_arity_is_usage_error(self, tmp_path):
+        root = self._seed_store(tmp_path, [{"lp.solves": 3}])
+        assert main(["obs", "diff", "-1", "--history-dir", root]) == 2
+
+    def test_last_and_history_record_view(self, tmp_path, capsys):
+        root = self._seed_store(
+            tmp_path, [{"lp.solves": 3}, {"lp.solves": 4}]
+        )
+        assert main(["obs", "last", "--history-dir", root]) == 0
+        last = json.loads(capsys.readouterr().out)
+        assert last["counters"] == {"lp.solves": 4}
+        assert (
+            main(["obs", "history", "last", "--history-dir", root]) == 0
+        )
+        assert json.loads(capsys.readouterr().out) == last
+
+    def test_last_on_empty_store_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["obs", "last", "--history-dir", str(tmp_path / "empty")]
+        )
+        assert code == 2
+
+
+class TestTracedRunRecordsHistory:
+    def test_traced_run_appends_and_diffs_clean(self, tmp_path, capsys):
+        root = str(tmp_path / "h")
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "run",
+                        "e2",
+                        "--trace-json",
+                        str(tmp_path / "t.json"),
+                        "--history-dir",
+                        root,
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        records = HistoryStore(root).runs()
+        assert len(records) == 2
+        assert records[0]["experiments"] == ["e2"]
+        assert records[0]["counters"] == records[1]["counters"]
+        assert records[0]["counters"]["experiment.runs"] == 1
+        assert (
+            records[0]["args_fingerprint"]
+            == records[1]["args_fingerprint"]
+        )
+        code = main(["obs", "diff", "--history-dir", root, "--strict"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_no_history_opts_out(self, tmp_path, capsys):
+        root = str(tmp_path / "h")
+        assert (
+            main(
+                [
+                    "run",
+                    "e2",
+                    "--trace",
+                    "--history-dir",
+                    root,
+                    "--no-history",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert HistoryStore(root).runs() == []
+
+    def test_untraced_run_records_nothing(self, tmp_path, capsys):
+        root = str(tmp_path / "h")
+        assert main(["run", "e2", "--history-dir", root]) == 0
+        capsys.readouterr()
+        assert HistoryStore(root).runs() == []
+
+    def test_default_history_dir_is_used(self, capsys):
+        # conftest points the default store at a per-test directory.
+        from repro.obs import history
+
+        assert main(["run", "e2", "--trace"]) == 0
+        capsys.readouterr()
+        records = HistoryStore(history.DEFAULT_HISTORY_DIR).runs()
+        assert len(records) == 1

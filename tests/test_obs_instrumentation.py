@@ -101,7 +101,7 @@ class _CountingNull:
 class TestOverhead:
     """The null recorder keeps disabled instrumentation in the noise."""
 
-    def test_null_recorder_overhead_under_five_percent(self):
+    def _baseline_and_ops(self):
         network = chain_topology(7, 70.0)  # the 6-hop enumeration instance
         links = list(network.links)
 
@@ -114,25 +114,47 @@ class TestOverhead:
             baseline = min(baseline, time.perf_counter() - started)
 
         # Count the recorder calls the instrumentation actually makes
-        # (hot loops batch their counts, so this is small), then charge
-        # three times that many real null-recorder ops against the 5% bound.
+        # (hot loops batch their counts, so this is small).
         counting = _CountingNull()
         with use_recorder(counting):
             enumerate_maximal_independent_sets(
                 ProtocolInterferenceModel(network), links
             )
-        ops = 3 * counting.ops
+        return baseline, counting.ops
 
-        null = NULL_RECORDER
-        started = time.perf_counter()
-        for _ in range(ops):
-            with null.span("x"):
-                pass
-            null.count("x")
-        null_cost = time.perf_counter() - started
+    @staticmethod
+    def _charge(recorder, ops):
+        cost = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            for _ in range(ops):
+                with recorder.span("x"):
+                    pass
+                recorder.count("x")
+            cost = min(cost, time.perf_counter() - started)
+        return cost
 
+    def test_null_recorder_overhead_under_five_percent(self):
+        # Charge three times the measured op count: the null path is
+        # meant to be free, so it must absorb a 3x safety margin.
+        baseline, ops = self._baseline_and_ops()
+        null_cost = self._charge(NULL_RECORDER, 3 * ops)
         assert null_cost < 0.05 * baseline, (
-            f"{ops} null obs ops took {null_cost:.6f}s against a "
+            f"{3 * ops} null obs ops took {null_cost:.6f}s against a "
+            f"{baseline:.6f}s enumeration baseline"
+        )
+
+    def test_aggregate_recorder_overhead_under_five_percent(self):
+        # Event mode added a branch to every span boundary; with events
+        # off (the default), a traced run's real op count must keep
+        # holding the 5% pin — and allocate no event state.
+        baseline, ops = self._baseline_and_ops()
+        recorder = Recorder()
+        cost = self._charge(recorder, ops)
+        assert recorder._events is None
+        assert "events" not in recorder.snapshot()
+        assert cost < 0.05 * baseline, (
+            f"{ops} aggregate obs ops took {cost:.6f}s against a "
             f"{baseline:.6f}s enumeration baseline"
         )
 
@@ -171,3 +193,23 @@ class TestCliTrace:
         assert main(["run", "e2", "--trace"]) == 0
         capsys.readouterr()
         assert get_recorder() is NULL_RECORDER
+
+    def _tables_then_json(self, out):
+        """Split CLI stdout into (experiment tables, trailing JSON doc)."""
+        brace = out.index("\n{") + 1
+        return out[:brace], json.loads(out[brace:])
+
+    def test_trace_json_dash_streams_after_tables(self, capsys):
+        assert main(["run", "e2", "--trace-json", "-"]) == 0
+        tables, document = self._tables_then_json(capsys.readouterr().out)
+        assert "E2" in tables
+        assert document["experiments"] == ["e2"]
+        assert document["counters"]["lp.solves"] > 0
+
+    def test_trace_events_dash_streams_after_tables(self, capsys):
+        assert main(["run", "e2", "--trace-events", "-"]) == 0
+        tables, document = self._tables_then_json(capsys.readouterr().out)
+        assert "E2" in tables
+        assert document["otherData"]["generator"] == "repro.obs"
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert "X" in phases and "M" in phases

@@ -1,6 +1,7 @@
 """The observability recorder: spans, counters, gauges, snapshots, merge."""
 
 import json
+import time
 
 import pytest
 
@@ -181,6 +182,29 @@ class TestCurrentRecorder:
         assert snapshot["spans"] == []
 
 
+class TestMaxSeconds:
+    def test_max_call_tracked_per_node(self):
+        recorder = Recorder()
+        for _ in range(4):
+            with recorder.span("loop"):
+                pass
+        [loop] = recorder.snapshot()["spans"]
+        # The slowest single activation is bounded by the total and is at
+        # least the mean activation.
+        assert 0.0 <= loop["max_seconds"] <= loop["seconds"]
+        assert loop["max_seconds"] >= loop["seconds"] / loop["calls"]
+
+    def test_merge_synthetic_span_takes_max_of_durations(self):
+        recorder = Recorder()
+        for seconds in (0.5, 2.0, 1.0):
+            recorder.merge(
+                Recorder().snapshot(), under="w", seconds=seconds
+            )
+        [worker] = recorder.snapshot()["spans"]
+        assert worker["seconds"] == pytest.approx(3.5)
+        assert worker["max_seconds"] == pytest.approx(2.0)
+
+
 class TestReports:
     def _recorder(self):
         recorder = Recorder()
@@ -216,3 +240,40 @@ class TestReports:
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(written))
         assert loaded["schema_version"] == SCHEMA_VERSION
+
+    def test_write_run_report_dash_streams_to_stdout(self, capsys):
+        written = write_run_report(self._recorder(), "-")
+        streamed = json.loads(capsys.readouterr().out)
+        assert streamed == json.loads(json.dumps(written))
+
+    def test_format_trace_shows_self_and_max_columns(self):
+        text = format_trace(self._recorder())
+        header = next(l for l in text.splitlines() if "spans" in l)
+        assert "self" in header and "max-call" in header
+
+    def test_self_time_excludes_children(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                deadline = time.perf_counter() + 0.02
+                while time.perf_counter() < deadline:
+                    pass
+        text = format_trace(recorder)
+        outer_line = next(l for l in text.splitlines() if "outer" in l)
+        columns = outer_line.split()
+        # ... <calls>x <total> ms <self> ms <max> ms
+        total, self_ms, max_ms = (
+            float(columns[i]) for i in (-6, -4, -2)
+        )
+        assert self_ms < total  # the busy-wait belongs to the child
+        assert max_ms == pytest.approx(total)  # single activation
+
+    def test_run_report_environment_block(self):
+        import repro
+
+        document = run_report(self._recorder(), experiments=["e3"])
+        env = document["environment"]
+        assert env["package_version"] == repro.__version__
+        assert "git_sha" in env
+        assert env["python"] == document["python"]
+        assert json.loads(json.dumps(env)) == env

@@ -10,15 +10,26 @@ tool diffs the counters of a fresh bench-smoke trace (written by
 tracked counter exceeding its baseline means an algorithmic regression
 (more work per solve), which a wall-clock gate would miss in the noise.
 
-Usage (the bench-smoke job runs exactly this)::
+Two baseline sources:
+
+* a committed ``BENCH_<date>.json`` trajectory file (the original mode)::
 
     python tools/bench_runner.py --smoke --trace-json smoke-trace.json
     python tools/bench_compare.py smoke-trace.json --baseline BENCH_2026-08-06.json
 
+* the ``repro.obs`` run-history store — the last *recorded* bench run is
+  the baseline and the newest one the candidate, so the gate tracks the
+  store instead of a hand-appended JSON blob::
+
+    python tools/bench_runner.py --smoke --history-dir .repro-history
+    python tools/bench_compare.py --history .repro-history
+
 Counters *dropping* below baseline is fine (that is an optimization,
 report-only); growth beyond ``--tolerance`` (default 0, counters are
 exact) fails with exit code 1.  Exit code 2 means the inputs were
-unusable (missing file, no counter-bearing baseline run).
+unusable (missing file, no counter-bearing baseline run).  A history
+store with fewer than two runs exits 0 — the first CI run after a cache
+reset has nothing to gate against yet.
 """
 
 from __future__ import annotations
@@ -29,6 +40,9 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
 #: Counters gated for regression.  All are deterministic per instance:
 #: the smoke run re-solves the same 4-hop chain every time, so any growth
@@ -131,16 +145,62 @@ def compare(
     return lines, regressions
 
 
+def _compare_history(history_dir: str, tolerance: float) -> int:
+    """Gate the newest history record against the one before it."""
+    from repro.obs.history import HistoryStore
+
+    store = HistoryStore(history_dir)
+    records = [r for r in store.runs() if r.get("counters")]
+    if not records:
+        print(
+            f"no counter-bearing runs in history store {store.path}",
+            file=sys.stderr,
+        )
+        return 2
+    if len(records) < 2:
+        print(
+            f"history store {store.path} holds one run; nothing to gate "
+            "against yet"
+        )
+        return 0
+    baseline, candidate = records[-2], records[-1]
+    lines, regressions = compare(
+        candidate["counters"], baseline["counters"], tolerance=tolerance
+    )
+    print(
+        f"solver counters: history run {candidate.get('run_id', '?')!r} vs "
+        f"baseline run {baseline.get('run_id', '?')!r}"
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print("counter regressions detected:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no counter regressions")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "trace",
+        nargs="?",
+        default=None,
         help="bench-smoke run report (bench_runner.py --smoke --trace-json)",
     )
     parser.add_argument(
         "--baseline",
         default=None,
         help="committed BENCH_<date>.json (default: newest in repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="gate the newest run in this repro.obs history store against "
+        "the previous one instead of comparing a trace file",
     )
     parser.add_argument(
         "--tolerance",
@@ -150,6 +210,19 @@ def main(argv=None) -> int:
         "tracked counters are deterministic)",
     )
     args = parser.parse_args(argv)
+
+    if args.history is not None:
+        if args.trace is not None:
+            print(
+                "--history replaces the trace argument; give one or the "
+                "other",
+                file=sys.stderr,
+            )
+            return 2
+        return _compare_history(args.history, args.tolerance)
+    if args.trace is None:
+        print("a trace file (or --history DIR) is required", file=sys.stderr)
+        return 2
 
     baseline_path = (
         Path(args.baseline) if args.baseline else _default_baseline()

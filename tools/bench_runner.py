@@ -221,28 +221,78 @@ def main(argv=None) -> int:
         help="also write the repro.obs run report (spans + counters of the "
         "solver-scaling measurement) to PATH",
     )
+    parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help="record per-span events during the measurement and write a "
+        "Chrome trace-event timeline (Perfetto-loadable) to PATH",
+    )
+    parser.add_argument(
+        "--history-dir",
+        metavar="DIR",
+        default=None,
+        help="append this measurement's record (counters, span totals, "
+        "environment) to the repro.obs run-history store under DIR — "
+        "the CI bench gate diffs consecutive records",
+    )
     args = parser.parse_args(argv)
 
-    from repro.obs import Recorder, use_recorder, write_run_report
+    from repro.obs import (
+        HistoryStore,
+        Recorder,
+        args_fingerprint,
+        build_run_record,
+        use_recorder,
+        write_run_report,
+        write_trace_events,
+    )
+
+    def record_history(recorder, label, wall_seconds, lengths, repeats):
+        if args.history_dir is None:
+            return
+        store = HistoryStore(args.history_dir)
+        record = build_run_record(
+            recorder,
+            experiments=["bench"],
+            label=label,
+            wall_seconds=wall_seconds,
+            fingerprint=args_fingerprint(
+                {"lengths": list(lengths), "repeats": repeats}
+            ),
+        )
+        store.append(record)
+        print(f"recorded bench run {record['run_id']} -> {store.path}")
 
     if args.smoke:
-        recorder = Recorder()
+        recorder = Recorder(events=args.trace_events is not None)
+        started = time.perf_counter()
         with use_recorder(recorder):
             rows = measure_solver_scaling(lengths=(4,), repeats=1)
+        wall = time.perf_counter() - started
         if args.trace_json:
             write_run_report(recorder, args.trace_json)
             print(f"wrote obs run report -> {args.trace_json}")
+        if args.trace_events:
+            write_trace_events(recorder, args.trace_events)
+            print(f"wrote trace-event timeline -> {args.trace_events}")
+        record_history(recorder, "bench-smoke", wall, (4,), 1)
         print(f"smoke solver scaling ok: {rows[0]['optimum_mbps']:.4f} Mbps")
         pytest_result = run_pytest_benchmarks(smoke=True)
         print(pytest_result["summary"])
         return 0 if pytest_result["returncode"] == 0 else 1
 
-    recorder = Recorder()
+    recorder = Recorder(events=args.trace_events is not None)
+    started = time.perf_counter()
     with use_recorder(recorder):
         scaling = measure_solver_scaling()
+    wall = time.perf_counter() - started
     if args.trace_json:
         write_run_report(recorder, args.trace_json)
         print(f"wrote obs run report -> {args.trace_json}")
+    if args.trace_events:
+        write_trace_events(recorder, args.trace_events)
+        print(f"wrote trace-event timeline -> {args.trace_events}")
     run_entry = {
         "label": args.label,
         "git_commit": _git_commit(),
@@ -256,6 +306,8 @@ def main(argv=None) -> int:
             print(pytest_result["summary"], file=sys.stderr)
             print("benchmark suite FAILED; not recording run", file=sys.stderr)
             return 1
+    # Like the BENCH file, history only records runs whose assertions held.
+    record_history(recorder, args.label, wall, LENGTHS, REPEATS)
 
     date = _dt.date.today().isoformat()
     output = (
