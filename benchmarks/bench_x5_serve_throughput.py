@@ -1,0 +1,122 @@
+"""Benchmark X5 — serving-layer throughput: warm cache vs cold re-solving.
+
+The admission-query stream of
+:func:`repro.workloads.scenarios.admission_query_workload` (the paper's
+30-node Section 5.2 topology, background flows routed as in fig3,
+queries over every subpath of the live routes) is answered two ways:
+
+* **cold** — :func:`repro.core.bandwidth.available_path_bandwidth` per
+  query, the naive deployment that re-enumerates and rebuilds the LP
+  every time;
+* **warm** — one :class:`repro.serve.AdmissionService` over the whole
+  stream: enumeration and the master LP cached per link union, paths
+  warm-started via column rewrite, repeats memoised.
+
+Asserted shape: the two disagree on *nothing* (equal bandwidths, equal
+decisions — the caches are keyed on the exact universe the cold solver
+uses), the warm stream is ≥ 3× faster, and the obs counters prove the
+mechanism (one enumeration, warm starts, result hits).  Decision-latency
+percentiles (p50/p99) are printed for the trajectory file.
+"""
+
+import time
+
+import pytest
+
+from repro.core.bandwidth import available_path_bandwidth
+from repro.obs import Recorder, use_recorder
+from repro.serve import AdmissionService, summarize_decisions
+from repro.workloads.scenarios import admission_query_workload
+
+#: The acceptance floor for warm-over-cold throughput on this workload.
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return admission_query_workload()
+
+
+@pytest.fixture(scope="module")
+def measurement(workload):
+    cold_started = time.perf_counter()
+    cold = {}
+    for query in workload.queries:
+        result = available_path_bandwidth(
+            workload.model, query.path, workload.background
+        )
+        cold[query.query_id] = (
+            result.available_bandwidth,
+            result.supports(query.demand_mbps),
+        )
+    cold_seconds = time.perf_counter() - cold_started
+
+    recorder = Recorder()
+    warm_started = time.perf_counter()
+    with use_recorder(recorder):
+        service = AdmissionService(workload.model, workload.background)
+        decisions = service.submit_many(workload.queries)
+    warm_seconds = time.perf_counter() - warm_started
+    return {
+        "cold": cold,
+        "cold_seconds": cold_seconds,
+        "decisions": decisions,
+        "warm_seconds": warm_seconds,
+        "counters": recorder.counters,
+        "summary": summarize_decisions(decisions, warm_seconds),
+    }
+
+
+def test_x5_identical_decisions(measurement):
+    """Cache hits change the cost of an answer, never the answer."""
+    for decision in measurement["decisions"]:
+        bandwidth, admitted = measurement["cold"][decision.query_id]
+        assert decision.available_bandwidth_mbps == bandwidth
+        assert decision.admitted == admitted
+
+
+def test_x5_decision_mix(measurement, workload):
+    """The stream exercises both outcomes (else the equality test is thin)."""
+    admitted = sum(1 for d in measurement["decisions"] if d.admitted)
+    assert 0 < admitted < len(workload.queries)
+
+
+def test_x5_warm_speedup(measurement):
+    speedup = measurement["cold_seconds"] / measurement["warm_seconds"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm serving only {speedup:.1f}x faster than cold re-solving "
+        f"(needs >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_x5_cache_mechanism(measurement):
+    """The speedup comes from the advertised mechanism, not luck."""
+    counters = measurement["counters"]
+    # Every query shares one link union: one enumeration serves them all.
+    assert counters["serve.cache.enum.misses"] == 1
+    assert counters["serve.cache.master.misses"] == 1
+    assert counters["serve.lp.warm_starts"] >= 1
+    assert counters["serve.cache.result.hits"] >= 1
+
+
+def test_x5_latency_percentiles(measurement):
+    summary = measurement["summary"]
+    assert 0.0 < summary["p50_latency_seconds"] <= summary["p99_latency_seconds"]
+    print()
+    print(
+        f"cold {measurement['cold_seconds']:.3f}s, "
+        f"warm {measurement['warm_seconds']:.3f}s "
+        f"({measurement['cold_seconds'] / measurement['warm_seconds']:.1f}x), "
+        f"{summary['queries_per_second']:.0f} q/s, "
+        f"p50 {summary['p50_latency_seconds'] * 1e3:.3f} ms, "
+        f"p99 {summary['p99_latency_seconds'] * 1e3:.3f} ms"
+    )
+
+
+def test_x5_benchmark(benchmark, workload):
+    def serve_stream():
+        service = AdmissionService(workload.model, workload.background)
+        return service.submit_many(workload.queries)
+
+    decisions = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+    assert len(decisions) == len(workload.queries)

@@ -5,6 +5,7 @@ Usage::
     repro list               # show available experiments
     repro run e2             # reproduce the Section 5.1 worked example
     repro run e4 e5          # several in one go
+    repro serve --queries q.jsonl   # batch admission queries (repro.serve)
     python -m repro run e1   # module form
 
 Resilience: sweeps are fault isolated — a failed sweep item is reported
@@ -196,6 +197,95 @@ def build_parser() -> argparse.ArgumentParser:
         "'solver-fatal@2' (exhaust every attempt of the 2nd solve), "
         "'worker@1' (crash the worker of the 1st sweep item); "
         "comma-separate to combine",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="answer a JSONL admission-query stream through the "
+        "caching service (repro.serve)",
+    )
+    serve_parser.add_argument(
+        "--queries",
+        metavar="PATH",
+        required=True,
+        help="JSONL query stream: one "
+        '{"id", "path": [node, ...], "demand_mbps"} object per line',
+    )
+    serve_parser.add_argument(
+        "--topology",
+        metavar="PATH",
+        default=None,
+        help="serve over this saved topology (repro.net.io JSON; "
+        "default: the paper's 30-node random topology)",
+    )
+    serve_parser.add_argument(
+        "--paper-seed",
+        type=int,
+        default=8,
+        help="placement seed of the default paper topology (default 8, "
+        "the fig3 experiment's)",
+    )
+    serve_parser.add_argument(
+        "--model",
+        choices=("protocol", "physical"),
+        default="protocol",
+        help="interference model (default protocol)",
+    )
+    serve_parser.add_argument(
+        "--background",
+        metavar="PATH",
+        default=None,
+        help="JSONL background traffic: one "
+        '{"path": [node, ...], "demand_mbps"} object per line',
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="serve query groups on N threads (default: sequential; "
+        "answers are identical either way)",
+    )
+    serve_parser.add_argument(
+        "--max-sets",
+        type=int,
+        default=None,
+        help="enumeration safety cap per link union (default unlimited)",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        help="LRU bound of the enumeration and master-LP caches "
+        "(default 64 entries each)",
+    )
+    serve_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the decisions and the summary as JSON to PATH "
+        "('-' = stdout, after the table)",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree and serve/solver counters after the table",
+    )
+    serve_parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable run report to PATH ('-' = stdout)",
+    )
+    serve_parser.add_argument(
+        "--history-dir",
+        metavar="DIR",
+        default=None,
+        help="run-history store a traced serve run appends its record to "
+        f"(default {obs_history.DEFAULT_HISTORY_DIR!r})",
+    )
+    serve_parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this traced serve run to the run-history store",
     )
     obs_parser = subparsers.add_parser(
         "obs",
@@ -397,6 +487,150 @@ def _obs_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_main(args: argparse.Namespace) -> int:
+    """The ``repro serve`` command: answer a JSONL query stream."""
+    from repro.fingerprint import fingerprint, network_fingerprint
+    from repro.interference.physical import PhysicalInterferenceModel
+    from repro.interference.protocol import ProtocolInterferenceModel
+    from repro.serve import (
+        AdmissionService,
+        decision_to_dict,
+        load_background,
+        load_queries,
+        summarize_decisions,
+    )
+
+    try:
+        if args.topology is not None:
+            from repro.net.io import load_network
+
+            network = load_network(args.topology)
+        else:
+            from repro.workloads.scenarios import paper_random_topology
+
+            network = paper_random_topology(seed=args.paper_seed)
+        model_type = (
+            ProtocolInterferenceModel
+            if args.model == "protocol"
+            else PhysicalInterferenceModel
+        )
+        model = model_type(network)
+        background = (
+            load_background(args.background, network)
+            if args.background is not None
+            else []
+        )
+        queries = load_queries(args.queries, network)
+    except (OSError, json.JSONDecodeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if not queries:
+        print(f"{args.queries}: no queries", file=sys.stderr)
+        return 2
+
+    tracing = args.trace or args.trace_json is not None
+    recorder = Recorder() if tracing else None
+    started = time.perf_counter()
+    try:
+        with use_recorder(recorder):
+            service = AdmissionService(
+                model,
+                background,
+                max_sets=args.max_sets,
+                enum_capacity=args.cache_capacity,
+                master_capacity=args.cache_capacity,
+            )
+            decisions = service.submit_many(queries, workers=args.workers)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 1
+    wall_seconds = time.perf_counter() - started
+    summary = summarize_decisions(decisions, wall_seconds)
+
+    width = max(len(d.query_id) for d in decisions)
+    print(
+        f"{'query':<{width}}  {'decision':<8}  {'avail Mbps':>10}  "
+        f"{'demand':>7}  {'cache':<6}  {'ms':>8}"
+    )
+    for decision in decisions:
+        print(
+            f"{decision.query_id:<{width}}  "
+            f"{'admit' if decision.admitted else 'reject':<8}  "
+            f"{decision.available_bandwidth_mbps:>10.4f}  "
+            f"{decision.demand_mbps:>7.3f}  "
+            f"{decision.cache_state:<6}  "
+            f"{decision.latency_seconds * 1e3:>8.3f}"
+        )
+    print(
+        f"{summary['queries']} queries "
+        f"({summary['admitted']} admitted, {summary['rejected']} rejected) "
+        f"in {wall_seconds:.3f}s — "
+        f"{summary['queries_per_second']:.1f} q/s, "
+        f"p50 {summary['p50_latency_seconds'] * 1e3:.3f} ms, "
+        f"p99 {summary['p99_latency_seconds'] * 1e3:.3f} ms"
+    )
+
+    if recorder is not None:
+        if args.trace:
+            print()
+            print(format_trace(recorder))
+        if not args.no_history:
+            try:
+                store = _resolve_history_store(args.history_dir)
+                record = obs_history.build_run_record(
+                    recorder,
+                    experiments=["serve"],
+                    label="serve",
+                    wall_seconds=wall_seconds,
+                    fingerprint=fingerprint(
+                        {
+                            "topology": network_fingerprint(network),
+                            "model": args.model,
+                            "queries": [
+                                [
+                                    query.query_id,
+                                    [
+                                        link.link_id
+                                        for link in query.path
+                                    ],
+                                    query.demand_mbps,
+                                ]
+                                for query in queries
+                            ],
+                        }
+                    ),
+                )
+                store.append(record)
+                print(
+                    f"recorded serve run {record['run_id']} -> {store.path}",
+                    file=sys.stderr,
+                )
+            except OSError as error:
+                print(
+                    f"history store unavailable: {error}", file=sys.stderr
+                )
+        if args.trace_json is not None:
+            write_run_report(recorder, args.trace_json, experiments=["serve"])
+    if args.json is not None:
+        document = {
+            "summary": summary,
+            "decisions": [decision_to_dict(d) for d in decisions],
+        }
+        rendered = json.dumps(document, indent=2)
+        if args.json == "-":
+            print(rendered)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(rendered + "\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -405,6 +639,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "obs":
         return _obs_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
     if args.command == "verify":
         from repro.verify import (
             format_differential,

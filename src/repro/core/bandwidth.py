@@ -37,6 +37,8 @@ from repro.net.path import Path
 __all__ = [
     "PathBandwidthResult",
     "available_path_bandwidth",
+    "build_path_bandwidth_lp",
+    "path_bandwidth_from_solution",
     "min_airtime_schedule",
     "tdma_schedule",
     "joint_admission_scale",
@@ -131,7 +133,29 @@ def available_path_bandwidth(
     else:
         columns = list(independent_sets)
     demands = link_demands_from_paths(background)
+    lp, f_var, lambda_vars = build_path_bandwidth_lp(
+        columns, links, demands, set(new_path.links)
+    )
+    return path_bandwidth_from_solution(
+        lp.solve(), lambda_vars, columns, demands
+    )
 
+
+def build_path_bandwidth_lp(
+    columns: Sequence[RateIndependentSet],
+    links: Sequence[Link],
+    demands: Dict[Link, float],
+    new_links: set,
+) -> Tuple[LinearProgram, str, List[str]]:
+    """Assemble the Eq. 6 master LP; returns ``(lp, f_var, lambda_vars)``.
+
+    Split out of :func:`available_path_bandwidth` so the serving layer
+    (:mod:`repro.serve`) can build the program once per topology
+    fingerprint and warm-start it for later query paths by rewriting the
+    ``f`` column (:meth:`~repro.core.lp.LinearProgram.set_column` over
+    the ``demand[<link>]`` rows) — both callers construct the identical
+    program, so cold and warm answers agree exactly.
+    """
     lp = LinearProgram()
     f_var = lp.add_variable("f", objective=1.0)
     lambda_vars = [
@@ -140,7 +164,6 @@ def available_path_bandwidth(
     lp.add_constraint_le(
         {var: 1.0 for var in lambda_vars}, 1.0, name="airtime"
     )
-    new_links = set(new_path.links)
     for link in links:
         coefficients: Dict[str, float] = {}
         for var, column in zip(lambda_vars, columns):
@@ -152,8 +175,16 @@ def available_path_bandwidth(
         lp.add_constraint_ge(
             coefficients, demands.get(link, 0.0), name=f"demand[{link.link_id}]"
         )
-    solution = lp.solve()
+    return lp, f_var, lambda_vars
 
+
+def path_bandwidth_from_solution(
+    solution,
+    lambda_vars: Sequence[str],
+    columns: Sequence[RateIndependentSet],
+    demands: Dict[Link, float],
+) -> PathBandwidthResult:
+    """Package a solved Eq. 6 master LP as a :class:`PathBandwidthResult`."""
     schedule = LinkSchedule(
         ScheduleEntry(column, solution[var])
         for var, column in zip(lambda_vars, columns)
@@ -167,7 +198,7 @@ def available_path_bandwidth(
     return PathBandwidthResult(
         available_bandwidth=bandwidth,
         schedule=schedule,
-        independent_sets=columns,
+        independent_sets=list(columns),
         background_demands=demands,
     )
 

@@ -6,13 +6,25 @@ converts solver statuses into the library's exception types, so the model
 code above reads like the paper's formulations rather than like matrix
 plumbing.
 
-Constraints are accumulated as COO triplets and assembled once per
+Constraints are accumulated as COO triplets and assembled per
 :meth:`LinearProgram.solve` — as a :class:`scipy.sparse.csr_matrix` for
 large programs, densified below a size threshold where HiGHS ingests a
 dense array faster.  :meth:`LinearProgram.add_column` grows an already-built
 program by one variable with coefficients in existing rows, which is what
 column generation needs: the master problem is assembled once and re-solved
-as columns arrive, never rebuilt.
+as columns arrive, never rebuilt.  :meth:`LinearProgram.set_column`
+*replaces* an existing variable's coefficients, which is what the serving
+layer's warm starts need: a cached master LP is retargeted at a new query
+path without touching its other columns.
+
+Re-solve work is memoised on a mutation version: an unchanged program
+returns its previous :class:`LpSolution` without calling the solver
+(``lp.cache_hits``), and when the only mutations since the last solve
+were appended columns, assembly extends the cached CSR with a delta
+block (``lp.assembly.incremental``) instead of rebuilding from all
+triplets.  Both paths canonicalise the CSR (duplicates summed, indices
+sorted), so an incrementally assembled matrix is byte-identical to a
+cold rebuild and the solver sees the same program either way.
 
 :meth:`LinearProgram.solve` is resilient: a failed solver attempt walks a
 retry/fallback chain (:data:`SOLVER_ATTEMPT_CHAIN` — dual simplex, then
@@ -28,7 +40,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import coo_matrix
+from scipy.sparse import coo_matrix, csr_matrix, hstack as sparse_hstack
 
 from repro.errors import InfeasibleProblemError, SolverAttempt, SolverError
 from repro.obs import get_recorder
@@ -125,6 +137,24 @@ class LinearProgram:
         #: +1 for a row stored as given (<=), -1 for a negated >= row;
         #: lets add_column accept coefficients in the caller's orientation.
         self._row_signs: List[float] = []
+        # Mutation version: bumped by every state change; the solution
+        # cache and the assembly cache key on it, so any mutation —
+        # including set_column, which rewrites triplets in place —
+        # invalidates stale solver state.
+        self._version = 0
+        self._solved_version: Optional[int] = None
+        self._solution: Optional[LpSolution] = None
+        # Assembly cache: the CSR built at the last solve, valid while
+        # mutations since then were pure column appends (new variables /
+        # add_column).  New rows or set_column clear it.
+        self._assembled: Optional[csr_matrix] = None
+        self._assembled_cols = 0
+        self._assembled_entries = 0
+
+    def _mutated(self, append_only: bool = False) -> None:
+        self._version += 1
+        if not append_only:
+            self._assembled = None
 
     # -- construction -------------------------------------------------------------
 
@@ -141,6 +171,7 @@ class LinearProgram:
         self._names.append(name)
         self._objective.append(objective)
         self._upper.append(upper_bound)
+        self._mutated(append_only=True)
         return name
 
     @property
@@ -175,6 +206,7 @@ class LinearProgram:
         self._row_names.append(name)
         self._row_index[name] = row_index
         self._row_signs.append(sign)
+        self._mutated()
         return name
 
     def add_constraint_le(
@@ -220,16 +252,117 @@ class LinearProgram:
                 self._entry_rows.append(row_index)
                 self._entry_cols.append(column)
                 self._entry_data.append(self._row_signs[row_index] * coeff)
+        self._mutated(append_only=True)
         return var
+
+    def set_column(
+        self,
+        name: str,
+        entries: Dict[str, float],
+        objective: Optional[float] = None,
+    ) -> str:
+        """Replace an *existing* variable's constraint coefficients.
+
+        ``entries`` is interpreted exactly as in :meth:`add_column`
+        (constraint names to coefficients in each row's original
+        orientation); the variable's previous entries are discarded
+        first, so absent rows become zeros.  ``objective`` replaces the
+        variable's objective coefficient when given.  This is the
+        serving layer's warm-start primitive: a cached master LP is
+        retargeted at a new query path by rewriting one column instead
+        of rebuilding every row.  The triplet list is compacted, so the
+        next solve re-assembles from scratch; thereafter incremental
+        assembly resumes.
+        """
+        column = self._index.get(name)
+        if column is None:
+            raise SolverError(f"unknown LP variable {name!r}")
+        keep = [
+            position
+            for position, entry_col in enumerate(self._entry_cols)
+            if entry_col != column
+        ]
+        if len(keep) != len(self._entry_cols):
+            self._entry_rows = [self._entry_rows[i] for i in keep]
+            self._entry_cols = [self._entry_cols[i] for i in keep]
+            self._entry_data = [self._entry_data[i] for i in keep]
+        for row_name, coeff in entries.items():
+            row_index = self._row_index.get(row_name)
+            if row_index is None:
+                raise SolverError(f"unknown LP constraint {row_name!r}")
+            if coeff != 0.0:
+                self._entry_rows.append(row_index)
+                self._entry_cols.append(column)
+                self._entry_data.append(self._row_signs[row_index] * coeff)
+        if objective is not None:
+            self._objective[column] = objective
+        self._mutated()
+        return name
 
     # -- solving ---------------------------------------------------------------------
 
+    def _assemble(self, rows: int, cols: int) -> csr_matrix:
+        """The constraint matrix as a canonical CSR.
+
+        Extends the cached CSR from the last solve with a delta block of
+        the appended columns when every mutation since was an append;
+        rebuilds from all triplets otherwise.  Both paths end canonical
+        (duplicates summed, indices sorted), so the product is identical
+        either way — incremental assembly is a pure speedup.
+        """
+        recorder = get_recorder()
+        cached = self._assembled
+        if cached is not None and cached.shape[0] == rows:
+            start = self._assembled_entries
+            width = cols - self._assembled_cols
+            if width:
+                delta = coo_matrix(
+                    (
+                        self._entry_data[start:],
+                        (
+                            self._entry_rows[start:],
+                            [
+                                entry_col - self._assembled_cols
+                                for entry_col in self._entry_cols[start:]
+                            ],
+                        ),
+                    ),
+                    shape=(rows, width),
+                ).tocsr()
+                matrix = sparse_hstack([cached, delta], format="csr")
+                matrix.sum_duplicates()
+                matrix.sort_indices()
+            else:
+                matrix = cached
+            recorder.count("lp.assembly.incremental")
+        else:
+            matrix = coo_matrix(
+                (self._entry_data, (self._entry_rows, self._entry_cols)),
+                shape=(rows, cols),
+            ).tocsr()
+            matrix.sum_duplicates()
+            matrix.sort_indices()
+        self._assembled = matrix
+        self._assembled_cols = cols
+        self._assembled_entries = len(self._entry_data)
+        return matrix
+
     def solve(self) -> LpSolution:
-        """Maximise the objective; raise on infeasibility or solver failure."""
+        """Maximise the objective; raise on infeasibility or solver failure.
+
+        An unchanged program (no mutation since the last successful
+        solve) returns the previous :class:`LpSolution` without calling
+        the solver, counted as ``lp.cache_hits`` instead of
+        ``lp.solves``.  Callers must treat the returned solution as
+        immutable.
+        """
         n = len(self._names)
         if n == 0:
             raise SolverError("LP has no variables")
         recorder = get_recorder()
+        if self._solution is not None and self._solved_version == self._version:
+            recorder.count("lp.cache_hits")
+            return self._solution
         recorder.count("lp.solves")
         recorder.gauge("lp.rows", len(self._rhs))
         recorder.gauge("lp.cols", n)
@@ -237,10 +370,7 @@ class LinearProgram:
         c = -np.asarray(self._objective, dtype=float)  # linprog minimises
         m = len(self._rhs)
         if m:
-            a_ub = coo_matrix(
-                (self._entry_data, (self._entry_rows, self._entry_cols)),
-                shape=(m, n),
-            ).tocsr()
+            a_ub = self._assemble(m, n)
             if m * n <= _DENSE_CELL_LIMIT:
                 a_ub = a_ub.toarray()
             b_ub = np.asarray(self._rhs, dtype=float)
@@ -311,9 +441,12 @@ class LinearProgram:
                     row_name: -float(marginals[row_index])
                     for row_index, row_name in enumerate(self._row_names)
                 }
-            return LpSolution(
+            solution = LpSolution(
                 objective=-float(result.fun), values=values, duals=duals
             )
+            self._solution = solution
+            self._solved_version = self._version
+            return solution
         recorder.count("lp.failures")
         detail = "; ".join(
             f"{attempt.method}: {attempt.message}" for attempt in attempts

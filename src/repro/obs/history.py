@@ -34,6 +34,10 @@ import time
 import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
+# Canonicalization lives in repro.fingerprint so the serving layer keys
+# solve caches on the same digests; re-exported here (see __all__) for
+# the historical import path.
+from repro.fingerprint import args_fingerprint  # noqa: F401
 from repro.obs.recorder import get_recorder
 from repro.obs.report import environment_info
 
@@ -67,16 +71,6 @@ def _new_run_id() -> str:
     return f"{stamp}-{os.urandom(3).hex()}"
 
 
-def args_fingerprint(arguments: Dict[str, Any]) -> str:
-    """Short stable digest of a run's effective arguments.
-
-    Two records with equal fingerprints solved the same workload, so
-    their counters are comparable; the diff warns when they differ.
-    """
-    canonical = json.dumps(
-        arguments, sort_keys=True, separators=(",", ":"), default=str
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def build_run_record(

@@ -1,0 +1,44 @@
+"""Admission-query serving layer: caches, warm starts, batching.
+
+The stateless solver core answers one Eq. 6 question per call; this
+package turns it into a query engine.  :class:`AdmissionService` binds a
+topology, interference model and background mix, then answers candidate
+(path, demand) queries out of fingerprint-keyed LRU caches
+(:class:`SolveCache`) — enumeration artifacts, warm-startable master
+LPs, memoised results — and :class:`BatchSession` amortizes a whole
+query batch so enumeration runs once per distinct link union.  The CLI
+front end is ``repro serve --queries queries.jsonl``.
+
+Cached answers are exactly the cold solver's answers: every cache is
+keyed on the same link universe the cold path enumerates over, and the
+warm-start path assembles the identical program (see
+:mod:`repro.serve.service`).
+"""
+
+from repro.serve.cache import SolveCache
+from repro.serve.io import (
+    decision_to_dict,
+    load_background,
+    load_queries,
+    path_from_nodes,
+    summarize_decisions,
+)
+from repro.serve.service import (
+    AdmissionDecision,
+    AdmissionQuery,
+    AdmissionService,
+    BatchSession,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionQuery",
+    "AdmissionService",
+    "BatchSession",
+    "SolveCache",
+    "decision_to_dict",
+    "load_background",
+    "load_queries",
+    "path_from_nodes",
+    "summarize_decisions",
+]

@@ -1,0 +1,164 @@
+"""JSONL wire format of the serving layer.
+
+A query stream is one JSON object per line::
+
+    {"id": "q1", "path": ["n3", "n4", "n9"], "demand_mbps": 2.0}
+
+``path`` is the node sequence of the candidate path (resolved against
+the topology's directed links), ``demand_mbps`` the rate to admit, and
+``id`` an optional label (defaults to ``q<line>``).  Background traffic
+uses the same shape minus ``id``.  Malformed lines raise
+:class:`~repro.errors.ConfigurationError` with the line number — a
+query stream is configuration, and bad configuration fails loudly
+before any solving starts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.path import Path
+from repro.net.topology import Network
+from repro.serve.service import AdmissionDecision, AdmissionQuery
+
+__all__ = [
+    "path_from_nodes",
+    "load_queries",
+    "load_background",
+    "decision_to_dict",
+    "summarize_decisions",
+]
+
+
+def path_from_nodes(network: Network, nodes: List[str]) -> Path:
+    """The :class:`Path` along consecutive links of ``nodes``."""
+    if len(nodes) < 2:
+        raise ConfigurationError(
+            f"a path needs at least two nodes, got {nodes!r}"
+        )
+    try:
+        return Path(
+            network.link_between(sender, receiver)
+            for sender, receiver in zip(nodes, nodes[1:])
+        )
+    except TopologyError as error:
+        raise ConfigurationError(f"unroutable path {nodes!r}: {error}") from error
+
+
+def _parse_line(
+    network: Network, line: str, line_number: int, source: str
+) -> Tuple[str, Path, float]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"{source}:{line_number}: malformed JSON: {error}"
+        ) from error
+    if not isinstance(record, dict):
+        raise ConfigurationError(
+            f"{source}:{line_number}: expected an object, got "
+            f"{type(record).__name__}"
+        )
+    try:
+        nodes = record["path"]
+        demand = record["demand_mbps"]
+    except KeyError as error:
+        raise ConfigurationError(
+            f"{source}:{line_number}: missing key {error}"
+        ) from error
+    if not isinstance(demand, (int, float)) or isinstance(demand, bool):
+        raise ConfigurationError(
+            f"{source}:{line_number}: demand_mbps must be a number, got "
+            f"{demand!r}"
+        )
+    try:
+        path = path_from_nodes(network, list(nodes))
+    except ConfigurationError as error:
+        raise ConfigurationError(
+            f"{source}:{line_number}: {error}"
+        ) from error
+    return str(record.get("id", f"q{line_number}")), path, float(demand)
+
+
+def load_queries(filename: str, network: Network) -> List[AdmissionQuery]:
+    """Parse a JSONL query stream against ``network``."""
+    queries = []
+    with open(filename, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            query_id, path, demand = _parse_line(
+                network, line, line_number, filename
+            )
+            queries.append(AdmissionQuery(query_id, path, demand))
+    return queries
+
+
+def load_background(
+    filename: str, network: Network
+) -> List[Tuple[Path, float]]:
+    """Parse a JSONL background-traffic file as (path, demand) pairs."""
+    background = []
+    with open(filename, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            _query_id, path, demand = _parse_line(
+                network, line, line_number, filename
+            )
+            background.append((path, demand))
+    return background
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize_decisions(
+    decisions: Sequence[AdmissionDecision],
+    wall_seconds: float,
+) -> Dict[str, Any]:
+    """Throughput/latency summary of a served batch (JSON-able).
+
+    ``queries_per_second`` uses the caller-measured wall time (the
+    per-decision latencies don't sum to it under threading); p50/p99 are
+    nearest-rank over the individual decision latencies.
+    """
+    latencies = sorted(d.latency_seconds for d in decisions)
+    return {
+        "queries": len(decisions),
+        "admitted": sum(1 for d in decisions if d.admitted),
+        "rejected": sum(1 for d in decisions if not d.admitted),
+        "cache_states": dict(
+            Counter(d.cache_state for d in decisions)
+        ),
+        "wall_seconds": wall_seconds,
+        "queries_per_second": (
+            len(decisions) / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        "p50_latency_seconds": (
+            _percentile(latencies, 0.50) if latencies else 0.0
+        ),
+        "p99_latency_seconds": (
+            _percentile(latencies, 0.99) if latencies else 0.0
+        ),
+    }
+
+
+def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
+    """An :class:`AdmissionDecision` as a JSON-able record."""
+    return {
+        "id": decision.query_id,
+        "admitted": decision.admitted,
+        "available_bandwidth_mbps": decision.available_bandwidth_mbps,
+        "demand_mbps": decision.demand_mbps,
+        "fingerprint": decision.fingerprint,
+        "cache_state": decision.cache_state,
+        "latency_seconds": decision.latency_seconds,
+    }

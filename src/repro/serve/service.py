@@ -1,0 +1,333 @@
+"""Admission-query serving: cached enumeration, warm master LPs, batching.
+
+A deployed estimator answers "can this path sustain rate r given the
+background?" thousands of times over the *same* topology, and the
+expensive parts of each answer — the interference kernel, the maximal
+independent sets, the assembled Eq. 6 master LP — depend only on the
+link universe, not on the query.  :class:`AdmissionService` exploits
+that: artifacts are cached in LRU :class:`~repro.serve.cache.SolveCache`
+stores keyed by the query's *link union* (the paper's ``P``: background
+links ∪ candidate-path links, the exact universe the cold solver
+enumerates over, so a cache hit is answer-preserving by construction),
+and a repeat union warm-starts the cached master LP by rewriting its
+``f`` column (:meth:`~repro.core.lp.LinearProgram.set_column`) instead
+of rebuilding the program.
+
+Three cache levels, cheapest hit last:
+
+``enum``
+    link-union → enumerated LP columns (the dominant cost);
+``master``
+    link-union → solved master LP, retargetable at a new path;
+``result``
+    (link-union, path) → available bandwidth, a pure lookup.
+
+:class:`BatchSession` runs a batch of queries grouped by link union so
+enumeration happens once per fingerprint even when the LRU caches are
+smaller than the batch's working set, and orders same-path queries
+consecutively to ride the LP solution cache.  Per-query spans and
+``serve.*`` counters land on the ambient :mod:`repro.obs` recorder.
+
+Thread-safety: the caches lock internally and each master LP carries its
+own lock, so ``submit`` may be called from several threads; the
+process-global obs recorder's *span stack* is not thread-safe, so
+threaded batches (``workers > 1``) skip span recording and keep only
+counters, which the locks serialize.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bandwidth import (
+    _collect_links,
+    build_path_bandwidth_lp,
+    link_demands_from_paths,
+    path_bandwidth_from_solution,
+)
+from repro.core.independent_sets import (
+    RateIndependentSet,
+    enumerate_maximal_independent_sets,
+)
+from repro.core.lp import LinearProgram
+from repro.fingerprint import (
+    background_fingerprint,
+    fingerprint,
+    model_fingerprint,
+)
+from repro.interference.base import InterferenceModel
+from repro.net.link import Link
+from repro.net.path import Path
+from repro.obs import get_recorder
+from repro.serve.cache import SolveCache
+
+__all__ = [
+    "AdmissionQuery",
+    "AdmissionDecision",
+    "AdmissionService",
+    "BatchSession",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionQuery:
+    """One admission question: can ``path`` sustain ``demand_mbps``?"""
+
+    query_id: str
+    path: Path
+    demand_mbps: float
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The service's answer to one :class:`AdmissionQuery`.
+
+    ``cache_state`` records how the answer was produced: ``"cold"``
+    (enumeration + LP build), ``"warm"`` (cached master LP, possibly
+    retargeted at the query path) or ``"result"`` (memoised bandwidth,
+    no solve at all).  All three produce identical numbers — the state
+    only says what it cost.
+    """
+
+    query_id: str
+    admitted: bool
+    available_bandwidth_mbps: float
+    demand_mbps: float
+    #: Fingerprint of (model, background, link union) — the cache locus
+    #: this query solved under; equal fingerprints shared all artifacts.
+    fingerprint: str
+    cache_state: str
+    latency_seconds: float
+
+
+class _MasterState:
+    """A cached Eq. 6 master LP, retargetable at a new candidate path."""
+
+    __slots__ = ("lp", "f_var", "lambda_vars", "columns", "path_key", "lock")
+
+    def __init__(
+        self,
+        lp: LinearProgram,
+        f_var: str,
+        lambda_vars: List[str],
+        columns: List[RateIndependentSet],
+        path_key: Tuple[str, ...],
+    ):
+        self.lp = lp
+        self.f_var = f_var
+        self.lambda_vars = lambda_vars
+        self.columns = columns
+        self.path_key = path_key
+        self.lock = threading.Lock()
+
+
+class AdmissionService:
+    """Batch/async admission-query engine over one (model, background).
+
+    The service binds an interference model and a background traffic mix
+    at construction; queries then vary only the candidate path and
+    demand, which is exactly the state the caches amortize.  Answers are
+    bit-identical to :func:`~repro.core.bandwidth.available_path_bandwidth`
+    on the same instance (the cold path and the warm path assemble the
+    same program; ``repro.verify``'s oracle cross-checks this in the
+    test suite).
+    """
+
+    def __init__(
+        self,
+        model: InterferenceModel,
+        background: Sequence[Tuple[Path, float]] = (),
+        max_sets: Optional[int] = None,
+        tolerance: float = 1e-6,
+        enum_capacity: int = 64,
+        master_capacity: int = 64,
+        result_capacity: int = 4096,
+    ):
+        self.model = model
+        self.network = model.network
+        self.background = list(background)
+        self.max_sets = max_sets
+        self.tolerance = tolerance
+        self._demands = link_demands_from_paths(self.background)
+        self._model_fp = model_fingerprint(model)
+        self._background_fp = background_fingerprint(self.background)
+        self.enum_cache = SolveCache(enum_capacity, "enum")
+        self.master_cache = SolveCache(master_capacity, "master")
+        self.result_cache = SolveCache(result_capacity, "result")
+        self._count_lock = threading.Lock()
+
+    # -- fingerprints -----------------------------------------------------------
+
+    def link_union(self, path: Path) -> List[Link]:
+        """The paper's ``P`` for this query: background ∪ path links."""
+        return _collect_links(self.background, path)
+
+    def query_fingerprint(self, path: Path) -> str:
+        """Digest of (model, background, link union) — the cache locus."""
+        return fingerprint(
+            [
+                self._model_fp,
+                self._background_fp,
+                [link.link_id for link in self.link_union(path)],
+            ]
+        )
+
+    # -- serving ----------------------------------------------------------------
+
+    def submit(
+        self, query: AdmissionQuery, record_span: bool = True
+    ) -> AdmissionDecision:
+        """Answer one query, using and feeding the caches."""
+        recorder = get_recorder()
+        started = time.perf_counter()
+        if record_span:
+            with recorder.span("serve.query"):
+                bandwidth, state, locus = self._available_bandwidth(query.path)
+        else:
+            bandwidth, state, locus = self._available_bandwidth(query.path)
+        admitted = bandwidth + self.tolerance >= query.demand_mbps
+        with self._count_lock:
+            recorder.count("serve.queries")
+            recorder.count("serve.admitted" if admitted else "serve.rejected")
+        return AdmissionDecision(
+            query_id=query.query_id,
+            admitted=admitted,
+            available_bandwidth_mbps=bandwidth,
+            demand_mbps=query.demand_mbps,
+            fingerprint=locus,
+            cache_state=state,
+            latency_seconds=time.perf_counter() - started,
+        )
+
+    def submit_many(
+        self,
+        queries: Sequence[AdmissionQuery],
+        workers: Optional[int] = None,
+    ) -> List[AdmissionDecision]:
+        """Answer a batch via a :class:`BatchSession` (input order kept)."""
+        return BatchSession(self, workers=workers).run(queries)
+
+    def _available_bandwidth(
+        self, path: Path
+    ) -> Tuple[float, str, str]:
+        """(bandwidth, cache_state, fingerprint) for one candidate path."""
+        recorder = get_recorder()
+        union = self.link_union(path)
+        union_key = tuple(link.link_id for link in union)
+        path_key = tuple(link.link_id for link in path)
+        locus = fingerprint(
+            [self._model_fp, self._background_fp, list(union_key)]
+        )
+        cached = self.result_cache.get((union_key, path_key))
+        if cached is not None:
+            return cached, "result", locus
+
+        built: List[bool] = []
+
+        def build() -> _MasterState:
+            built.append(True)
+            columns = self.enum_cache.get_or_compute(
+                union_key,
+                lambda: enumerate_maximal_independent_sets(
+                    self.model, union, self.max_sets
+                ),
+            )
+            lp, f_var, lambda_vars = build_path_bandwidth_lp(
+                columns, union, self._demands, set(path.links)
+            )
+            return _MasterState(lp, f_var, list(lambda_vars), columns, path_key)
+
+        master = self.master_cache.get_or_compute(union_key, build)
+        state = "cold" if built else "warm"
+        with master.lock:
+            if master.path_key != path_key:
+                # Retarget the cached program: the f column has a -1
+                # demand-row coefficient exactly on the query path's links
+                # (same orientation build_path_bandwidth_lp uses).
+                master.lp.set_column(
+                    master.f_var,
+                    {f"demand[{link_id}]": -1.0 for link_id in path_key},
+                )
+                master.path_key = path_key
+                recorder.count("serve.lp.warm_starts")
+            result = path_bandwidth_from_solution(
+                master.lp.solve(),
+                master.lambda_vars,
+                master.columns,
+                self._demands,
+            )
+        self.result_cache.put((union_key, path_key), result.available_bandwidth)
+        return result.available_bandwidth, state, locus
+
+
+class BatchSession:
+    """Run a batch of queries grouped by link union.
+
+    Grouping guarantees enumeration runs once per fingerprint for the
+    batch regardless of LRU capacity (queries sharing a union are served
+    consecutively, so the artifacts are still resident), and sorting a
+    group by path keeps same-path queries adjacent where the LP solution
+    cache and the result cache answer them for free.  With ``workers``
+    set, groups run on a thread pool — artifacts don't contend across
+    groups, and counters stay exact behind the cache locks (spans are
+    skipped: the obs recorder's span stack is process-global).
+    """
+
+    def __init__(
+        self, service: AdmissionService, workers: Optional[int] = None
+    ):
+        if workers is not None and workers < 1:
+            workers = None
+        self.service = service
+        self.workers = workers
+
+    def run(
+        self, queries: Sequence[AdmissionQuery]
+    ) -> List[AdmissionDecision]:
+        """Answer all queries; results align with the input order."""
+        recorder = get_recorder()
+        groups: "OrderedDict[Tuple[str, ...], List[Tuple[int, AdmissionQuery]]]"
+        groups = OrderedDict()
+        for position, query in enumerate(queries):
+            union_key = tuple(
+                link.link_id
+                for link in self.service.link_union(query.path)
+            )
+            groups.setdefault(union_key, []).append((position, query))
+        recorder.count("serve.batch.queries", len(queries))
+        recorder.count("serve.batch.groups", len(groups))
+
+        decisions: List[Optional[AdmissionDecision]] = [None] * len(queries)
+        record_span = self.workers is None
+
+        def run_group(
+            members: List[Tuple[int, AdmissionQuery]],
+        ) -> None:
+            ordered = sorted(
+                members,
+                key=lambda member: (
+                    tuple(link.link_id for link in member[1].path),
+                    member[0],
+                ),
+            )
+            for position, query in ordered:
+                decisions[position] = self.service.submit(
+                    query, record_span=record_span
+                )
+
+        if self.workers is None:
+            for members in groups.values():
+                run_group(members)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for future in [
+                    pool.submit(run_group, members)
+                    for members in groups.values()
+                ]:
+                    future.result()
+        return decisions  # type: ignore[return-value]

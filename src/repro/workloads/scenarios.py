@@ -33,6 +33,8 @@ __all__ = [
     "scenario_one",
     "scenario_two",
     "paper_random_topology",
+    "ServeWorkload",
+    "admission_query_workload",
 ]
 
 
@@ -149,3 +151,87 @@ def paper_random_topology(
     if radio is None:
         radio = RadioConfig(rate_table=IEEE80211A_PAPER_RATES)
     return random_topology(radio, config=config, seed=seed, name="paper-random")
+
+
+@dataclass
+class ServeWorkload:
+    """A serving-layer workload: model, background mix, and a query stream."""
+
+    network: Network
+    model: object
+    #: Background (path, demand) pairs — the fixed traffic queries are
+    #: admitted against.
+    background: List[Tuple[Path, float]]
+    #: The admission-query stream (:class:`repro.serve.AdmissionQuery`),
+    #: with repeats — a serving workload re-asks its questions.
+    queries: List[object]
+
+
+def admission_query_workload(
+    topology_seed: SeedLike = 8,
+    flow_seed: SeedLike = 801,
+    n_flows: int = 8,
+    background_demand_mbps: float = 0.2,
+    demands_mbps: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    repeats: int = 3,
+) -> ServeWorkload:
+    """The serving benchmark's workload on the paper's 30-node topology.
+
+    Background traffic is the Section 5.2 setup (``n_flows`` random
+    flows, hop-count routed); the query stream asks about every
+    contiguous subpath of the background routes at each demand in
+    ``demands_mbps``, repeated ``repeats`` times.  Querying subpaths of
+    live routes is the deployed-estimator case — "can this new flow ride
+    the existing mesh?" — and it keeps every query's link union equal to
+    the background's, so the stream exercises the serving layer's warm
+    path: one enumeration, one master LP, per-path warm starts, memoised
+    repeats.  Defaults match the fig3 experiment's seeds.
+    """
+    from repro.interference.protocol import ProtocolInterferenceModel
+    from repro.routing.metrics import HopCountMetric, RoutingContext
+    from repro.routing.shortest_path import route
+    from repro.serve.service import AdmissionQuery
+    from repro.workloads.flows import random_flow_endpoints
+
+    network = paper_random_topology(seed=topology_seed)
+    model = ProtocolInterferenceModel(network)
+    context = RoutingContext(model)
+    background = []
+    for flow in random_flow_endpoints(
+        network,
+        n_flows,
+        background_demand_mbps,
+        seed=flow_seed,
+        min_distance_m=100.0,
+    ):
+        path = route(
+            network, flow.source, flow.destination, HopCountMetric(), context
+        )
+        background.append((path, background_demand_mbps))
+
+    subpaths: dict = {}
+    for path, _demand in background:
+        links = list(path.links)
+        for start in range(len(links)):
+            for stop in range(start + 1, len(links) + 1):
+                subpath = Path(links[start:stop])
+                key = tuple(link.link_id for link in subpath)
+                subpaths.setdefault(key, subpath)
+
+    queries = []
+    for repeat in range(repeats):
+        for path_index, subpath in enumerate(subpaths.values()):
+            for demand in demands_mbps:
+                queries.append(
+                    AdmissionQuery(
+                        f"q{repeat}.{path_index}@{demand:g}",
+                        subpath,
+                        demand,
+                    )
+                )
+    return ServeWorkload(
+        network=network,
+        model=model,
+        background=background,
+        queries=queries,
+    )

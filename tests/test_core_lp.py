@@ -1,9 +1,12 @@
 """The LP wrapper."""
 
+import random
+
 import pytest
 
 from repro.core.lp import LinearProgram
 from repro.errors import InfeasibleProblemError, SolverError
+from repro.obs import Recorder, use_recorder
 
 
 class TestBasics:
@@ -97,3 +100,192 @@ class TestDuals:
         solution = lp.solve()
         assert solution.objective == pytest.approx(5.0)
         assert name in solution.duals
+
+
+def _master_program(n_columns: int) -> LinearProgram:
+    """A small Eq. 6-shaped master: airtime row + two demand rows."""
+    lp = LinearProgram()
+    lp.add_variable("f", objective=1.0)
+    airtime = {}
+    for index in range(n_columns):
+        var = lp.add_variable(f"lambda_{index}", objective=0.0)
+        airtime[var] = 1.0
+    lp.add_constraint_le(airtime, 1.0, name="airtime")
+    for row, throughputs in (("demand[a]", 10.0), ("demand[b]", 6.0)):
+        coefficients = {
+            f"lambda_{index}": throughputs * (index + 1)
+            for index in range(n_columns)
+        }
+        coefficients["f"] = -1.0
+        lp.add_constraint_ge(coefficients, 0.0, name=row)
+    return lp
+
+
+class TestSolutionCache:
+    def test_resolve_returns_cached_object(self):
+        lp = _master_program(2)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            first = lp.solve()
+            second = lp.solve()
+        assert second is first
+        assert recorder.counters["lp.cache_hits"] == 1
+        assert recorder.counters["lp.solves"] == 1
+
+    def test_mutation_invalidates_cache(self):
+        lp = _master_program(2)
+        before = lp.solve()
+        lp.add_column("lambda_2", {"airtime": 1.0, "demand[a]": 50.0})
+        after = lp.solve()
+        assert after is not before
+        assert after.objective >= before.objective
+
+    def test_set_column_invalidates_cache(self):
+        lp = _master_program(2)
+        before = lp.solve()
+        lp.set_column("f", {"demand[a]": -1.0})
+        after = lp.solve()
+        assert after is not before
+
+
+class TestSetColumn:
+    def test_retarget_equals_fresh_build(self):
+        """A set_column-retargeted program solves exactly like a fresh one.
+
+        This is the serving layer's warm-start contract: rewriting the
+        ``f`` column to ride different demand rows must be
+        byte-identical to building the program that way from scratch.
+        """
+        warm = _master_program(3)
+        warm.solve()
+        warm.set_column("f", {"demand[a]": -1.0})  # drop demand[b]
+        warm_solution = warm.solve()
+
+        cold = LinearProgram()
+        cold.add_variable("f", objective=1.0)
+        for index in range(3):
+            cold.add_variable(f"lambda_{index}", objective=0.0)
+        cold.add_constraint_le(
+            {f"lambda_{index}": 1.0 for index in range(3)},
+            1.0,
+            name="airtime",
+        )
+        for row, throughputs, rides in (
+            ("demand[a]", 10.0, True),
+            ("demand[b]", 6.0, False),
+        ):
+            coefficients = {
+                f"lambda_{index}": throughputs * (index + 1)
+                for index in range(3)
+            }
+            if rides:
+                coefficients["f"] = -1.0
+            cold.add_constraint_ge(coefficients, 0.0, name=row)
+        cold_solution = cold.solve()
+
+        assert warm_solution.objective == cold_solution.objective
+        assert warm_solution.values == cold_solution.values
+
+    def test_absent_rows_become_zero(self):
+        lp = _master_program(2)
+        lp.set_column("lambda_1", {"airtime": 1.0})  # no throughput left
+        # With lambda_1 contributing nothing, only lambda_0's column can
+        # carry f: max f = min(10, 6) at full airtime on lambda_0.
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(6.0)
+        assert solution["lambda_1"] == pytest.approx(0.0)
+
+    def test_objective_replacement(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0, upper_bound=2.0)
+        assert lp.solve().objective == pytest.approx(2.0)
+        lp.set_column(x, {}, objective=3.0)
+        assert lp.solve().objective == pytest.approx(6.0)
+
+    def test_unknown_variable(self):
+        lp = _master_program(1)
+        with pytest.raises(SolverError, match="unknown LP variable"):
+            lp.set_column("ghost", {})
+
+    def test_unknown_constraint(self):
+        lp = _master_program(1)
+        with pytest.raises(SolverError, match="unknown LP constraint"):
+            lp.set_column("f", {"ghost": 1.0})
+
+
+class TestIncrementalAssembly:
+    def test_incremental_resolve_counts(self):
+        lp = _master_program(2)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            lp.solve()
+            lp.add_column("lambda_2", {"airtime": 1.0, "demand[a]": 5.0})
+            lp.solve()
+        assert recorder.counters["lp.assembly.incremental"] == 1
+
+    def test_warm_resolves_match_cold_rebuilds_exactly(self):
+        """Property: any append sequence solves bit-identically cold.
+
+        Grows a program by seeded random ``add_column`` calls, re-solving
+        incrementally after each round, and rebuilds the same program
+        from scratch every time — objective and every variable value
+        must be *exactly* equal (``==``, not approx): both assembly
+        paths canonicalize to the same CSR.
+        """
+        rng = random.Random(20260808)
+        rows = ("airtime", "demand[a]", "demand[b]")
+        history = []
+        warm = _master_program(2)
+        for round_index in range(6):
+            name = f"lambda_{2 + round_index}"
+            entries = {"airtime": 1.0}
+            for row in rows[1:]:
+                if rng.random() < 0.7:
+                    entries[row] = rng.choice([2.0, 5.0, 12.5, 30.0])
+            history.append((name, entries))
+            warm.add_column(name, entries)
+            warm_solution = warm.solve()
+
+            cold = _master_program(2)
+            for cold_name, cold_entries in history:
+                cold.add_column(cold_name, cold_entries)
+            cold_solution = cold.solve()
+
+            assert warm_solution.objective == cold_solution.objective
+            assert warm_solution.values == cold_solution.values
+            assert warm_solution.duals == cold_solution.duals
+
+    def test_set_column_then_appends_match_cold(self):
+        """Mixing set_column with later appends keeps the equivalence."""
+        warm = _master_program(2)
+        warm.solve()
+        warm.set_column("f", {"demand[b]": -1.0})
+        warm.solve()
+        warm.add_column("lambda_2", {"airtime": 1.0, "demand[b]": 24.0})
+        warm_solution = warm.solve()
+
+        cold = LinearProgram()
+        cold.add_variable("f", objective=1.0)
+        for index in range(2):
+            cold.add_variable(f"lambda_{index}", objective=0.0)
+        cold.add_constraint_le(
+            {f"lambda_{index}": 1.0 for index in range(2)},
+            1.0,
+            name="airtime",
+        )
+        for row, throughputs, rides in (
+            ("demand[a]", 10.0, False),
+            ("demand[b]", 6.0, True),
+        ):
+            coefficients = {
+                f"lambda_{index}": throughputs * (index + 1)
+                for index in range(2)
+            }
+            if rides:
+                coefficients["f"] = -1.0
+            cold.add_constraint_ge(coefficients, 0.0, name=row)
+        cold.add_column("lambda_2", {"airtime": 1.0, "demand[b]": 24.0})
+        cold_solution = cold.solve()
+
+        assert warm_solution.objective == cold_solution.objective
+        assert warm_solution.values == cold_solution.values

@@ -1,0 +1,471 @@
+"""The serving layer: caches, batching, wire format, CLI, and the oracle.
+
+The load-bearing property is *answer preservation*: however a query is
+served — cold, warm-started, or memoised — the numbers must equal a
+fresh :func:`~repro.core.bandwidth.available_path_bandwidth` solve.  The
+oracle class cross-checks that over the verification generator's six
+instance families; the rest of the module pins the mechanism (LRU
+bounds, counters, batching) and the JSONL/CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.core.bandwidth import available_path_bandwidth
+from repro.errors import ConfigurationError
+from repro.net.path import Path
+from repro.obs import Recorder, use_recorder
+from repro.serve import (
+    AdmissionQuery,
+    AdmissionService,
+    BatchSession,
+    SolveCache,
+    decision_to_dict,
+    load_background,
+    load_queries,
+    path_from_nodes,
+    summarize_decisions,
+)
+from repro.verify.instances import FAMILIES, iter_instances
+from repro.workloads.scenarios import scenario_one, scenario_two
+
+
+class TestSolveCache:
+    def test_round_trip(self):
+        cache = SolveCache(4, "t")
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+
+    def test_capacity_bound(self):
+        cache = SolveCache(3, "t")
+        for index in range(10):
+            cache.put(index, index)
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = SolveCache(2, "t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now least recent
+        cache.put("c", 3)
+        assert list(cache.keys()) == ["a", "c"]
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_hit_miss_counts(self):
+        cache = SolveCache(2, "t")
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_get_or_compute_single_flight(self):
+        cache = SolveCache(2, "t")
+        calls = []
+
+        def factory():
+            calls.append(True)
+            return "value"
+
+        assert cache.get_or_compute("k", factory) == "value"
+        assert cache.get_or_compute("k", factory) == "value"
+        assert len(calls) == 1
+
+    def test_counters_reach_recorder(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            cache = SolveCache(1, "probe")
+            cache.get("a")
+            cache.put("a", 1)
+            cache.get("a")
+            cache.put("b", 2)  # evicts "a"
+        assert recorder.counters["serve.cache.probe.misses"] == 1
+        assert recorder.counters["serve.cache.probe.hits"] == 1
+        assert recorder.counters["serve.cache.probe.evictions"] == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SolveCache(0, "t")
+
+
+def _cold_answers(instance, queries):
+    return {
+        q.query_id: available_path_bandwidth(
+            instance.model, q.path, instance.background
+        ).available_bandwidth
+        for q in queries
+    }
+
+
+def _instance_queries(instance):
+    """New path, its subpaths, and each background route — twice over."""
+    paths = {tuple(link.link_id for link in instance.new_path): instance.new_path}
+    links = list(instance.new_path.links)
+    for start in range(len(links)):
+        sub = Path(links[start:])
+        paths.setdefault(tuple(link.link_id for link in sub), sub)
+    for path, _demand in instance.background:
+        paths.setdefault(tuple(link.link_id for link in path), path)
+    return [
+        AdmissionQuery(f"q{repeat}.{index}", path, 1.0)
+        for repeat in range(2)
+        for index, path in enumerate(paths.values())
+    ]
+
+
+class TestOracleCrossCheck:
+    """Service answers equal cold solves on every generator family."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_equality(self, family):
+        for instance in iter_instances(2, seed=42, families=[family]):
+            service = AdmissionService(
+                instance.model, instance.background
+            )
+            queries = _instance_queries(instance)
+            cold = _cold_answers(instance, queries)
+            for decision in service.submit_many(queries):
+                assert (
+                    decision.available_bandwidth_mbps
+                    == cold[decision.query_id]
+                ), f"{instance.name}: {decision.query_id}"
+
+    def test_warm_and_memoised_states_appear(self):
+        instance = next(
+            iter_instances(1, seed=3, families=["declared-chain"])
+        )
+        service = AdmissionService(instance.model, instance.background)
+        decisions = service.submit_many(_instance_queries(instance))
+        states = {d.cache_state for d in decisions}
+        assert "cold" in states
+        assert "result" in states  # the repeat pass is memoised
+
+
+class TestAdmissionService:
+    def test_admit_and_reject(self):
+        scenario = scenario_one()  # 1 - lambda = 0.7 -> 37.8 Mbps free
+        service = AdmissionService(scenario.model, scenario.background)
+        admit = service.submit(
+            AdmissionQuery("ok", scenario.new_path, 10.0)
+        )
+        reject = service.submit(
+            AdmissionQuery("no", scenario.new_path, 50.0)
+        )
+        assert admit.admitted and admit.cache_state == "cold"
+        assert not reject.admitted and reject.cache_state == "result"
+        assert (
+            admit.available_bandwidth_mbps
+            == reject.available_bandwidth_mbps
+        )
+
+    def test_warm_start_across_paths(self):
+        scenario = scenario_two()
+        links = list(scenario.path.links)
+        # Subpaths of the four-hop chain share its link union only when
+        # the background spans the whole chain.
+        background = [(scenario.path, 1.0)]
+        service = AdmissionService(scenario.model, background)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            first = service.submit(
+                AdmissionQuery("whole", scenario.path, 1.0)
+            )
+            second = service.submit(
+                AdmissionQuery("prefix", Path(links[:2]), 1.0)
+            )
+        assert first.cache_state == "cold"
+        assert second.cache_state == "warm"
+        assert recorder.counters["serve.lp.warm_starts"] == 1
+        assert first.fingerprint == second.fingerprint
+        # The warm answer equals its cold reference.
+        cold = available_path_bandwidth(
+            scenario.model, Path(links[:2]), background
+        )
+        assert (
+            second.available_bandwidth_mbps == cold.available_bandwidth
+        )
+
+    def test_distinct_unions_get_distinct_fingerprints(self):
+        scenario = scenario_two()
+        links = list(scenario.path.links)
+        service = AdmissionService(scenario.model)
+        first = service.submit(AdmissionQuery("a", Path(links[:2]), 1.0))
+        second = service.submit(AdmissionQuery("b", Path(links[2:]), 1.0))
+        assert first.fingerprint != second.fingerprint
+
+    def test_lru_eviction_forces_recompute(self):
+        scenario = scenario_two()
+        links = list(scenario.path.links)
+        service = AdmissionService(
+            scenario.model,
+            enum_capacity=1,
+            master_capacity=1,
+            result_capacity=1,
+        )
+        a = AdmissionQuery("a", Path(links[:2]), 1.0)
+        b = AdmissionQuery("b", Path(links[2:]), 1.0)
+        service.submit(a)
+        service.submit(b)  # evicts a's artifacts everywhere
+        again = service.submit(a)
+        assert again.cache_state == "cold"
+        assert service.enum_cache.evictions >= 2
+
+
+class TestBatchSession:
+    def _workload(self):
+        scenario = scenario_two()
+        links = list(scenario.path.links)
+        background = [(scenario.path, 1.0)]
+        subpaths = [
+            Path(links[start:stop])
+            for start in range(len(links))
+            for stop in range(start + 1, len(links) + 1)
+        ]
+        queries = [
+            AdmissionQuery(f"q{repeat}.{index}", path, 1.0)
+            for repeat in range(2)
+            for index, path in enumerate(subpaths)
+        ]
+        return scenario, background, queries
+
+    def test_batch_enumerates_once_per_union(self):
+        scenario, background, queries = self._workload()
+        service = AdmissionService(scenario.model, background)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            decisions = service.submit_many(queries)
+        # Every query's union is the background's four links.
+        assert recorder.counters["serve.cache.enum.misses"] == 1
+        assert recorder.counters["serve.cache.master.misses"] == 1
+        assert recorder.counters["serve.batch.groups"] == 1
+        assert recorder.counters["serve.batch.queries"] == len(queries)
+        assert recorder.counters["serve.queries"] == len(queries)
+        assert len(decisions) == len(queries)
+
+    def test_batch_preserves_input_order(self):
+        scenario, background, queries = self._workload()
+        service = AdmissionService(scenario.model, background)
+        decisions = service.submit_many(queries)
+        assert [d.query_id for d in decisions] == [
+            q.query_id for q in queries
+        ]
+
+    def test_threaded_batch_equals_sequential(self):
+        scenario, background, queries = self._workload()
+        sequential = AdmissionService(
+            scenario.model, background
+        ).submit_many(queries)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            threaded = AdmissionService(
+                scenario.model, background
+            ).submit_many(queries, workers=4)
+        assert [
+            (d.query_id, d.admitted, d.available_bandwidth_mbps)
+            for d in threaded
+        ] == [
+            (d.query_id, d.admitted, d.available_bandwidth_mbps)
+            for d in sequential
+        ]
+        # Counters stay exact under threading (the caches lock).
+        assert recorder.counters["serve.queries"] == len(queries)
+        assert recorder.counters["serve.cache.enum.misses"] == 1
+        admitted = sum(1 for d in threaded if d.admitted)
+        assert recorder.counters.get("serve.admitted", 0) == admitted
+
+    def test_invalid_workers_fall_back_to_sequential(self):
+        scenario, background, queries = self._workload()
+        session = BatchSession(
+            AdmissionService(scenario.model, background), workers=0
+        )
+        assert session.workers is None
+        decisions = session.run(queries[:2])
+        assert len(decisions) == 2
+
+
+class TestWireFormat:
+    def _network(self):
+        return scenario_two().network
+
+    def test_load_queries(self, tmp_path):
+        stream = tmp_path / "q.jsonl"
+        stream.write_text(
+            '{"id": "a", "path": ["n0", "n1", "n2"], "demand_mbps": 2}\n'
+            "\n"  # blank lines are skipped
+            '{"path": ["n1", "n2"], "demand_mbps": 0.5}\n'
+        )
+        queries = load_queries(str(stream), self._network())
+        assert [q.query_id for q in queries] == ["a", "q3"]
+        assert queries[0].demand_mbps == 2.0
+        assert [link.link_id for link in queries[0].path] == ["L1", "L2"]
+
+    def test_load_background(self, tmp_path):
+        stream = tmp_path / "bg.jsonl"
+        stream.write_text('{"path": ["n0", "n1"], "demand_mbps": 1.5}\n')
+        background = load_background(str(stream), self._network())
+        assert len(background) == 1
+        path, demand = background[0]
+        assert demand == 1.5
+        assert [link.link_id for link in path] == ["L1"]
+
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("not json", "malformed JSON"),
+            ("[1, 2]", "expected an object"),
+            ('{"path": ["n0", "n1"]}', "missing key"),
+            (
+                '{"path": ["n0", "n1"], "demand_mbps": true}',
+                "must be a number",
+            ),
+            (
+                '{"path": ["n0", "ghost"], "demand_mbps": 1}',
+                "unroutable path",
+            ),
+            ('{"path": ["n0"], "demand_mbps": 1}', "at least two nodes"),
+        ],
+    )
+    def test_malformed_lines_fail_with_location(
+        self, tmp_path, line, fragment
+    ):
+        stream = tmp_path / "bad.jsonl"
+        stream.write_text(line + "\n")
+        with pytest.raises(ConfigurationError, match=fragment) as excinfo:
+            load_queries(str(stream), self._network())
+        assert ":1:" in str(excinfo.value)
+
+    def test_path_from_nodes_follows_links(self):
+        network = self._network()
+        path = path_from_nodes(network, ["n0", "n1", "n2", "n3"])
+        assert [link.link_id for link in path] == ["L1", "L2", "L3"]
+
+    def test_summarize_decisions(self):
+        scenario = scenario_one()
+        service = AdmissionService(scenario.model, scenario.background)
+        decisions = service.submit_many(
+            [
+                AdmissionQuery("a", scenario.new_path, 10.0),
+                AdmissionQuery("b", scenario.new_path, 50.0),
+            ]
+        )
+        summary = summarize_decisions(decisions, wall_seconds=0.5)
+        assert summary["queries"] == 2
+        assert summary["admitted"] == 1
+        assert summary["rejected"] == 1
+        assert summary["queries_per_second"] == 4.0
+        assert summary["cache_states"] == {"cold": 1, "result": 1}
+        assert (
+            0.0
+            < summary["p50_latency_seconds"]
+            <= summary["p99_latency_seconds"]
+        )
+        json.dumps(summary)  # JSON-able end to end
+
+    def test_decision_to_dict_round_trips_json(self):
+        scenario = scenario_one()
+        service = AdmissionService(scenario.model, scenario.background)
+        decision = service.submit(
+            AdmissionQuery("a", scenario.new_path, 10.0)
+        )
+        record = json.loads(json.dumps(decision_to_dict(decision)))
+        assert record["id"] == "a"
+        assert record["admitted"] is True
+        assert record["cache_state"] == "cold"
+
+
+class TestServeCli:
+    def _write_queries(self, tmp_path):
+        stream = tmp_path / "queries.jsonl"
+        stream.write_text(
+            '{"id": "q1", "path": ["n0", "n1", "n8"], "demand_mbps": 2.0}\n'
+            '{"id": "q2", "path": ["n1", "n8"], "demand_mbps": 4.0}\n'
+        )
+        return stream
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = self._write_queries(tmp_path)
+        code = main(
+            [
+                "serve",
+                "--queries",
+                str(stream),
+                "--paper-seed",
+                "8",
+                "--no-history",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "q1" in output and "q2" in output
+        assert "2 queries" in output
+
+    def test_serve_json_document(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = self._write_queries(tmp_path)
+        out = tmp_path / "decisions.json"
+        code = main(
+            [
+                "serve",
+                "--queries",
+                str(stream),
+                "--paper-seed",
+                "8",
+                "--no-history",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["summary"]["queries"] == 2
+        assert {d["id"] for d in document["decisions"]} == {"q1", "q2"}
+
+    def test_serve_rejects_bad_queries(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = tmp_path / "bad.jsonl"
+        stream.write_text('{"path": ["n0", "ghost"], "demand_mbps": 1}\n')
+        code = main(
+            [
+                "serve",
+                "--queries",
+                str(stream),
+                "--paper-seed",
+                "8",
+                "--no-history",
+            ]
+        )
+        assert code == 2
+        assert "unroutable path" in capsys.readouterr().err
+
+    def test_serve_history_record(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = self._write_queries(tmp_path)
+        history = tmp_path / "history"
+        code = main(
+            [
+                "serve",
+                "--queries",
+                str(stream),
+                "--paper-seed",
+                "8",
+                "--trace-json",
+                str(tmp_path / "trace.json"),
+                "--history-dir",
+                str(history),
+            ]
+        )
+        assert code == 0
+        from repro.obs.history import HistoryStore
+
+        records = list(HistoryStore(str(history)).runs())
+        assert len(records) == 1
+        assert records[0]["counters"]["serve.queries"] == 2

@@ -9,6 +9,10 @@ Two kinds of measurement go into the file:
   carry over), with separate enumeration-only, end-to-end and
   column-generation timings; this is the number the perf acceptance
   criteria track across PRs;
+* **serve throughput** — the bench-X5 admission-query stream answered
+  cold (per-query re-solving) and warm (through ``repro.serve``), with
+  queries/sec, p50/p99 decision latency and the ``serve.*`` cache
+  counters;
 * **pytest pass/fail** of the ablation benchmark files, so a timing run
   also proves the benchmarks still assert the paper's facts.
 
@@ -156,6 +160,95 @@ def measure_solver_scaling(lengths=LENGTHS, repeats=REPEATS):
     return rows
 
 
+def measure_serve_throughput(repeats: int = REPEATS):
+    """Serving-layer throughput: cold per-query re-solving vs warm cache.
+
+    Serves :func:`repro.workloads.scenarios.admission_query_workload`
+    (the 30-node paper topology) both ways, best of ``repeats``, and
+    asserts the answers are identical before reporting.  The segment
+    runs under its own recorder; only its ``serve.*`` counters are
+    copied into the ambient recorder (plus the span tree under
+    ``bench.serve``), so the history gate sees the new serving counters
+    without the segment's LP/enumeration work inflating the gated
+    solver counters of the scaling segments.
+    """
+    from repro.core.bandwidth import available_path_bandwidth
+    from repro.obs import Recorder, get_recorder, use_recorder
+    from repro.serve import AdmissionService, summarize_decisions
+    from repro.workloads.scenarios import admission_query_workload
+
+    ambient = get_recorder()
+    workload = admission_query_workload()
+    cold_seconds = warm_seconds = float("inf")
+    cold = {}
+    decisions = []
+    recorder = Recorder()
+    for _ in range(repeats):
+        recorder = Recorder()
+        started = time.perf_counter()
+        with use_recorder(recorder):
+            cold = {}
+            for query in workload.queries:
+                result = available_path_bandwidth(
+                    workload.model, query.path, workload.background
+                )
+                cold[query.query_id] = (
+                    result.available_bandwidth,
+                    result.supports(query.demand_mbps),
+                )
+        cold_seconds = min(cold_seconds, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        with use_recorder(recorder):
+            service = AdmissionService(workload.model, workload.background)
+            decisions = service.submit_many(workload.queries)
+        warm_seconds = min(warm_seconds, time.perf_counter() - started)
+    # Counters are deterministic per repeat; the last repeat's recorder
+    # stands for all of them (mirrors measure_solver_scaling).
+    serve_counters = {
+        name: value
+        for name, value in recorder.counters.items()
+        if name.startswith("serve.")
+    }
+    ambient.merge(
+        {
+            "counters": serve_counters,
+            "gauges": {
+                name: value
+                for name, value in recorder.gauges.items()
+                if name.startswith("serve.")
+            },
+            "spans": recorder.snapshot()["spans"],
+        },
+        under="bench.serve",
+        seconds=cold_seconds + warm_seconds,
+    )
+    for decision in decisions:
+        bandwidth, admitted = cold[decision.query_id]
+        if (
+            decision.available_bandwidth_mbps != bandwidth
+            or decision.admitted != admitted
+        ):
+            raise AssertionError(
+                f"serve mismatch on {decision.query_id}: warm "
+                f"({decision.available_bandwidth_mbps}, {decision.admitted}) "
+                f"vs cold ({bandwidth}, {admitted})"
+            )
+    summary = summarize_decisions(decisions, warm_seconds)
+    return {
+        "queries": len(workload.queries),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "cold_qps": len(workload.queries) / cold_seconds,
+        "warm_qps": summary["queries_per_second"],
+        "p50_latency_seconds": summary["p50_latency_seconds"],
+        "p99_latency_seconds": summary["p99_latency_seconds"],
+        "admitted": summary["admitted"],
+        "counters": serve_counters,
+    }
+
+
 def run_pytest_benchmarks(smoke: bool = False):
     """Run the ablation benchmark files under pytest.
 
@@ -269,6 +362,7 @@ def main(argv=None) -> int:
         started = time.perf_counter()
         with use_recorder(recorder):
             rows = measure_solver_scaling(lengths=(4,), repeats=1)
+            serve_row = measure_serve_throughput(repeats=1)
         wall = time.perf_counter() - started
         if args.trace_json:
             write_run_report(recorder, args.trace_json)
@@ -278,6 +372,11 @@ def main(argv=None) -> int:
             print(f"wrote trace-event timeline -> {args.trace_events}")
         record_history(recorder, "bench-smoke", wall, (4,), 1)
         print(f"smoke solver scaling ok: {rows[0]['optimum_mbps']:.4f} Mbps")
+        print(
+            f"smoke serve throughput ok: {serve_row['speedup']:.1f}x warm "
+            f"over cold ({serve_row['warm_qps']:.0f} q/s, "
+            f"p99 {serve_row['p99_latency_seconds'] * 1e3:.3f} ms)"
+        )
         pytest_result = run_pytest_benchmarks(smoke=True)
         print(pytest_result["summary"])
         return 0 if pytest_result["returncode"] == 0 else 1
@@ -286,6 +385,7 @@ def main(argv=None) -> int:
     started = time.perf_counter()
     with use_recorder(recorder):
         scaling = measure_solver_scaling()
+        serve_row = measure_serve_throughput()
     wall = time.perf_counter() - started
     if args.trace_json:
         write_run_report(recorder, args.trace_json)
@@ -298,6 +398,7 @@ def main(argv=None) -> int:
         "git_commit": _git_commit(),
         "python": platform.python_version(),
         "solver_scaling": scaling,
+        "serve_throughput": serve_row,
     }
     if not args.skip_pytest:
         pytest_result = run_pytest_benchmarks()
@@ -331,6 +432,13 @@ def main(argv=None) -> int:
             f"{row['end_to_end_seconds'] * 1e3:>9.3f} "
             f"{row['cg_seconds'] * 1e3:>9.3f} {row['optimum_mbps']:>9.4f}"
         )
+    print(
+        f"serve: {serve_row['queries']} queries, "
+        f"{serve_row['speedup']:.1f}x warm over cold "
+        f"({serve_row['cold_qps']:.0f} -> {serve_row['warm_qps']:.0f} q/s), "
+        f"p50 {serve_row['p50_latency_seconds'] * 1e3:.3f} ms, "
+        f"p99 {serve_row['p99_latency_seconds'] * 1e3:.3f} ms"
+    )
     return 0
 
 
