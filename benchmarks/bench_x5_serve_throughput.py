@@ -63,6 +63,7 @@ def measurement(workload):
         "decisions": decisions,
         "warm_seconds": warm_seconds,
         "counters": recorder.counters,
+        "histograms": recorder.snapshot()["histograms"],
         "summary": summarize_decisions(decisions, warm_seconds),
     }
 
@@ -111,6 +112,26 @@ def test_x5_latency_percentiles(measurement):
         f"p50 {summary['p50_latency_seconds'] * 1e3:.3f} ms, "
         f"p99 {summary['p99_latency_seconds'] * 1e3:.3f} ms"
     )
+
+
+def test_x5_streaming_percentiles_match_post_hoc(measurement):
+    """The summary's p50/p99 now come from the streaming histogram; they
+    must sit within one bucket (a factor of 2**0.25) of the exact
+    nearest-rank values over the recorded per-decision latencies."""
+    import math
+
+    from repro.obs import HISTOGRAM_FACTOR, HISTOGRAM_LOWEST
+
+    summary = measurement["summary"]
+    ordered = sorted(d.latency_seconds for d in measurement["decisions"])
+    # The recorder saw the same stream the summary histogram did.
+    recorded = measurement["histograms"]["serve.latency_seconds"]
+    assert recorded["count"] == len(ordered)
+    for q, key in ((0.50, "p50_latency_seconds"), (0.99, "p99_latency_seconds")):
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        exact = ordered[rank - 1]
+        ceiling = max(exact * HISTOGRAM_FACTOR, HISTOGRAM_LOWEST)
+        assert exact <= summary[key] <= ceiling * (1 + 1e-9), key
 
 
 def test_x5_benchmark(benchmark, workload):

@@ -21,7 +21,11 @@ Observability: ``--trace`` prints the span tree, ``--trace-json`` /
 the tables), and every traced run appends a record to the run-history
 store (default ``.repro-history/``; ``--no-history`` opts out).  The
 ``repro obs`` group inspects that store: ``repro obs history``, ``repro
-obs last``, ``repro obs diff A B [--strict]``.
+obs last``, ``repro obs diff A B [--strict]``, ``repro obs history
+prune --keep N`` (compaction).  Telemetry: ``--metrics-out`` exports
+OpenMetrics text, ``--metrics-jsonl`` appends periodic snapshots that
+``repro obs tail -f`` renders live, and ``repro serve --slow-log``
+prints the flight recorder's slowest queries.
 
 Exit codes: 0 success (including absorbed partial failures), 1 solver or
 model failure (infeasible problem, exhausted solver fallbacks, partial
@@ -58,6 +62,32 @@ __all__ = ["main", "build_parser"]
 
 #: Experiments that accept the random-topology workload parameters.
 _CONFIGURABLE = {"e3", "e4", "e5", "x1", "x2"}
+
+
+def _add_metrics_flags(sub: argparse.ArgumentParser) -> None:
+    """The metrics-export flags shared by ``run`` and ``serve``."""
+    sub.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="export counters/gauges/histograms in the Prometheus/"
+        "OpenMetrics text format to PATH ('-' = stdout), rewritten "
+        "periodically while the command runs and once at the end",
+    )
+    sub.add_argument(
+        "--metrics-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append one metrics snapshot per flush to this JSONL "
+        "stream (render it live with 'repro obs tail -f PATH')",
+    )
+    sub.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds between periodic metrics flushes (default 5)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         "https://ui.perfetto.dev; parallel sweeps get one track per "
         "worker",
     )
+    _add_metrics_flags(run_parser)
     run_parser.add_argument(
         "--history-dir",
         metavar="DIR",
@@ -265,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
         "('-' = stdout, after the table)",
     )
     serve_parser.add_argument(
+        "--slow-log",
+        nargs="?",
+        type=int,
+        const=10,
+        default=None,
+        metavar="K",
+        help="print the flight recorder's K slowest queries after the "
+        "table (default 10 when the flag is given bare)",
+    )
+    _add_metrics_flags(serve_parser)
+    serve_parser.add_argument(
         "--trace",
         action="store_true",
         help="print a span tree and serve/solver counters after the table",
@@ -303,7 +345,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     history_parser = obs_sub.add_parser(
-        "history", help="table of recorded runs (or one full record)"
+        "history",
+        help="table of recorded runs (or one full record); "
+        "'history prune' compacts the store",
     )
     add_history_dir(history_parser)
     history_parser.add_argument(
@@ -311,13 +355,28 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="show this run's full record (id, unique prefix, 'last', "
-        "'-2', ...) instead of the table",
+        "'-2', ...) instead of the table; the literal 'prune' compacts "
+        "the store instead (see --keep / --max-age)",
     )
     history_parser.add_argument(
         "--limit",
         type=int,
         default=20,
         help="rows in the table (default 20, newest kept)",
+    )
+    history_parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'prune': keep only the newest N records",
+    )
+    history_parser.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with 'prune': drop records older than DAYS days",
     )
     last_parser = obs_sub.add_parser(
         "last", help="show the most recent recorded run"
@@ -354,6 +413,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when the diff flags a regression (default: report "
         "and exit 0)",
+    )
+    tail_parser = obs_sub.add_parser(
+        "tail",
+        help="render the newest snapshot of a metrics JSONL stream "
+        "(--metrics-jsonl output)",
+    )
+    tail_parser.add_argument(
+        "path",
+        metavar="PATH",
+        help="metrics JSONL stream written by --metrics-jsonl",
+    )
+    tail_parser.add_argument(
+        "-f",
+        "--follow",
+        action="store_true",
+        help="keep watching the stream and re-render on new snapshots",
+    )
+    tail_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll interval with --follow (default 1)",
     )
     return parser
 
@@ -424,12 +506,75 @@ def _resolve_history_store(history_dir: Optional[str]):
     )
 
 
+def _obs_tail(args: argparse.Namespace) -> int:
+    """The ``repro obs tail`` command: render a metrics JSONL stream."""
+    from repro.obs.metrics import format_metrics_table, read_metrics_jsonl
+
+    last_key = None
+    try:
+        while True:
+            try:
+                records = read_metrics_jsonl(args.path)
+            except OSError as error:
+                if not args.follow:
+                    print(str(error), file=sys.stderr)
+                    return 2
+                records = []
+            if records:
+                key = (len(records), records[-1].get("ts"))
+                if key != last_key:
+                    last_key = key
+                    print(format_metrics_table(records[-1]))
+            elif not args.follow:
+                print(
+                    f"{args.path}: no metrics snapshots", file=sys.stderr
+                )
+                return 2
+            if not args.follow:
+                return 0
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream (head, less) closed the pipe; that's a clean stop.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
 def _obs_main(args: argparse.Namespace) -> int:
     """The ``repro obs`` group: history table, last record, trace diff."""
+    if args.obs_command == "tail":
+        return _obs_tail(args)
     store = _resolve_history_store(getattr(args, "history_dir", None))
     if args.obs_command in (None, "history"):
-        records = store.runs()
         run_id = getattr(args, "run_id", None)
+        if run_id == "prune":
+            # Run ids are timestamp-prefixed, so the literal can never
+            # shadow a real record.
+            if args.keep is None and args.max_age is None:
+                print(
+                    "repro obs history prune needs --keep N and/or "
+                    "--max-age DAYS",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                stats = store.prune(
+                    keep=args.keep, max_age_days=args.max_age
+                )
+            except (OSError, ValueError) as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            print(
+                f"pruned {store.path}: kept {stats['kept']}, removed "
+                f"{stats['removed']}, dropped {stats['corrupt_dropped']} "
+                "corrupt line(s)"
+            )
+            return 0
+        records = store.runs()
         if run_id is None:
             limit = getattr(args, "limit", 20)
             print(obs_history.format_history_table(records, limit=limit))
@@ -492,9 +637,11 @@ def _serve_main(args: argparse.Namespace) -> int:
     from repro.fingerprint import fingerprint, network_fingerprint
     from repro.interference.physical import PhysicalInterferenceModel
     from repro.interference.protocol import ProtocolInterferenceModel
+    from repro.obs.metrics import MetricsFlusher
     from repro.serve import (
         AdmissionService,
         decision_to_dict,
+        format_slow_log,
         load_background,
         load_queries,
         summarize_decisions,
@@ -532,7 +679,23 @@ def _serve_main(args: argparse.Namespace) -> int:
         return 2
 
     tracing = args.trace or args.trace_json is not None
-    recorder = Recorder() if tracing else None
+    exporting = (
+        args.metrics_out is not None or args.metrics_jsonl is not None
+    )
+    recorder = Recorder() if tracing or exporting else None
+    flusher = (
+        MetricsFlusher(
+            recorder,
+            openmetrics_path=args.metrics_out,
+            jsonl_path=args.metrics_jsonl,
+            interval=args.metrics_interval,
+        )
+        if exporting
+        else None
+    )
+    service_kwargs = {}
+    if args.slow_log is not None:
+        service_kwargs["slow_log"] = args.slow_log
     started = time.perf_counter()
     try:
         with use_recorder(recorder):
@@ -542,7 +705,10 @@ def _serve_main(args: argparse.Namespace) -> int:
                 max_sets=args.max_sets,
                 enum_capacity=args.cache_capacity,
                 master_capacity=args.cache_capacity,
+                **service_kwargs,
             )
+            if flusher is not None:
+                flusher.start()
             decisions = service.submit_many(queries, workers=args.workers)
     except ConfigurationError as error:
         print(str(error), file=sys.stderr)
@@ -550,6 +716,9 @@ def _serve_main(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 1
+    finally:
+        if flusher is not None:
+            flusher.stop()
     wall_seconds = time.perf_counter() - started
     summary = summarize_decisions(decisions, wall_seconds)
 
@@ -575,12 +744,15 @@ def _serve_main(args: argparse.Namespace) -> int:
         f"p50 {summary['p50_latency_seconds'] * 1e3:.3f} ms, "
         f"p99 {summary['p99_latency_seconds'] * 1e3:.3f} ms"
     )
+    if args.slow_log is not None:
+        print()
+        print(format_slow_log(service.flight))
 
     if recorder is not None:
         if args.trace:
             print()
             print(format_trace(recorder))
-        if not args.no_history:
+        if tracing and not args.no_history:
             try:
                 store = _resolve_history_store(args.history_dir)
                 record = obs_history.build_run_record(
@@ -616,7 +788,12 @@ def _serve_main(args: argparse.Namespace) -> int:
                     f"history store unavailable: {error}", file=sys.stderr
                 )
         if args.trace_json is not None:
-            write_run_report(recorder, args.trace_json, experiments=["serve"])
+            write_run_report(
+                recorder,
+                args.trace_json,
+                experiments=["serve"],
+                extra={"slow_queries": service.flight.to_dict()},
+            )
     if args.json is not None:
         document = {
             "summary": summary,
@@ -673,9 +850,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.trace_json is not None
         or args.trace_events is not None
     )
-    recorder = (
-        Recorder(events=args.trace_events is not None) if tracing else None
+    exporting = (
+        args.metrics_out is not None or args.metrics_jsonl is not None
     )
+    recorder = (
+        Recorder(events=args.trace_events is not None)
+        if tracing or exporting
+        else None
+    )
+    flusher = None
+    if exporting:
+        from repro.obs.metrics import MetricsFlusher
+
+        flusher = MetricsFlusher(
+            recorder,
+            openmetrics_path=args.metrics_out,
+            jsonl_path=args.metrics_jsonl,
+            interval=args.metrics_interval,
+        ).start()
     exit_code = 0
     ran: List[str] = []
     all_failures: List[object] = []
@@ -731,11 +923,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.strict:
                     exit_code = max(exit_code, 1)
     wall_seconds = time.perf_counter() - started
+    if flusher is not None:
+        flusher.stop()
     if recorder is not None:
         if args.trace:
             print(format_trace(recorder))
             print()
-        if not args.no_history and ran:
+        if tracing and not args.no_history and ran:
             try:
                 store = _resolve_history_store(args.history_dir)
                 record = obs_history.build_run_record(

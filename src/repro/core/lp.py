@@ -99,6 +99,9 @@ class LpSolution:
     #: Dual values (shadow prices) of the ``<=`` constraints, by constraint
     #: name, when the solver reports them.  Used by column generation.
     duals: Dict[str, float]
+    #: Simplex/IPM iterations the solver reported (``None`` when
+    #: unavailable).  A cached re-solve returns the original count.
+    iterations: Optional[int] = None
 
     def __getitem__(self, name: str) -> float:
         return self.values[name]
@@ -442,7 +445,10 @@ class LinearProgram:
                     for row_index, row_name in enumerate(self._row_names)
                 }
             solution = LpSolution(
-                objective=-float(result.fun), values=values, duals=duals
+                objective=-float(result.fun),
+                values=values,
+                duals=duals,
+                iterations=int(getattr(result, "nit", 0) or 0),
             )
             self._solution = solution
             self._solved_version = self._version

@@ -82,7 +82,9 @@ def _traced_call(
     started = time.perf_counter()
     with use_recorder(recorder):
         result = fn(item)
-    return result, time.perf_counter() - started, recorder.snapshot()
+    seconds = time.perf_counter() - started
+    recorder.histogram("parallel.item_seconds", seconds)
+    return result, seconds, recorder.snapshot()
 
 
 def _isolated_call(
@@ -103,7 +105,9 @@ def _isolated_call(
     started = time.perf_counter()
     with use_recorder(recorder):
         result = fn(item)
-    return result, time.perf_counter() - started, recorder.snapshot()
+    seconds = time.perf_counter() - started
+    recorder.histogram("parallel.item_seconds", seconds)
+    return result, seconds, recorder.snapshot()
 
 
 def parallel_map(
@@ -129,8 +133,12 @@ def parallel_map(
             return [fn(item) for item in items]
         results: List[_ResultT] = []
         for index, item in enumerate(items):
+            started = time.perf_counter()
             with recorder.span(f"parallel.worker[{index}]"):
                 results.append(fn(item))
+            recorder.histogram(
+                "parallel.item_seconds", time.perf_counter() - started
+            )
         return results
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
         if not recorder.enabled:
@@ -232,8 +240,12 @@ def fault_tolerant_map(
             return
         try:
             if recorder.enabled:
+                started = time.perf_counter()
                 with recorder.span(f"parallel.worker[{index}]"):
                     result = fn(items[index])
+                recorder.histogram(
+                    "parallel.item_seconds", time.perf_counter() - started
+                )
             else:
                 result = fn(items[index])
         except (Exception, SystemExit) as error:

@@ -28,6 +28,13 @@ in Perfetto), the append-only **run-history store**
 traced CLI run), and **cross-run diffing** (``repro obs history`` /
 ``last`` / ``diff``, with ``--strict`` gating counter growth in CI).
 
+v3 adds production telemetry: streaming log-bucketed **histograms**
+(:class:`Histogram`, merged deterministically across workers),
+**exporters** (:func:`to_openmetrics` Prometheus text format,
+:func:`append_metrics_jsonl` snapshot streams, ``repro obs tail``), and
+**SLO gating** (:func:`load_slo_file` / :func:`evaluate_slos` over
+``.repro-slo.toml``, enforced by ``tools/slo_check.py`` in CI).
+
 Naming scheme (dotted, component-first): spans ``experiment.<id>``,
 ``enum.sets``, ``enum.independent_sets``, ``cg.solve``, ``cg.iteration``,
 ``cg.pricing``, ``lp.solve``, ``mac.run``, ``parallel.worker[<i>]``;
@@ -41,6 +48,26 @@ sets_pruned}``, ``cg.{iterations,columns_added}``,
 
 from repro.obs.events import DEFAULT_MAX_EVENTS, EventBuffer
 from repro.obs.export import to_trace_events, write_trace_events
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    HISTOGRAM_FACTOR,
+    HISTOGRAM_LOWEST,
+    Histogram,
+    MetricsFlusher,
+    append_metrics_jsonl,
+    format_metrics_table,
+    metrics_snapshot,
+    read_metrics_jsonl,
+    to_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.slo import (
+    DEFAULT_SLO_FILE,
+    evaluate_slos,
+    format_slo_results,
+    load_slo_file,
+)
 from repro.obs.history import (
     DEFAULT_HISTORY_DIR,
     HISTORY_SCHEMA_VERSION,
@@ -91,4 +118,20 @@ __all__ = [
     "diff_runs",
     "format_diff",
     "format_history_table",
+    "Histogram",
+    "HISTOGRAM_LOWEST",
+    "HISTOGRAM_FACTOR",
+    "HISTOGRAM_BUCKETS",
+    "MetricsFlusher",
+    "metrics_snapshot",
+    "to_openmetrics",
+    "write_openmetrics",
+    "validate_openmetrics",
+    "append_metrics_jsonl",
+    "read_metrics_jsonl",
+    "format_metrics_table",
+    "DEFAULT_SLO_FILE",
+    "load_slo_file",
+    "evaluate_slos",
+    "format_slo_results",
 ]

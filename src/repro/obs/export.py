@@ -115,6 +115,7 @@ def to_trace_events(source) -> Dict[str, Any]:
                 "args": {
                     "name": track.get("label", f"track[{tid}]"),
                     "source_pid": track.get("pid"),
+                    "dropped": int(track.get("dropped", 0)),
                 },
             }
         )

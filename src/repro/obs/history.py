@@ -26,6 +26,7 @@ previous incarnation).
 
 from __future__ import annotations
 
+import calendar
 import hashlib
 import json
 import os
@@ -53,8 +54,13 @@ __all__ = [
 ]
 
 #: Version of the per-line record layout.  Bump on rename/removal;
-#: additions are backward compatible.
-HISTORY_SCHEMA_VERSION = 1
+#: additions are backward compatible.  v2 added the ``histograms``
+#: block (streaming latency distributions, see :mod:`repro.obs.metrics`).
+HISTORY_SCHEMA_VERSION = 2
+
+#: Envelope versions :meth:`HistoryStore.runs` still reads.  v1 records
+#: simply lack histogram blocks — every other key is unchanged.
+_SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: Where traced runs land unless ``--history-dir`` says otherwise.
 DEFAULT_HISTORY_DIR = ".repro-history"
@@ -99,6 +105,7 @@ def build_run_record(
         "wall_seconds": wall_seconds,
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
+        "histograms": snapshot.get("histograms", {}),
         "spans": [
             {
                 "name": span["name"],
@@ -168,7 +175,7 @@ class HistoryStore:
                     envelope = json.loads(line)
                     if (
                         envelope.get("schema_version")
-                        != HISTORY_SCHEMA_VERSION
+                        not in _SUPPORTED_SCHEMA_VERSIONS
                     ):
                         raise ValueError("unknown envelope schema version")
                     record = envelope["record"]
@@ -234,6 +241,86 @@ class HistoryStore:
                 f"({len(prefixed)} matching runs)"
             )
         raise LookupError(f"no run matching {ref!r} in {self.path}")
+
+    # -- compaction ------------------------------------------------------------
+
+    def prune(
+        self,
+        keep: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Compact the store: drop old records, keep envelopes verbatim.
+
+        ``max_age_days`` drops records whose ``timestamp`` is older than
+        that many days before ``now`` (epoch seconds, defaulting to the
+        current time); ``keep`` then bounds the survivors to the newest
+        N.  Kept records are rewritten as their *original* envelope
+        lines — bytes, checksum and all — so a pruned store still
+        verifies line-for-line against its pre-prune self.  Lines that
+        fail to parse or checksum are dropped (compaction is where the
+        damage finally leaves the file).  The rewrite is atomic
+        (temp file + ``os.replace``); returns ``{"kept", "removed",
+        "corrupt_dropped"}``.
+        """
+        if keep is not None and keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        if not os.path.exists(self.path):
+            return {"kept": 0, "removed": 0, "corrupt_dropped": 0}
+        survivors: List[str] = []
+        removed = 0
+        corrupt = 0
+        cutoff = None
+        if max_age_days is not None:
+            reference = time.time() if now is None else now
+            cutoff = reference - max_age_days * 86400.0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    envelope = json.loads(line)
+                    if (
+                        envelope.get("schema_version")
+                        not in _SUPPORTED_SCHEMA_VERSIONS
+                    ):
+                        raise ValueError("unknown envelope schema version")
+                    record = envelope["record"]
+                    digest = hashlib.sha256(
+                        _canonical(record).encode("utf-8")
+                    ).hexdigest()
+                    if digest != envelope.get("sha256"):
+                        raise ValueError("record checksum mismatch")
+                except Exception:
+                    corrupt += 1
+                    continue
+                if cutoff is not None:
+                    stamp = record.get("timestamp")
+                    try:
+                        epoch = calendar.timegm(
+                            time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+                        )
+                    except (TypeError, ValueError):
+                        epoch = None
+                    if epoch is not None and epoch < cutoff:
+                        removed += 1
+                        continue
+                survivors.append(line)
+        if keep is not None and len(survivors) > keep:
+            removed += len(survivors) - keep
+            survivors = survivors[len(survivors) - keep:]
+        temp_path = self.path + ".prune.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for line in survivors:
+                handle.write(line + "\n")
+        os.replace(temp_path, self.path)
+        get_recorder().count("history.pruned_records", removed + corrupt)
+        return {
+            "kept": len(survivors),
+            "removed": removed,
+            "corrupt_dropped": corrupt,
+        }
 
 
 # -- diffing -------------------------------------------------------------------

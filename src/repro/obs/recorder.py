@@ -11,6 +11,10 @@ One :class:`Recorder` holds everything a run produces:
   e.g. cache hits, DFS nodes visited, columns generated.
 * **gauges** — last-written values (``recorder.gauge``), e.g. the row /
   column / nonzero dimensions of the most recent LP.
+* **histograms** — streaming log-bucketed distributions
+  (``recorder.histogram``), e.g. per-decision serve latency.  Buckets
+  merge by addition, so worker snapshots combine to identical state in
+  any merge order (see :mod:`repro.obs.metrics`).
 
 Instrumentation sites never hold a recorder; they fetch the *current* one
 through :func:`get_recorder`.  The default is :data:`NULL_RECORDER`, whose
@@ -42,6 +46,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.events import DEFAULT_MAX_EVENTS, EventBuffer
+from repro.obs.metrics import Histogram
 
 __all__ = [
     "Recorder",
@@ -158,6 +163,9 @@ class NullRecorder:
     def gauge(self, name: str, value: float) -> None:
         pass
 
+    def histogram(self, name: str, value: float) -> None:
+        pass
+
     def merge(
         self,
         snapshot: Dict[str, Any],
@@ -171,6 +179,7 @@ class NullRecorder:
             "schema_version": SCHEMA_VERSION,
             "counters": {},
             "gauges": {},
+            "histograms": {},
             "spans": [],
         }
 
@@ -198,6 +207,7 @@ class Recorder:
         self._stack: List[SpanNode] = [self._root]
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._events: Optional[EventBuffer] = (
             EventBuffer(max_events) if events else None
         )
@@ -225,6 +235,14 @@ class Recorder:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         self._gauges[name] = value
 
+    def histogram(self, name: str, value: float) -> None:
+        """Record ``value`` into the streaming histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
     # -- reading ---------------------------------------------------------------
 
     @property
@@ -236,6 +254,11 @@ class Recorder:
     def gauges(self) -> Dict[str, float]:
         """Gauge values by name (a copy)."""
         return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """Live :class:`~repro.obs.metrics.Histogram` objects by name."""
+        return dict(self._histograms)
 
     @property
     def root(self) -> SpanNode:
@@ -256,10 +279,22 @@ class Recorder:
         unchanged (no extra keys), so trace documents stay byte-stable
         when event mode is off.
         """
+        counters = dict(self._counters)
+        if self._events is not None:
+            # Truncated timelines must be visible, not silent: the events
+            # this recorder's own buffer refused surface as a counter
+            # (worker buffers bring theirs through the counter merge).
+            counters["obs.events.dropped"] = (
+                counters.get("obs.events.dropped", 0) + self._events.dropped
+            )
         snap = {
             "schema_version": SCHEMA_VERSION,
-            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "counters": {k: counters[k] for k in sorted(counters)},
             "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict()
+                for k in sorted(self._histograms)
+            },
             "spans": [c.to_dict() for c in self._root.children.values()],
         }
         if self._events is not None:
@@ -278,7 +313,9 @@ class Recorder:
     ) -> None:
         """Graft a :meth:`snapshot` (e.g. from a worker process).
 
-        Counters add, gauges last-win, and the snapshot's span trees attach
+        Counters add, gauges last-win, histogram buckets add (order
+        never matters — bucket addition commutes), and the snapshot's
+        span trees attach
         beneath the currently open span — inside a synthetic child named
         ``under`` when given (e.g. ``"parallel.worker[3]"``).  The
         synthetic span's duration is ``seconds`` when given (the worker's
@@ -295,6 +332,12 @@ class Recorder:
             self._counters[name] = self._counters.get(name, 0) + value
         for name, value in snapshot.get("gauges", {}).items():
             self._gauges[name] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram()
+                self._histograms[name] = histogram
+            histogram.merge_dict(data)
         spans = snapshot.get("spans", [])
         parent = self._stack[-1]
         if under is not None:

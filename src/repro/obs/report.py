@@ -158,6 +158,7 @@ def run_report(
         "experiments": list(experiments) if experiments is not None else [],
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
+        "histograms": snapshot.get("histograms", {}),
         "spans": snapshot["spans"],
         "failures": failure_dicts,
     }
@@ -168,16 +169,20 @@ def write_run_report(
     path: str,
     experiments: Optional[Sequence[str]] = None,
     failures: Optional[Sequence[Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write :func:`run_report` to ``path`` as JSON; returns the document.
 
     ``path`` ``"-"`` writes to stdout (for pipelines); the CLI prints the
     experiment tables first, so the JSON is always the last thing on the
-    stream.
+    stream.  ``extra`` keys are merged into the document top level —
+    the serve CLI embeds its slow-query log this way.
     """
     document = run_report(
         recorder, experiments=experiments, failures=failures
     )
+    if extra:
+        document.update(extra)
     if path == "-":
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")

@@ -16,6 +16,11 @@ warm-start path assembles the identical program (see
 """
 
 from repro.serve.cache import SolveCache
+from repro.serve.flight import (
+    DEFAULT_SLOW_LOG_SIZE,
+    FlightRecorder,
+    format_slow_log,
+)
 from repro.serve.io import (
     decision_to_dict,
     load_background,
@@ -36,6 +41,9 @@ __all__ = [
     "AdmissionService",
     "BatchSession",
     "SolveCache",
+    "FlightRecorder",
+    "DEFAULT_SLOW_LOG_SIZE",
+    "format_slow_log",
     "decision_to_dict",
     "load_background",
     "load_queries",

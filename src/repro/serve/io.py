@@ -16,11 +16,11 @@ before any solving starts.
 from __future__ import annotations
 
 import json
-import math
 from collections import Counter
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError, TopologyError
+from repro.obs.metrics import Histogram
 from repro.net.path import Path
 from repro.net.topology import Network
 from repro.serve.service import AdmissionDecision, AdmissionQuery
@@ -114,12 +114,6 @@ def load_background(
     return background
 
 
-def _percentile(ordered: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
-    rank = max(1, math.ceil(fraction * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
-
-
 def summarize_decisions(
     decisions: Sequence[AdmissionDecision],
     wall_seconds: float,
@@ -127,10 +121,16 @@ def summarize_decisions(
     """Throughput/latency summary of a served batch (JSON-able).
 
     ``queries_per_second`` uses the caller-measured wall time (the
-    per-decision latencies don't sum to it under threading); p50/p99 are
-    nearest-rank over the individual decision latencies.
+    per-decision latencies don't sum to it under threading); p50/p99
+    are nearest-rank estimates from a streaming
+    :class:`~repro.obs.metrics.Histogram` over the decision latencies —
+    within one log bucket (~19% relative) of the sorted-sample values,
+    the same numbers a live metrics export shows.  The histogram itself
+    rides along under ``latency_histogram``.
     """
-    latencies = sorted(d.latency_seconds for d in decisions)
+    histogram = Histogram()
+    for decision in decisions:
+        histogram.observe(decision.latency_seconds)
     return {
         "queries": len(decisions),
         "admitted": sum(1 for d in decisions if d.admitted),
@@ -142,17 +142,19 @@ def summarize_decisions(
         "queries_per_second": (
             len(decisions) / wall_seconds if wall_seconds > 0 else 0.0
         ),
-        "p50_latency_seconds": (
-            _percentile(latencies, 0.50) if latencies else 0.0
-        ),
-        "p99_latency_seconds": (
-            _percentile(latencies, 0.99) if latencies else 0.0
-        ),
+        "p50_latency_seconds": histogram.quantile(0.50),
+        "p99_latency_seconds": histogram.quantile(0.99),
+        "latency_histogram": histogram.to_dict(),
     }
 
 
 def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
-    """An :class:`AdmissionDecision` as a JSON-able record."""
+    """An :class:`AdmissionDecision` as a JSON-able record.
+
+    The telemetry fields (``trace_id`` and the per-cache-level
+    outcomes) are additions to the original wire format — consumers of
+    the old keys are unaffected.
+    """
     return {
         "id": decision.query_id,
         "admitted": decision.admitted,
@@ -161,4 +163,8 @@ def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
         "fingerprint": decision.fingerprint,
         "cache_state": decision.cache_state,
         "latency_seconds": decision.latency_seconds,
+        "trace_id": decision.trace_id,
+        "result_cache": decision.result_cache,
+        "columns_cache": decision.columns_cache,
+        "lp_cache": decision.lp_cache,
     }

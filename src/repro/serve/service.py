@@ -25,8 +25,13 @@ Three cache levels, cheapest hit last:
 :class:`BatchSession` runs a batch of queries grouped by link union so
 enumeration happens once per fingerprint even when the LRU caches are
 smaller than the batch's working set, and orders same-path queries
-consecutively to ride the LP solution cache.  Per-query spans and
-``serve.*`` counters land on the ambient :mod:`repro.obs` recorder.
+consecutively to ride the LP solution cache.  Per-query spans,
+``serve.*`` counters and the ``serve.latency_seconds`` /
+``serve.bandwidth_mbps`` histograms land on the ambient
+:mod:`repro.obs` recorder; each query additionally leaves a flight
+record — per-cache-level outcomes, columns enumerated, LP iterations,
+warm vs cold — on the service's bounded
+:class:`~repro.serve.flight.FlightRecorder` slow-query log.
 
 Thread-safety: the caches lock internally and each master LP carries its
 own lock, so ``submit`` may be called from several threads; the
@@ -65,6 +70,7 @@ from repro.net.link import Link
 from repro.net.path import Path
 from repro.obs import get_recorder
 from repro.serve.cache import SolveCache
+from repro.serve.flight import DEFAULT_SLOW_LOG_SIZE, FlightRecorder
 
 __all__ = [
     "AdmissionQuery",
@@ -103,6 +109,49 @@ class AdmissionDecision:
     fingerprint: str
     cache_state: str
     latency_seconds: float
+    #: Flight-record id: batch submissions derive it from the batch
+    #: position (deterministic), standalone submissions draw from a
+    #: service-wide sequence.
+    trace_id: Optional[str] = None
+    #: Per-cache-level outcomes (``"hit"`` / ``"miss"`` / ``"skipped"``)
+    #: behind ``cache_state``: a ``result`` hit skips the other levels,
+    #: a ``master`` (``lp_cache``) hit skips enumeration.
+    result_cache: str = "miss"
+    columns_cache: str = "skipped"
+    lp_cache: str = "skipped"
+
+
+class _QueryOutcome:
+    """Everything one ``_available_bandwidth`` call learned.
+
+    The answer (``bandwidth``) plus its causal record — which cache
+    level answered, how many columns the program carried, whether the
+    LP was retargeted and how many iterations the solve took — which
+    ``submit`` folds into the decision and the flight record.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "bandwidth",
+        "cache_state",
+        "result_cache",
+        "columns_cache",
+        "lp_cache",
+        "columns",
+        "lp_warm_start",
+        "lp_iterations",
+    )
+
+    def __init__(self, fingerprint: str):
+        self.fingerprint = fingerprint
+        self.bandwidth = 0.0
+        self.cache_state = "cold"
+        self.result_cache = "miss"
+        self.columns_cache = "skipped"
+        self.lp_cache = "skipped"
+        self.columns = 0
+        self.lp_warm_start = False
+        self.lp_iterations = 0
 
 
 class _MasterState:
@@ -147,6 +196,7 @@ class AdmissionService:
         enum_capacity: int = 64,
         master_capacity: int = 64,
         result_capacity: int = 4096,
+        slow_log: int = DEFAULT_SLOW_LOG_SIZE,
     ):
         self.model = model
         self.network = model.network
@@ -159,7 +209,9 @@ class AdmissionService:
         self.enum_cache = SolveCache(enum_capacity, "enum")
         self.master_cache = SolveCache(master_capacity, "master")
         self.result_cache = SolveCache(result_capacity, "result")
+        self.flight = FlightRecorder(slow_log)
         self._count_lock = threading.Lock()
+        self._trace_seq = 0
 
     # -- fingerprints -----------------------------------------------------------
 
@@ -180,28 +232,64 @@ class AdmissionService:
     # -- serving ----------------------------------------------------------------
 
     def submit(
-        self, query: AdmissionQuery, record_span: bool = True
+        self,
+        query: AdmissionQuery,
+        record_span: bool = True,
+        trace_id: Optional[str] = None,
     ) -> AdmissionDecision:
-        """Answer one query, using and feeding the caches."""
+        """Answer one query, using and feeding the caches.
+
+        ``trace_id`` labels the query's flight record;
+        :class:`BatchSession` derives one from the batch position, a
+        standalone submit draws from the service-wide sequence.
+        """
         recorder = get_recorder()
         started = time.perf_counter()
         if record_span:
             with recorder.span("serve.query"):
-                bandwidth, state, locus = self._available_bandwidth(query.path)
+                outcome = self._available_bandwidth(query.path)
         else:
-            bandwidth, state, locus = self._available_bandwidth(query.path)
-        admitted = bandwidth + self.tolerance >= query.demand_mbps
+            outcome = self._available_bandwidth(query.path)
+        admitted = outcome.bandwidth + self.tolerance >= query.demand_mbps
+        latency = time.perf_counter() - started
         with self._count_lock:
+            if trace_id is None:
+                self._trace_seq += 1
+                trace_id = f"t{self._trace_seq:06d}"
             recorder.count("serve.queries")
             recorder.count("serve.admitted" if admitted else "serve.rejected")
+            recorder.histogram("serve.latency_seconds", latency)
+            recorder.histogram("serve.bandwidth_mbps", outcome.bandwidth)
+        self.flight.record(
+            {
+                "trace_id": trace_id,
+                "query_id": query.query_id,
+                "latency_seconds": latency,
+                "admitted": admitted,
+                "available_bandwidth_mbps": outcome.bandwidth,
+                "demand_mbps": query.demand_mbps,
+                "fingerprint": outcome.fingerprint,
+                "cache_state": outcome.cache_state,
+                "result_cache": outcome.result_cache,
+                "columns_cache": outcome.columns_cache,
+                "lp_cache": outcome.lp_cache,
+                "columns": outcome.columns,
+                "lp_warm_start": outcome.lp_warm_start,
+                "lp_iterations": outcome.lp_iterations,
+            }
+        )
         return AdmissionDecision(
             query_id=query.query_id,
             admitted=admitted,
-            available_bandwidth_mbps=bandwidth,
+            available_bandwidth_mbps=outcome.bandwidth,
             demand_mbps=query.demand_mbps,
-            fingerprint=locus,
-            cache_state=state,
-            latency_seconds=time.perf_counter() - started,
+            fingerprint=outcome.fingerprint,
+            cache_state=outcome.cache_state,
+            latency_seconds=latency,
+            trace_id=trace_id,
+            result_cache=outcome.result_cache,
+            columns_cache=outcome.columns_cache,
+            lp_cache=outcome.lp_cache,
         )
 
     def submit_many(
@@ -212,38 +300,49 @@ class AdmissionService:
         """Answer a batch via a :class:`BatchSession` (input order kept)."""
         return BatchSession(self, workers=workers).run(queries)
 
-    def _available_bandwidth(
-        self, path: Path
-    ) -> Tuple[float, str, str]:
-        """(bandwidth, cache_state, fingerprint) for one candidate path."""
+    def _available_bandwidth(self, path: Path) -> _QueryOutcome:
+        """The solve outcome (answer + causal record) for one path."""
         recorder = get_recorder()
         union = self.link_union(path)
         union_key = tuple(link.link_id for link in union)
         path_key = tuple(link.link_id for link in path)
-        locus = fingerprint(
-            [self._model_fp, self._background_fp, list(union_key)]
+        outcome = _QueryOutcome(
+            fingerprint(
+                [self._model_fp, self._background_fp, list(union_key)]
+            )
         )
         cached = self.result_cache.get((union_key, path_key))
         if cached is not None:
-            return cached, "result", locus
-
-        built: List[bool] = []
+            outcome.bandwidth = cached
+            outcome.cache_state = "result"
+            outcome.result_cache = "hit"
+            return outcome
 
         def build() -> _MasterState:
-            built.append(True)
-            columns = self.enum_cache.get_or_compute(
-                union_key,
-                lambda: enumerate_maximal_independent_sets(
+            outcome.lp_cache = "miss"
+            # get() + put() instead of get_or_compute so the outcome can
+            # tell a column-cache hit from a fresh enumeration; the pair
+            # records the identical hit/miss counters, and the factory
+            # already runs single-flight under the master cache's lock.
+            columns = self.enum_cache.get(union_key)
+            if columns is None:
+                outcome.columns_cache = "miss"
+                columns = enumerate_maximal_independent_sets(
                     self.model, union, self.max_sets
-                ),
-            )
+                )
+                self.enum_cache.put(union_key, columns)
+            else:
+                outcome.columns_cache = "hit"
             lp, f_var, lambda_vars = build_path_bandwidth_lp(
                 columns, union, self._demands, set(path.links)
             )
             return _MasterState(lp, f_var, list(lambda_vars), columns, path_key)
 
         master = self.master_cache.get_or_compute(union_key, build)
-        state = "cold" if built else "warm"
+        if outcome.lp_cache == "skipped":  # build() never ran
+            outcome.lp_cache = "hit"
+        outcome.cache_state = "cold" if outcome.lp_cache == "miss" else "warm"
+        outcome.columns = len(master.columns)
         with master.lock:
             if master.path_key != path_key:
                 # Retarget the cached program: the f column has a -1
@@ -254,15 +353,19 @@ class AdmissionService:
                     {f"demand[{link_id}]": -1.0 for link_id in path_key},
                 )
                 master.path_key = path_key
+                outcome.lp_warm_start = True
                 recorder.count("serve.lp.warm_starts")
+            solution = master.lp.solve()
             result = path_bandwidth_from_solution(
-                master.lp.solve(),
+                solution,
                 master.lambda_vars,
                 master.columns,
                 self._demands,
             )
+        outcome.lp_iterations = int(solution.iterations or 0)
         self.result_cache.put((union_key, path_key), result.available_bandwidth)
-        return result.available_bandwidth, state, locus
+        outcome.bandwidth = result.available_bandwidth
+        return outcome
 
 
 class BatchSession:
@@ -316,8 +419,12 @@ class BatchSession:
                 ),
             )
             for position, query in ordered:
+                # Trace id from the batch position: stable across runs
+                # and across sequential vs threaded execution.
                 decisions[position] = self.service.submit(
-                    query, record_span=record_span
+                    query,
+                    record_span=record_span,
+                    trace_id=f"b{position:05d}",
                 )
 
         if self.workers is None:

@@ -239,3 +239,102 @@ class TestHistoryMode:
     def test_no_inputs_is_usage_error(self, bench_compare, capsys):
         assert bench_compare.main([]) == 2
         assert "required" in capsys.readouterr().err
+
+
+class TestSloGate:
+    """``--slo``: the SLO check rides on top of the counter gate."""
+
+    def _slo(self, tmp_path, hit_min="0.3"):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            "[[objective]]\n"
+            'name = "hit-rate"\nkind = "ratio"\n'
+            'numerator = "serve.cache.result.hits"\n'
+            'denominator = ["serve.cache.result.hits", '
+            '"serve.cache.result.misses"]\n'
+            f"min = {hit_min}\n"
+        )
+        return str(path)
+
+    def _history(self, tmp_path, runs):
+        from repro.obs import HistoryStore, Recorder, build_run_record
+
+        store = HistoryStore(str(tmp_path / "h"))
+        for counters in runs:
+            recorder = Recorder()
+            for name, value in {**BASELINE_COUNTERS, **counters}.items():
+                recorder.count(name, value)
+            store.append(
+                build_run_record(
+                    recorder, experiments=["bench"], label="bench-smoke"
+                )
+            )
+        return str(tmp_path / "h")
+
+    HEALTHY = {
+        "serve.cache.result.hits": 8,
+        "serve.cache.result.misses": 2,
+    }
+    # Hit-rate collapses (0/2 < 0.3) while no gated counter *grows*:
+    # hits dropping reads as an improvement to the counter gate, so only
+    # the SLO check can catch this regression.
+    STARVED = {
+        "serve.cache.result.hits": 0,
+        "serve.cache.result.misses": 2,
+    }
+
+    def test_burn_fails_even_without_counter_regression(
+        self, bench_compare, tmp_path, capsys
+    ):
+        root = self._history(tmp_path, [self.HEALTHY, self.STARVED])
+        code = bench_compare.main(
+            ["--history", root, "--slo", self._slo(tmp_path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no counter regressions" in out and "FAIL" in out
+
+    def test_healthy_candidate_passes(self, bench_compare, tmp_path, capsys):
+        root = self._history(tmp_path, [self.HEALTHY, self.HEALTHY])
+        code = bench_compare.main(
+            ["--history", root, "--slo", self._slo(tmp_path)]
+        )
+        assert code == 0
+        assert "1 passed" in capsys.readouterr().out
+
+    def test_single_run_store_still_slo_gated(
+        self, bench_compare, tmp_path, capsys
+    ):
+        root = self._history(tmp_path, [self.STARVED])
+        code = bench_compare.main(
+            ["--history", root, "--slo", self._slo(tmp_path)]
+        )
+        assert code == 1
+
+    def test_trace_mode_applies_slo_too(
+        self, bench_compare, tmp_path, capsys
+    ):
+        baseline = write(tmp_path / "baseline.json", make_baseline())
+        trace = write(
+            tmp_path / "trace.json",
+            {"counters": {**BASELINE_COUNTERS, **self.STARVED}},
+        )
+        code = bench_compare.main(
+            [
+                trace,
+                "--baseline",
+                baseline,
+                "--slo",
+                self._slo(tmp_path),
+            ]
+        )
+        assert code == 1
+
+    def test_unreadable_slo_file_exits_two(
+        self, bench_compare, tmp_path, capsys
+    ):
+        root = self._history(tmp_path, [self.HEALTHY, self.HEALTHY])
+        code = bench_compare.main(
+            ["--history", root, "--slo", str(tmp_path / "missing.toml")]
+        )
+        assert code == 2

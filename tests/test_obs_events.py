@@ -101,6 +101,20 @@ class TestEventMode:
         [loop] = recorder.snapshot()["spans"]
         assert loop["calls"] == 10
 
+    def test_drops_surface_as_a_counter(self):
+        # Truncation is invisible unless it is a metric: the snapshot
+        # folds the buffer's drop tally into obs.events.dropped, so the
+        # SLO file's no-dropped-events objective can gate on it.
+        recorder = Recorder(events=True, max_events=4)
+        for _ in range(10):
+            with recorder.span("loop"):
+                pass
+        assert recorder.snapshot()["counters"]["obs.events.dropped"] == 16
+        clean = Recorder(events=True)
+        with clean.span("s"):
+            pass
+        assert clean.snapshot()["counters"]["obs.events.dropped"] == 0
+
 
 class TestMergeTracks:
     def _worker_snapshot(self):
@@ -198,6 +212,24 @@ class TestTraceEventExport:
         events = _x_events_by_track(document)[0]
         assert {e["name"] for e in events} == {"outer", "inner", "deep"}
         assert document["otherData"]["dropped_events"] == 3
+
+    def test_thread_metadata_carries_per_track_drops(self):
+        truncated = Recorder(events=True, max_events=3)
+        with truncated.span("outer"):
+            with truncated.span("inner"):
+                with truncated.span("deep"):
+                    pass
+        clean = self._recorder()
+        clean.merge(
+            truncated.snapshot(), under="parallel.worker[1]", seconds=0.1
+        )
+        drops = {
+            e["args"]["name"]: e["args"]["dropped"]
+            for e in to_trace_events(clean)["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert drops["parallel.worker[1]"] == 3
+        assert drops["main"] == 0 and drops["parallel.worker[0]"] == 0
 
     def test_write_to_file_and_stdout(self, tmp_path, capsys):
         recorder = self._recorder()

@@ -273,6 +273,96 @@ class TestObsCli:
         assert code == 2
 
 
+class TestPrune:
+    def _seed(self, tmp_path, n=4):
+        store = HistoryStore(str(tmp_path / "h"))
+        ids = [store.append(_record())["run_id"] for _ in range(n)]
+        return store, ids
+
+    def test_keep_bounds_to_newest_n(self, tmp_path):
+        store, ids = self._seed(tmp_path)
+        stats = store.prune(keep=2)
+        assert stats == {"kept": 2, "removed": 2, "corrupt_dropped": 0}
+        assert [r["run_id"] for r in store.runs()] == ids[-2:]
+
+    def test_keep_larger_than_store_removes_nothing(self, tmp_path):
+        store, ids = self._seed(tmp_path)
+        assert store.prune(keep=10)["removed"] == 0
+        assert len(store.runs()) == len(ids)
+
+    def test_max_age_drops_old_records(self, tmp_path):
+        import time as _time
+
+        store, ids = self._seed(tmp_path, n=3)
+        # Pretend "now" is 10 days past the appends: a 7-day window
+        # empties the store, a 20-day window keeps everything.
+        future = _time.time() + 10 * 86400.0
+        untouched = store.prune(max_age_days=20, now=future)
+        assert untouched["removed"] == 0
+        stats = store.prune(max_age_days=7, now=future)
+        assert stats["kept"] == 0 and stats["removed"] == 3
+        assert store.runs() == []
+
+    def test_surviving_lines_keep_their_checksums(self, tmp_path):
+        # Prune rewrites the file from the *original* envelope lines, so
+        # survivors still verify — a re-serialisation bug would surface
+        # here as corrupt-history warnings.
+        store, ids = self._seed(tmp_path)
+        with open(store.path, "r", encoding="utf-8") as handle:
+            before = handle.readlines()
+        store.prune(keep=3)
+        with open(store.path, "r", encoding="utf-8") as handle:
+            after = handle.readlines()
+        assert after == before[-3:]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails
+            assert len(store.runs()) == 3
+
+    def test_corrupt_lines_are_dropped(self, tmp_path):
+        store, ids = self._seed(tmp_path, n=2)
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        stats = store.prune(keep=5)
+        assert stats == {"kept": 2, "removed": 0, "corrupt_dropped": 1}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(store.runs()) == 2
+
+    def test_missing_store_prunes_to_zeros(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "nothing"))
+        assert store.prune(keep=1) == {
+            "kept": 0,
+            "removed": 0,
+            "corrupt_dropped": 0,
+        }
+
+    def test_negative_keep_rejected(self, tmp_path):
+        store, _ = self._seed(tmp_path, n=1)
+        with pytest.raises(ValueError):
+            store.prune(keep=-1)
+
+    def test_cli_prune(self, tmp_path, capsys):
+        store, ids = self._seed(tmp_path)
+        root = str(tmp_path / "h")
+        code = main(
+            ["obs", "history", "prune", "--history-dir", root, "--keep", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kept 2" in out and "removed 2" in out
+        assert [r["run_id"] for r in store.runs()] == ids[-2:]
+
+    def test_cli_prune_without_criteria_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        self._seed(tmp_path, n=1)
+        code = main(
+            ["obs", "history", "prune", "--history-dir", str(tmp_path / "h")]
+        )
+        assert code == 2
+        assert "--keep" in capsys.readouterr().err
+
+
 class TestTracedRunRecordsHistory:
     def test_traced_run_appends_and_diffs_clean(self, tmp_path, capsys):
         root = str(tmp_path / "h")

@@ -210,6 +210,7 @@ def measure_serve_throughput(repeats: int = REPEATS):
         for name, value in recorder.counters.items()
         if name.startswith("serve.")
     }
+    snapshot = recorder.snapshot()
     ambient.merge(
         {
             "counters": serve_counters,
@@ -218,7 +219,12 @@ def measure_serve_throughput(repeats: int = REPEATS):
                 for name, value in recorder.gauges.items()
                 if name.startswith("serve.")
             },
-            "spans": recorder.snapshot()["spans"],
+            "histograms": {
+                name: data
+                for name, data in snapshot.get("histograms", {}).items()
+                if name.startswith("serve.")
+            },
+            "spans": snapshot["spans"],
         },
         under="bench.serve",
         seconds=cold_seconds + warm_seconds,
@@ -329,17 +335,42 @@ def main(argv=None) -> int:
         "environment) to the repro.obs run-history store under DIR — "
         "the CI bench gate diffs consecutive records",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="export the measurement's counters/gauges/histograms in "
+        "the OpenMetrics text format to PATH",
+    )
+    parser.add_argument(
+        "--metrics-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append one metrics snapshot line (JSONL) for the "
+        "measurement to PATH — slo_check.py and 'repro obs tail' "
+        "consume this",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs import (
         HistoryStore,
         Recorder,
+        append_metrics_jsonl,
         args_fingerprint,
         build_run_record,
         use_recorder,
+        write_openmetrics,
         write_run_report,
         write_trace_events,
     )
+
+    def export_metrics(recorder):
+        if args.metrics_out:
+            write_openmetrics(recorder, args.metrics_out)
+            print(f"wrote OpenMetrics export -> {args.metrics_out}")
+        if args.metrics_jsonl:
+            append_metrics_jsonl(recorder, args.metrics_jsonl)
+            print(f"appended metrics snapshot -> {args.metrics_jsonl}")
 
     def record_history(recorder, label, wall_seconds, lengths, repeats):
         if args.history_dir is None:
@@ -370,6 +401,7 @@ def main(argv=None) -> int:
         if args.trace_events:
             write_trace_events(recorder, args.trace_events)
             print(f"wrote trace-event timeline -> {args.trace_events}")
+        export_metrics(recorder)
         record_history(recorder, "bench-smoke", wall, (4,), 1)
         print(f"smoke solver scaling ok: {rows[0]['optimum_mbps']:.4f} Mbps")
         print(
@@ -393,6 +425,7 @@ def main(argv=None) -> int:
     if args.trace_events:
         write_trace_events(recorder, args.trace_events)
         print(f"wrote trace-event timeline -> {args.trace_events}")
+    export_metrics(recorder)
     run_entry = {
         "label": args.label,
         "git_commit": _git_commit(),

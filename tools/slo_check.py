@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""SLO gate: check a metrics document against ``.repro-slo.toml``.
+
+Reads one metrics-bearing JSON document — the newest line of a
+``--metrics-jsonl`` stream, a ``--trace-json`` run report, or a history
+record — and evaluates every ``[[objective]]`` in the SLO file against
+its counters/gauges/histograms (see :mod:`repro.obs.slo` for the
+objective kinds).  CI runs it after the bench smoke::
+
+    python tools/bench_runner.py --smoke --metrics-jsonl metrics.jsonl
+    python tools/slo_check.py metrics.jsonl --slo .repro-slo.toml
+
+Exit codes: 0 every objective passed (or was skipped as optional /
+no-traffic), 1 at least one objective failed (latency ceiling pierced,
+hit-rate floor broken, error budget burned), 2 the inputs were unusable
+(missing/malformed metrics or SLO file, zero usable snapshots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DEFAULT_SLO = REPO_ROOT / ".repro-slo.toml"
+
+
+def load_metrics_document(path: Path) -> dict:
+    """The metrics document at ``path``.
+
+    ``.jsonl`` streams yield their newest well-formed line; anything
+    else must parse as one JSON object.  Raises ``ValueError`` when no
+    usable document exists.
+    """
+    if path.suffix == ".jsonl":
+        from repro.obs.metrics import read_metrics_jsonl
+
+        records = read_metrics_jsonl(str(path))
+        if not records:
+            raise ValueError(f"{path}: no metrics snapshots")
+        return records[-1]
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{path}: expected a JSON object, got {type(document).__name__}"
+        )
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "metrics",
+        metavar="PATH",
+        help="metrics document: a --metrics-jsonl stream (newest line), "
+        "a --trace-json run report, or any JSON object with "
+        "counters/gauges/histograms",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=str(DEFAULT_SLO),
+        help=f"SLO definitions (default {DEFAULT_SLO.name})",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.slo import evaluate_slos, format_slo_results, load_slo_file
+
+    try:
+        config = load_slo_file(args.slo)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        document = load_metrics_document(Path(args.metrics))
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    results = evaluate_slos(config, document)
+    print(format_slo_results(results))
+    if any(result["status"] == "fail" for result in results):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
