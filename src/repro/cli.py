@@ -237,9 +237,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--queries",
         metavar="PATH",
-        required=True,
+        default=None,
         help="JSONL query stream: one "
-        '{"id", "path": [node, ...], "demand_mbps"} object per line',
+        '{"id", "path": [node, ...], "demand_mbps"} object per line '
+        "(required unless --online)",
+    )
+    serve_parser.add_argument(
+        "--online",
+        action="store_true",
+        help="serve a generated churn event stream (flow arrivals/"
+        "departures + node down/up) through the incremental online "
+        "admission controller instead of a --queries file",
+    )
+    serve_parser.add_argument(
+        "--events",
+        type=int,
+        default=500,
+        metavar="N",
+        help="online mode: length of the churn event stream (default 500)",
+    )
+    serve_parser.add_argument(
+        "--stream-seed",
+        type=int,
+        default=17,
+        help="online mode: seed of the churn event stream (default 17, "
+        "the churn-smoke CI lane's)",
+    )
+    serve_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="online mode: cross-check every decision against a cold "
+        "Eq. 6 solve (exact equality) and exit 1 on the first divergence",
+    )
+    serve_parser.add_argument(
+        "--decisions-out",
+        metavar="PATH",
+        default=None,
+        help="online mode: append each decision as one JSONL record to "
+        "PATH (the exact wire format online_decision_from_dict reads)",
     )
     serve_parser.add_argument(
         "--topology",
@@ -632,11 +667,30 @@ def _obs_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_substrate(args: argparse.Namespace):
+    """(network, model) for ``repro serve`` from the topology/model flags."""
+    from repro.interference.physical import PhysicalInterferenceModel
+    from repro.interference.protocol import ProtocolInterferenceModel
+
+    if args.topology is not None:
+        from repro.net.io import load_network
+
+        network = load_network(args.topology)
+    else:
+        from repro.workloads.scenarios import paper_random_topology
+
+        network = paper_random_topology(seed=args.paper_seed)
+    model_type = (
+        ProtocolInterferenceModel
+        if args.model == "protocol"
+        else PhysicalInterferenceModel
+    )
+    return network, model_type(network)
+
+
 def _serve_main(args: argparse.Namespace) -> int:
     """The ``repro serve`` command: answer a JSONL query stream."""
     from repro.fingerprint import fingerprint, network_fingerprint
-    from repro.interference.physical import PhysicalInterferenceModel
-    from repro.interference.protocol import ProtocolInterferenceModel
     from repro.obs.metrics import MetricsFlusher
     from repro.serve import (
         AdmissionService,
@@ -647,21 +701,14 @@ def _serve_main(args: argparse.Namespace) -> int:
         summarize_decisions,
     )
 
+    if args.online:
+        return _serve_online_main(args)
+    if args.queries is None:
+        print("serve: --queries is required unless --online", file=sys.stderr)
+        return 2
+
     try:
-        if args.topology is not None:
-            from repro.net.io import load_network
-
-            network = load_network(args.topology)
-        else:
-            from repro.workloads.scenarios import paper_random_topology
-
-            network = paper_random_topology(seed=args.paper_seed)
-        model_type = (
-            ProtocolInterferenceModel
-            if args.model == "protocol"
-            else PhysicalInterferenceModel
-        )
-        model = model_type(network)
+        network, model = _serve_substrate(args)
         background = (
             load_background(args.background, network)
             if args.background is not None
@@ -798,6 +845,176 @@ def _serve_main(args: argparse.Namespace) -> int:
         document = {
             "summary": summary,
             "decisions": [decision_to_dict(d) for d in decisions],
+        }
+        rendered = json.dumps(document, indent=2)
+        if args.json == "-":
+            print(rendered)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(rendered + "\n")
+    return 0
+
+
+def _serve_online_main(args: argparse.Namespace) -> int:
+    """``repro serve --online``: churn stream → incremental controller."""
+    from repro.errors import VerificationError
+    from repro.fingerprint import fingerprint, network_fingerprint
+    from repro.obs.metrics import MetricsFlusher
+    from repro.serve import (
+        OnlineAdmissionController,
+        format_slow_log,
+        online_decision_to_dict,
+        run_online_session,
+        summarize_online_decisions,
+    )
+    from repro.workloads.scenarios import online_churn_workload
+
+    if args.queries is not None:
+        print(
+            "serve: --online generates its own event stream; "
+            "--queries does not apply",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        network, model = _serve_substrate(args)
+        workload = online_churn_workload(
+            stream_seed=args.stream_seed,
+            n_events=args.events,
+            network=network,
+            model=model,
+        )
+    except (OSError, json.JSONDecodeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    tracing = args.trace or args.trace_json is not None
+    exporting = (
+        args.metrics_out is not None or args.metrics_jsonl is not None
+    )
+    recorder = Recorder() if tracing or exporting else None
+    flusher = (
+        MetricsFlusher(
+            recorder,
+            openmetrics_path=args.metrics_out,
+            jsonl_path=args.metrics_jsonl,
+            interval=args.metrics_interval,
+        )
+        if exporting
+        else None
+    )
+    controller_kwargs = {}
+    if args.slow_log is not None:
+        controller_kwargs["slow_log"] = args.slow_log
+    try:
+        with use_recorder(recorder):
+            controller = OnlineAdmissionController(
+                model,
+                max_sets=args.max_sets,
+                enum_capacity=args.cache_capacity,
+                master_capacity=args.cache_capacity,
+                pin=args.strict,
+                **controller_kwargs,
+            )
+            if flusher is not None:
+                flusher.start()
+            decisions, wall_seconds = run_online_session(
+                controller, workload.events
+            )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except VerificationError as error:
+        print(f"serve --online --strict: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if flusher is not None:
+            flusher.stop()
+    summary = summarize_online_decisions(decisions, wall_seconds)
+
+    width = max((len(d.flow_id) for d in decisions), default=4)
+    print(
+        f"{'flow':<{width}}  {'decision':<8}  {'avail Mbps':>10}  "
+        f"{'demand':>7}  {'cache':<8}  {'carried':>7}  {'ms':>8}"
+    )
+    for decision in decisions:
+        print(
+            f"{decision.flow_id:<{width}}  "
+            f"{'admit' if decision.admitted else 'reject':<8}  "
+            f"{decision.available_bandwidth_mbps:>10.4f}  "
+            f"{decision.demand_mbps:>7.3f}  "
+            f"{decision.cache_state:<8}  "
+            f"{decision.carried_flows:>7}  "
+            f"{decision.latency_seconds * 1e3:>8.3f}"
+        )
+    print(
+        f"{len(workload.events)} events, {summary['decisions']} decisions "
+        f"({summary['admitted']} admitted, {summary['rejected']} rejected, "
+        f"{summary['unrouted']} unrouted) in {wall_seconds:.3f}s — "
+        f"{summary['decisions_per_second']:.1f} dec/s, "
+        f"p50 {summary['p50_latency_seconds'] * 1e3:.3f} ms, "
+        f"p99 {summary['p99_latency_seconds'] * 1e3:.3f} ms"
+        + (" [strict: pinned to cold Eq. 6]" if args.strict else "")
+    )
+    if args.slow_log is not None:
+        print()
+        print(format_slow_log(controller.flight))
+
+    if args.decisions_out is not None:
+        with open(args.decisions_out, "w", encoding="utf-8") as stream:
+            for decision in decisions:
+                stream.write(
+                    json.dumps(online_decision_to_dict(decision)) + "\n"
+                )
+
+    if recorder is not None:
+        if args.trace:
+            print()
+            print(format_trace(recorder))
+        if tracing and not args.no_history:
+            try:
+                store = _resolve_history_store(args.history_dir)
+                record = obs_history.build_run_record(
+                    recorder,
+                    experiments=["serve-online"],
+                    label="serve-online",
+                    wall_seconds=wall_seconds,
+                    fingerprint=fingerprint(
+                        {
+                            "topology": network_fingerprint(network),
+                            "model": args.model,
+                            "stream_seed": args.stream_seed,
+                            "events": args.events,
+                            "strict": bool(args.strict),
+                        }
+                    ),
+                )
+                store.append(record)
+                print(
+                    f"recorded serve run {record['run_id']} -> {store.path}",
+                    file=sys.stderr,
+                )
+            except OSError as error:
+                print(
+                    f"history store unavailable: {error}", file=sys.stderr
+                )
+        if args.trace_json is not None:
+            write_run_report(
+                recorder,
+                args.trace_json,
+                experiments=["serve-online"],
+                extra={"slow_queries": controller.flight.to_dict()},
+            )
+    if args.json is not None:
+        document = {
+            "summary": summary,
+            "decisions": [online_decision_to_dict(d) for d in decisions],
         }
         rendered = json.dumps(document, indent=2)
         if args.json == "-":

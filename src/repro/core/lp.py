@@ -15,7 +15,12 @@ column generation needs: the master problem is assembled once and re-solved
 as columns arrive, never rebuilt.  :meth:`LinearProgram.set_column`
 *replaces* an existing variable's coefficients, which is what the serving
 layer's warm starts need: a cached master LP is retargeted at a new query
-path without touching its other columns.
+path without touching its other columns.  :meth:`LinearProgram.set_rhs`
+rewrites one constraint's right-hand side in place (the matrix — and its
+assembly cache — survive), and :meth:`LinearProgram.retire_column` masks
+a variable out of the program returning a snapshot that
+:meth:`~LinearProgram.set_column` restores; together they are the online
+admission controller's churn primitives.
 
 Re-solve work is memoised on a mutation version: an unchanged program
 returns its previous :class:`LpSolution` without calling the solver
@@ -80,6 +85,10 @@ SOLVER_ATTEMPT_CHAIN = (
 #: solver attempt with ``(attempt_index, method)``; raising makes that
 #: attempt fail and the chain continue.  ``None`` (the default) is free.
 _solver_fault_hook: Optional[Callable[[int, str], None]] = None
+
+#: Sentinel distinguishing "leave the upper bound alone" from "set it to
+#: None (unbounded)" in :meth:`LinearProgram.set_column`.
+_KEEP_BOUND = object()
 
 
 def set_solver_fault_hook(
@@ -263,6 +272,7 @@ class LinearProgram:
         name: str,
         entries: Dict[str, float],
         objective: Optional[float] = None,
+        upper_bound: object = _KEEP_BOUND,
     ) -> str:
         """Replace an *existing* variable's constraint coefficients.
 
@@ -270,12 +280,16 @@ class LinearProgram:
         (constraint names to coefficients in each row's original
         orientation); the variable's previous entries are discarded
         first, so absent rows become zeros.  ``objective`` replaces the
-        variable's objective coefficient when given.  This is the
-        serving layer's warm-start primitive: a cached master LP is
-        retargeted at a new query path by rewriting one column instead
-        of rebuilding every row.  The triplet list is compacted, so the
-        next solve re-assembles from scratch; thereafter incremental
-        assembly resumes.
+        variable's objective coefficient when given; ``upper_bound``
+        (``None`` = unbounded) replaces the variable's bound — omitted,
+        the bound stays, so warm-start retargeting is unaffected.  This
+        is the serving layer's warm-start primitive: a cached master LP
+        is retargeted at a new query path by rewriting one column
+        instead of rebuilding every row, and — together with
+        :meth:`retire_column` — the online controller's re-admission
+        primitive.  The triplet list is compacted, so the next solve
+        re-assembles from scratch; thereafter incremental assembly
+        resumes.
         """
         column = self._index.get(name)
         if column is None:
@@ -299,7 +313,78 @@ class LinearProgram:
                 self._entry_data.append(self._row_signs[row_index] * coeff)
         if objective is not None:
             self._objective[column] = objective
+        if upper_bound is not _KEEP_BOUND:
+            self._upper[column] = upper_bound  # type: ignore[assignment]
         self._mutated()
+        return name
+
+    def retire_column(self, name: str) -> Dict[str, object]:
+        """Mask variable ``name`` out of the program, returning its state.
+
+        The column's triplets are removed, its objective zeroed and its
+        upper bound pinned to ``0.0`` — the solver then sees a program
+        in which the variable cannot carry value, without renumbering
+        the surviving columns.  This is the online admission
+        controller's departure primitive: a retired flow's column stops
+        contributing while the master LP's shape is preserved for the
+        remaining traffic.
+
+        Returns the snapshot ``{"entries", "objective", "upper_bound"}``
+        with entries in each row's *original* orientation, so
+        ``lp.set_column(name, **snapshot)`` re-admits the column
+        exactly as it was.
+        """
+        column = self._index.get(name)
+        if column is None:
+            raise SolverError(f"unknown LP variable {name!r}")
+        entries: Dict[str, float] = {}
+        keep_rows: List[int] = []
+        keep_cols: List[int] = []
+        keep_data: List[float] = []
+        for row, col, value in zip(
+            self._entry_rows, self._entry_cols, self._entry_data
+        ):
+            if col == column:
+                row_name = self._row_names[row]
+                entries[row_name] = (
+                    entries.get(row_name, 0.0)
+                    + self._row_signs[row] * value
+                )
+            else:
+                keep_rows.append(row)
+                keep_cols.append(col)
+                keep_data.append(value)
+        snapshot: Dict[str, object] = {
+            "entries": entries,
+            "objective": self._objective[column],
+            "upper_bound": self._upper[column],
+        }
+        self._entry_rows = keep_rows
+        self._entry_cols = keep_cols
+        self._entry_data = keep_data
+        self._objective[column] = 0.0
+        self._upper[column] = 0.0
+        get_recorder().count("lp.column_retirements")
+        self._mutated()
+        return snapshot
+
+    def set_rhs(self, name: str, rhs: float) -> str:
+        """Replace constraint ``name``'s right-hand side.
+
+        ``rhs`` is given in the constraint's original orientation (the
+        ``<=`` or ``>=`` form it was added with); the stored sign is
+        applied here, mirroring :meth:`add_column`.  The constraint
+        matrix is untouched, so the assembly cache survives — updating
+        a demand row on a warm master LP costs one float write plus the
+        re-solve.
+        """
+        row_index = self._row_index.get(name)
+        if row_index is None:
+            raise SolverError(f"unknown LP constraint {name!r}")
+        self._rhs[row_index] = self._row_signs[row_index] * rhs
+        # The RHS vector lives outside the assembled CSR: bumping the
+        # version invalidates the solution cache but keeps the matrix.
+        self._mutated(append_only=True)
         return name
 
     # -- solving ---------------------------------------------------------------------

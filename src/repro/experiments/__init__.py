@@ -28,6 +28,11 @@ from repro.experiments.ablations import (
     run_ablation_a5,
 )
 from repro.experiments.churn_study import ChurnStudyResult, run_churn_study
+from repro.experiments.online_study import (
+    OnlinePolicyOutcome,
+    OnlineStudyResult,
+    run_online_study,
+)
 from repro.experiments.extensions import (
     AdmissionAccuracyResult,
     JointAdmissionResult,
@@ -87,6 +92,9 @@ __all__ = [
     "JointRoutingResult",
     "run_churn_study",
     "ChurnStudyResult",
+    "run_online_study",
+    "OnlineStudyResult",
+    "OnlinePolicyOutcome",
     "run_joint_admission",
     "JointAdmissionResult",
     "format_table",

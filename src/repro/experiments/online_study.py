@@ -1,0 +1,310 @@
+"""Experiment X6 — online admission head-to-head under churn.
+
+Replays the canonical online churn workload (three well-separated
+endpoint pairs, Poisson-ish arrivals, exponential holding, node down/up
+episodes — :func:`~repro.workloads.scenarios.online_churn_workload`)
+under three controllers:
+
+``online``
+    the incremental centralized controller — Eq. 6 per arrival, served
+    through warm per-union master LPs and memoised results;
+``rebuild``
+    the same centralized test, rebuilt cold per event — the paper's
+    naive deployment, and the baseline the ≥5× decisions/sec claim is
+    measured against;
+``twohop``
+    the distributed 2-hop-interference estimate
+    (:class:`~repro.routing.admission.TwoHopAdmission`) — no global
+    state, no LP.
+
+Reported per policy:
+
+admitted load
+    ``sum(demand × holding)`` over admitted flows, in Mbit — holding
+    times come from the event stream (a flow whose departure fell past
+    the stream horizon is charged up to the horizon);
+load ratio
+    admitted load relative to the centralized optimum-per-event policy
+    (``online`` ≡ ``rebuild`` by byte-identity, so their ratio is 1 by
+    construction — the interesting number is ``twohop``'s);
+regret
+    ``max(0, 1 − admitted_load / offline_load)``.  The offline batch
+    reference is the fluid full-knowledge clearing: between consecutive
+    events the offered (routable) active set is fixed, and the
+    reference carries ``min(θ, 1)`` of every active demand where θ is
+    that epoch's joint feasibility from
+    :func:`~repro.core.bandwidth.joint_admission_scale` — it re-clears
+    every epoch and admits fractions, which whole-flow online policies
+    cannot, hence "regret" (clamped at zero: θ-proportional clearing
+    is a fairness rule, not a max-load bound, so a lucky integral
+    policy can beat it);
+decisions/sec, p99 latency
+    the serving-cost axis, from the same wall clock and histograms the
+    bench harness and the churn-smoke SLO gate use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.bandwidth import joint_admission_scale
+from repro.experiments.report import format_table
+from repro.obs import get_recorder
+from repro.serve.io import summarize_online_decisions
+from repro.serve.online import (
+    OnlineAdmissionController,
+    OnlineDecision,
+    run_online_session,
+)
+from repro.workloads.churn import FlowEvent
+from repro.workloads.scenarios import OnlineWorkload, online_churn_workload
+
+__all__ = ["OnlinePolicyOutcome", "OnlineStudyResult", "run_online_study"]
+
+#: Replayed policies, centralized-incremental first (the ratio anchor).
+DEFAULT_POLICIES = ("online", "rebuild", "twohop")
+
+
+@dataclass
+class OnlinePolicyOutcome:
+    """One policy's replay of the shared event stream."""
+
+    policy: str
+    decisions: List[OnlineDecision]
+    wall_seconds: float
+    #: ``sum(demand × holding)`` over admitted flows, Mbit.
+    admitted_load: float
+    summary: Dict[str, object]
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for d in self.decisions if d.admitted)
+
+    @property
+    def decisions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.decisions) / self.wall_seconds
+
+
+@dataclass
+class OnlineStudyResult:
+    """X6 outcome: per-policy outcomes plus the shared references."""
+
+    outcomes: Dict[str, OnlinePolicyOutcome]
+    #: Offline batch reference load (per-epoch θ-scaled clearing), Mbit.
+    offline_load: float
+    #: Time-weighted mean of ``min(θ, 1)`` over the stream's epochs —
+    #: 1.0 means the offered load was always jointly feasible.
+    offline_share: float
+
+    def load_ratio(self, policy: str) -> float:
+        """Admitted load vs the centralized per-event optimum."""
+        reference = self.outcomes.get("online") or next(
+            iter(self.outcomes.values())
+        )
+        if reference.admitted_load == 0.0:
+            return math.nan
+        return self.outcomes[policy].admitted_load / reference.admitted_load
+
+    def regret(self, policy: str) -> float:
+        """``max(0, 1 − admitted_load / offline_load)``."""
+        if self.offline_load == 0.0:
+            return 0.0
+        return max(
+            0.0,
+            1.0 - self.outcomes[policy].admitted_load / self.offline_load,
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Online decisions/sec over the rebuild-per-event baseline."""
+        online = self.outcomes.get("online")
+        rebuild = self.outcomes.get("rebuild")
+        if (
+            online is None
+            or rebuild is None
+            or rebuild.decisions_per_second <= 0
+        ):
+            return math.nan
+        return online.decisions_per_second / rebuild.decisions_per_second
+
+    def table(self) -> str:
+        rows: List[List[object]] = []
+        for policy, outcome in self.outcomes.items():
+            rows.append(
+                [
+                    policy,
+                    len(outcome.decisions),
+                    outcome.admitted,
+                    outcome.admitted_load,
+                    self.load_ratio(policy),
+                    self.regret(policy),
+                    outcome.decisions_per_second,
+                    outcome.summary["p99_latency_seconds"],
+                ]
+            )
+        return format_table(
+            headers=[
+                "policy",
+                "decisions",
+                "admitted",
+                "load [Mbit]",
+                "load ratio",
+                "regret",
+                "dec/s",
+                "p99 [s]",
+            ],
+            rows=rows,
+            title=(
+                "X6: online admission under churn "
+                f"(offline share={self.offline_share:.3f}, "
+                f"offline load={self.offline_load:.1f} Mbit, "
+                f"online speedup {self.speedup:.1f}x vs rebuild)"
+            ),
+        )
+
+
+def _holding_times(events: Sequence[FlowEvent]) -> Dict[str, float]:
+    """flow id → holding seconds, clipped to the stream horizon.
+
+    A truncated stream can lose a flow's departure; such flows are
+    charged up to the horizon (the last event's time) — the same
+    exposure every policy sees, so ratios stay fair.
+    """
+    horizon = max((event.time for event in events), default=0.0)
+    arrivals: Dict[str, float] = {}
+    holdings: Dict[str, float] = {}
+    for event in events:
+        if event.kind == "arrival":
+            arrivals[event.flow_id] = event.time
+            holdings[event.flow_id] = max(0.0, horizon - event.time)
+        elif event.kind == "departure" and event.flow_id in arrivals:
+            holdings[event.flow_id] = event.time - arrivals[event.flow_id]
+    return holdings
+
+
+def _admitted_load(
+    decisions: Sequence[OnlineDecision], holdings: Dict[str, float]
+) -> float:
+    return sum(
+        decision.demand_mbps * holdings.get(decision.flow_id, 0.0)
+        for decision in decisions
+        if decision.admitted
+    )
+
+
+def _offline_reference(
+    workload: OnlineWorkload,
+    decisions: Sequence[OnlineDecision],
+    holdings: Dict[str, float],
+) -> Tuple[float, float]:
+    """(offline load, mean share): fluid full-knowledge batch clearing.
+
+    The offered set is every *routable* arrival (the routing layer is
+    shared by all policies, so unroutable flows are out of every
+    feasible region).  The stream is cut into epochs at flow
+    arrival/departure instants; within an epoch the active offered set
+    is constant and the reference carries ``min(θ, 1)`` of each active
+    demand, θ being the epoch's joint feasibility from
+    :func:`~repro.core.bandwidth.joint_admission_scale`.  θ is memoised
+    per active *set* — churn revisits the same configurations
+    constantly, the same fact the online controller's caches exploit.
+    """
+    from repro.serve.io import path_from_nodes
+
+    routed = [d for d in decisions if d.routed]
+    if not routed:
+        return 0.0, 1.0
+    flows = {
+        d.flow_id: (
+            path_from_nodes(workload.network, list(d.path_nodes)),
+            d.demand_mbps,
+        )
+        for d in routed
+    }
+    intervals = [
+        (d.flow_id, d.time, d.time + holdings.get(d.flow_id, 0.0))
+        for d in routed
+    ]
+    cuts = sorted({t for _fid, start, stop in intervals for t in (start, stop)})
+    theta_memo: Dict[frozenset, float] = {}
+    load = 0.0
+    share_time = 0.0
+    total_time = 0.0
+    for start, stop in zip(cuts, cuts[1:]):
+        span = stop - start
+        if span <= 0:
+            continue
+        active = [
+            flow_id
+            for flow_id, flow_start, flow_stop in intervals
+            if flow_start <= start < flow_stop
+        ]
+        if not active:
+            continue
+        key = frozenset(active)
+        theta = theta_memo.get(key)
+        if theta is None:
+            theta, _schedule = joint_admission_scale(
+                workload.model, [flows[flow_id] for flow_id in active]
+            )
+            theta_memo[key] = theta
+        share = min(theta, 1.0)
+        load += span * share * sum(
+            flows[flow_id][1] for flow_id in active
+        )
+        share_time += span * share
+        total_time += span
+    mean_share = share_time / total_time if total_time > 0 else 1.0
+    return load, mean_share
+
+
+def run_online_study(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    topology_seed: int = 8,
+    stream_seed: int = 17,
+    n_events: int = 500,
+) -> OnlineStudyResult:
+    """X6: replay one churn stream under every online admission policy."""
+    recorder = get_recorder()
+    workload = online_churn_workload(
+        topology_seed=topology_seed,
+        stream_seed=stream_seed,
+        n_events=n_events,
+    )
+    holdings = _holding_times(workload.events)
+    outcomes: Dict[str, OnlinePolicyOutcome] = {}
+    for policy in policies:
+        if policy == "online":
+            controller = OnlineAdmissionController(workload.model)
+        elif policy == "rebuild":
+            controller = OnlineAdmissionController(
+                workload.model, incremental=False
+            )
+        elif policy == "twohop":
+            controller = OnlineAdmissionController(
+                workload.model, policy="twohop"
+            )
+        else:
+            raise ValueError(f"unknown X6 policy {policy!r}")
+        with recorder.span(f"x6.{policy}"):
+            decisions, wall = run_online_session(controller, workload.events)
+        outcomes[policy] = OnlinePolicyOutcome(
+            policy=policy,
+            decisions=decisions,
+            wall_seconds=wall,
+            admitted_load=_admitted_load(decisions, holdings),
+            summary=summarize_online_decisions(decisions, wall),
+        )
+    anchor = outcomes.get("online") or next(iter(outcomes.values()))
+    offline_load, offline_share = _offline_reference(
+        workload, anchor.decisions, holdings
+    )
+    return OnlineStudyResult(
+        outcomes=outcomes,
+        offline_load=offline_load,
+        offline_share=offline_share,
+    )

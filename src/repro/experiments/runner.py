@@ -73,6 +73,7 @@ def _registry() -> Dict[str, ExperimentSpec]:
         run_joint_routing,
     )
     from repro.experiments.fig2_paths import run_fig2
+    from repro.experiments.online_study import run_online_study
     from repro.experiments.fig3_routing import run_fig3
     from repro.experiments.fig4_estimation import run_fig4
     from repro.experiments.scenario1 import run_scenario1
@@ -150,6 +151,11 @@ def _registry() -> Dict[str, ExperimentSpec]:
             "x4",
             "Extension: sequential admission with joint routing",
             run_joint_admission,
+        ),
+        ExperimentSpec(
+            "x6",
+            "Extension: online admission under churn, head-to-head",
+            run_online_study,
         ),
         ExperimentSpec(
             "s1",

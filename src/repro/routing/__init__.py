@@ -12,6 +12,8 @@ cannot be met.
 from repro.routing.admission import (
     AdmissionOutcome,
     AdmissionReport,
+    TwoHopAdmission,
+    TwoHopEstimate,
     run_sequential_admission,
 )
 from repro.routing.distance_vector import (
@@ -48,4 +50,6 @@ __all__ = [
     "run_sequential_admission",
     "AdmissionOutcome",
     "AdmissionReport",
+    "TwoHopAdmission",
+    "TwoHopEstimate",
 ]

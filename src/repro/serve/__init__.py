@@ -6,8 +6,13 @@ topology, interference model and background mix, then answers candidate
 (path, demand) queries out of fingerprint-keyed LRU caches
 (:class:`SolveCache`) — enumeration artifacts, warm-startable master
 LPs, memoised results — and :class:`BatchSession` amortizes a whole
-query batch so enumeration runs once per distinct link union.  The CLI
-front end is ``repro serve --queries queries.jsonl``.
+query batch so enumeration runs once per distinct link union.
+:class:`OnlineAdmissionController` closes the loop for *streaming*
+workloads: it consumes churn events (arrivals, departures, node
+down/up), keeps the carried-flow set itself, and re-solves each arrival
+incrementally against warm per-union master LPs while staying
+byte-identical to a cold Eq. 6 solve.  The CLI front ends are
+``repro serve --queries queries.jsonl`` and ``repro serve --online``.
 
 Cached answers are exactly the cold solver's answers: every cache is
 keyed on the same link universe the cold path enumerates over, and the
@@ -25,8 +30,16 @@ from repro.serve.io import (
     decision_to_dict,
     load_background,
     load_queries,
+    online_decision_from_dict,
+    online_decision_to_dict,
     path_from_nodes,
     summarize_decisions,
+    summarize_online_decisions,
+)
+from repro.serve.online import (
+    OnlineAdmissionController,
+    OnlineDecision,
+    run_online_session,
 )
 from repro.serve.service import (
     AdmissionDecision,
@@ -40,6 +53,9 @@ __all__ = [
     "AdmissionQuery",
     "AdmissionService",
     "BatchSession",
+    "OnlineAdmissionController",
+    "OnlineDecision",
+    "run_online_session",
     "SolveCache",
     "FlightRecorder",
     "DEFAULT_SLOW_LOG_SIZE",
@@ -47,6 +63,9 @@ __all__ = [
     "decision_to_dict",
     "load_background",
     "load_queries",
+    "online_decision_from_dict",
+    "online_decision_to_dict",
     "path_from_nodes",
     "summarize_decisions",
+    "summarize_online_decisions",
 ]

@@ -9,8 +9,10 @@ cache evicts the least-recently-used entry, so a long-lived
 pass through it.
 
 Every operation lands on the ambient :mod:`repro.obs` recorder as
-``serve.cache.<label>.hits`` / ``.misses`` / ``.evictions`` counters and
-a ``serve.cache.<label>.size`` gauge, and is mirrored in the cache's own
+``<prefix>.<label>.hits`` / ``.misses`` / ``.evictions`` counters and a
+``<prefix>.<label>.size`` gauge (prefix ``serve.cache`` by default;
+the online controller uses ``online.cache``), and is mirrored in the
+cache's own
 :attr:`~SolveCache.hits` / :attr:`~SolveCache.misses` /
 :attr:`~SolveCache.evictions` attributes.  All mutation happens under an
 internal lock, and :meth:`SolveCache.get_or_compute` runs its factory
@@ -34,13 +36,20 @@ __all__ = ["SolveCache"]
 class SolveCache:
     """LRU-bounded key/value store with hit/miss/eviction accounting."""
 
-    def __init__(self, capacity: int, label: str):
+    def __init__(
+        self, capacity: int, label: str, prefix: str = "serve.cache"
+    ):
         if capacity < 1:
             raise ConfigurationError(
                 f"cache capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
         self.label = label
+        #: Obs-counter namespace: ``<prefix>.<label>.hits`` and friends.
+        #: The online controller passes ``"online.cache"`` so its cache
+        #: traffic never inflates the CI-gated ``serve.cache.*`` counters
+        #: of the batch serving layer.
+        self.prefix = prefix
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -88,10 +97,10 @@ class SolveCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
-            recorder.count(f"serve.cache.{self.label}.hits")
+            recorder.count(f"{self.prefix}.{self.label}.hits")
             return self._entries[key]
         self.misses += 1
-        recorder.count(f"serve.cache.{self.label}.misses")
+        recorder.count(f"{self.prefix}.{self.label}.misses")
         return None
 
     def _put_locked(self, key: Hashable, value: Any) -> None:
@@ -101,5 +110,5 @@ class SolveCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
-            recorder.count(f"serve.cache.{self.label}.evictions")
-        recorder.gauge(f"serve.cache.{self.label}.size", len(self._entries))
+            recorder.count(f"{self.prefix}.{self.label}.evictions")
+        recorder.gauge(f"{self.prefix}.{self.label}.size", len(self._entries))

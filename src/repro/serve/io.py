@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError, TopologyError
 from repro.obs.metrics import Histogram
 from repro.net.path import Path
 from repro.net.topology import Network
+from repro.serve.online import OnlineDecision
 from repro.serve.service import AdmissionDecision, AdmissionQuery
 
 __all__ = [
@@ -31,6 +32,9 @@ __all__ = [
     "load_background",
     "decision_to_dict",
     "summarize_decisions",
+    "online_decision_to_dict",
+    "online_decision_from_dict",
+    "summarize_online_decisions",
 ]
 
 
@@ -167,4 +171,92 @@ def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
         "result_cache": decision.result_cache,
         "columns_cache": decision.columns_cache,
         "lp_cache": decision.lp_cache,
+    }
+
+
+def online_decision_to_dict(decision: OnlineDecision) -> Dict[str, Any]:
+    """An :class:`~repro.serve.online.OnlineDecision` as a JSON record.
+
+    The mapping is lossless: ``online_decision_from_dict`` rebuilds an
+    equal dataclass, float fields included — JSON serializes Python
+    floats by shortest round-tripping repr, so a JSONL decision log is
+    an exact wire format, not an approximation.
+    """
+    return {
+        "seq": decision.seq,
+        "trace_id": decision.trace_id,
+        "time": decision.time,
+        "flow_id": decision.flow_id,
+        "source": decision.source,
+        "destination": decision.destination,
+        "demand_mbps": decision.demand_mbps,
+        "routed": decision.routed,
+        "path": list(decision.path_nodes),
+        "admitted": decision.admitted,
+        "available_bandwidth_mbps": decision.available_bandwidth_mbps,
+        "cache_state": decision.cache_state,
+        "latency_seconds": decision.latency_seconds,
+        "carried_flows": decision.carried_flows,
+        "fingerprint": decision.fingerprint,
+    }
+
+
+def online_decision_from_dict(record: Dict[str, Any]) -> OnlineDecision:
+    """Rebuild an :class:`~repro.serve.online.OnlineDecision` record."""
+    try:
+        return OnlineDecision(
+            seq=int(record["seq"]),
+            trace_id=str(record["trace_id"]),
+            time=float(record["time"]),
+            flow_id=str(record["flow_id"]),
+            source=str(record["source"]),
+            destination=str(record["destination"]),
+            demand_mbps=float(record["demand_mbps"]),
+            routed=bool(record["routed"]),
+            path_nodes=tuple(str(node) for node in record["path"]),
+            admitted=bool(record["admitted"]),
+            available_bandwidth_mbps=float(
+                record["available_bandwidth_mbps"]
+            ),
+            cache_state=str(record["cache_state"]),
+            latency_seconds=float(record["latency_seconds"]),
+            carried_flows=int(record["carried_flows"]),
+            fingerprint=str(record.get("fingerprint", "")),
+        )
+    except KeyError as error:
+        raise ConfigurationError(
+            f"online decision record missing key {error}"
+        ) from error
+
+
+def summarize_online_decisions(
+    decisions: Sequence[OnlineDecision],
+    wall_seconds: float,
+) -> Dict[str, Any]:
+    """Throughput/latency summary of an online session (JSON-able).
+
+    Same shape as :func:`summarize_decisions` with online vocabulary:
+    ``decisions_per_second`` over the caller-measured wall time, the
+    unrouted count broken out (unrouted arrivals are rejections that
+    never reached the solver), and the streaming latency histogram
+    embedded for offline quantile work.
+    """
+    histogram = Histogram()
+    for decision in decisions:
+        histogram.observe(decision.latency_seconds)
+    return {
+        "decisions": len(decisions),
+        "admitted": sum(1 for d in decisions if d.admitted),
+        "rejected": sum(1 for d in decisions if not d.admitted),
+        "unrouted": sum(1 for d in decisions if not d.routed),
+        "cache_states": dict(
+            Counter(d.cache_state for d in decisions)
+        ),
+        "wall_seconds": wall_seconds,
+        "decisions_per_second": (
+            len(decisions) / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        "p50_latency_seconds": histogram.quantile(0.50),
+        "p99_latency_seconds": histogram.quantile(0.99),
+        "latency_histogram": histogram.to_dict(),
     }

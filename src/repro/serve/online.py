@@ -1,0 +1,597 @@
+"""Event-driven online admission control under flow and node churn.
+
+The batch serving layer (:mod:`repro.serve.service`) answers independent
+queries against a *fixed* background.  An online controller faces the
+harder problem: the background IS the history of its own decisions.
+:class:`OnlineAdmissionController` consumes a
+:class:`~repro.workloads.churn.FlowEvent` stream — flow arrivals and
+departures plus node down/up churn — and answers every arrival with the
+paper's Eq. 6 admission test against the currently-carried flows,
+re-solving *incrementally*:
+
+``result``
+    (link union, path, demand vector) → bandwidth, a pure lookup;
+``warm``
+    the union's cached master LP is retargeted at the arrival's path
+    (:meth:`~repro.core.lp.LinearProgram.set_column` on the ``f``
+    column) and departed load is retired from its demand rows in place
+    (:meth:`~repro.core.lp.LinearProgram.set_rhs`; every row whose RHS
+    drops counts as an ``online.column_retirements``), so the solve
+    reuses the assembled matrix and the previous basis;
+``cold``
+    an unseen link union builds a fresh master (counted as an
+    ``online.rebuild_fallbacks`` — the bench gate fails if these grow
+    faster than the event stream warrants).
+
+Byte-identity is the contract, not an aspiration: the warm path edits
+the cached program into *exactly* the program a cold
+:func:`~repro.core.bandwidth.available_path_bandwidth` call would
+assemble (same canonicalized matrix, same RHS floats — link demands are
+re-summed from scratch each event rather than updated incrementally,
+because float addition is not associative), so every online decision is
+bit-equal to a cold Eq. 6 solve over the same carried flows.  Pass
+``pin=True`` to cross-check each decision against the cold solver with
+exact ``==`` and raise :class:`~repro.errors.VerificationError` on the
+first divergence; ``repro.verify`` runs this invariant over all six
+instance families.
+
+Churn semantics:
+
+* a departure removes the flow from the carried set; its load leaves
+  the LP lazily, at the next arrival touching the same union;
+* ``node-down`` force-departs every carried flow traversing the node
+  (``online.forced_departures``) and makes paths through it unroutable;
+* arrivals are routed by hop count over the full topology, then
+  rejected as ``unrouted`` when the route traverses a down node (the
+  router itself has no exclusion support — a deliberate simplification,
+  the admission math is the subject here).
+
+Telemetry mirrors the batch layer: ``online.*`` counters, latency /
+bandwidth histograms (decision latencies additionally land on
+``serve.latency_seconds`` so the committed SLO objectives gate the
+online lane too), a ``online.carried_flows`` gauge, per-event flight
+records with ``e<seq>`` trace ids, and caches namespaced under
+``online.cache.*`` so the CI-gated ``serve.cache.*`` counters of the
+batch layer stay untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bandwidth import (
+    _collect_links,
+    available_path_bandwidth,
+    build_path_bandwidth_lp,
+    link_demands_from_paths,
+    path_bandwidth_from_solution,
+)
+from repro.core.independent_sets import (
+    RateIndependentSet,
+    enumerate_maximal_independent_sets,
+)
+from repro.core.lp import LinearProgram
+from repro.errors import ConfigurationError, RoutingError, VerificationError
+from repro.fingerprint import fingerprint, model_fingerprint
+from repro.interference.base import InterferenceModel
+from repro.net.path import Path
+from repro.obs import get_recorder
+from repro.routing.metrics import HopCountMetric, RoutingContext
+from repro.routing.shortest_path import route
+from repro.serve.cache import SolveCache
+from repro.serve.flight import DEFAULT_SLOW_LOG_SIZE, FlightRecorder
+from repro.workloads.churn import FlowEvent
+
+__all__ = [
+    "OnlineDecision",
+    "OnlineAdmissionController",
+    "run_online_session",
+]
+
+#: Sentinel: "route this arrival yourself" (vs an explicit path, which
+#: may legitimately be None for unroutable).
+_AUTO_ROUTE = object()
+
+
+@dataclass(frozen=True)
+class OnlineDecision:
+    """The controller's answer to one arrival event.
+
+    ``cache_state`` says what the answer cost: ``"result"`` (memoised),
+    ``"warm"`` (cached master LP, retargeted/re-demanded in place),
+    ``"cold"`` (fresh enumeration + build) or ``"unrouted"`` (no usable
+    route, no solve).  All solving states produce the identical number.
+    """
+
+    seq: int
+    trace_id: str
+    time: float
+    flow_id: str
+    source: str
+    destination: str
+    demand_mbps: float
+    routed: bool
+    #: Node sequence of the hop-count route ('' route → empty tuple).
+    path_nodes: Tuple[str, ...]
+    admitted: bool
+    available_bandwidth_mbps: float
+    cache_state: str
+    latency_seconds: float
+    #: Carried-flow count *after* this decision took effect.
+    carried_flows: int
+    #: Digest of (model, link union, demand vector) — the exact cache
+    #: locus this decision solved under; empty when unrouted.
+    fingerprint: str = ""
+
+
+class _OnlineMaster:
+    """A cached Eq. 6 master LP plus the state it was last solved at.
+
+    ``path_key`` tracks where the ``f`` column currently points,
+    ``demand_key`` the RHS vector (one float per union link, in union
+    order) currently loaded into the demand rows — the warm path diffs
+    both against the incoming query and edits only what changed.
+    """
+
+    __slots__ = (
+        "lp",
+        "f_var",
+        "lambda_vars",
+        "columns",
+        "path_key",
+        "demand_key",
+        "lock",
+    )
+
+    def __init__(
+        self,
+        lp: LinearProgram,
+        f_var: str,
+        lambda_vars: List[str],
+        columns: List[RateIndependentSet],
+        path_key: Tuple[str, ...],
+        demand_key: Tuple[float, ...],
+    ):
+        self.lp = lp
+        self.f_var = f_var
+        self.lambda_vars = lambda_vars
+        self.columns = columns
+        self.path_key = path_key
+        self.demand_key = demand_key
+        self.lock = threading.Lock()
+
+
+class _ArrivalOutcome:
+    """What one arrival's solve learned (answer + causal record)."""
+
+    __slots__ = ("bandwidth", "cache_state", "fingerprint")
+
+    def __init__(self) -> None:
+        self.bandwidth = 0.0
+        self.cache_state = "cold"
+        self.fingerprint = ""
+
+
+class OnlineAdmissionController:
+    """Streaming Eq. 6 admission over a churning carried-flow set.
+
+    With ``incremental=True`` (the default) arrivals are answered
+    through the union-keyed caches; ``incremental=False`` is the
+    rebuild-per-event baseline — every arrival runs a cold
+    :func:`~repro.core.bandwidth.available_path_bandwidth` solve — used
+    by experiment X6 and the bench harness to price the caches.  Both
+    modes make identical decisions (that *is* the byte-identity
+    contract; ``pin=True`` asserts it per event).
+
+    ``policy="twohop"`` swaps the Eq. 6 test for the distributed 2-hop
+    estimate (:class:`~repro.routing.admission.TwoHopAdmission`) while
+    keeping the event loop — routing, carried-set bookkeeping, node
+    churn, telemetry — identical, so X6's head-to-head compares
+    admission math, not harness differences.
+    """
+
+    def __init__(
+        self,
+        model: InterferenceModel,
+        max_sets: Optional[int] = None,
+        tolerance: float = 1e-6,
+        enum_capacity: int = 64,
+        master_capacity: int = 64,
+        result_capacity: int = 4096,
+        slow_log: int = DEFAULT_SLOW_LOG_SIZE,
+        incremental: bool = True,
+        pin: bool = False,
+        policy: str = "eq6",
+    ):
+        if policy not in ("eq6", "twohop"):
+            raise ConfigurationError(
+                f"unknown online admission policy {policy!r} "
+                "(known: eq6, twohop)"
+            )
+        if pin and policy != "eq6":
+            raise ConfigurationError(
+                "pin mode asserts byte-identity with the cold Eq. 6 "
+                "solver; it only applies to policy='eq6'"
+            )
+        self.model = model
+        self.network = model.network
+        self.max_sets = max_sets
+        self.tolerance = tolerance
+        self.incremental = incremental
+        self.pin = pin
+        self.policy = policy
+        if policy == "twohop":
+            from repro.routing.admission import TwoHopAdmission
+
+            self._twohop: Optional[object] = TwoHopAdmission(
+                model, tolerance=tolerance
+            )
+        else:
+            self._twohop = None
+        self._model_fp = model_fingerprint(model)
+        self.enum_cache = SolveCache(
+            enum_capacity, "enum", prefix="online.cache"
+        )
+        self.master_cache = SolveCache(
+            master_capacity, "master", prefix="online.cache"
+        )
+        self.result_cache = SolveCache(
+            result_capacity, "result", prefix="online.cache"
+        )
+        self.flight = FlightRecorder(slow_log)
+        #: Carried flows in admission order: flow id → (path, demand).
+        #: Insertion order is load-bearing — it fixes the link-union
+        #: order, hence the LP row order, hence byte-identity with a
+        #: cold solve over the same sequence of decisions.
+        self._carried: "OrderedDict[str, Tuple[Path, float]]" = OrderedDict()
+        self._down: set = set()
+        self._routes: Dict[Tuple[str, str], Optional[Path]] = {}
+        #: (union_key, demand_key) → digest.  The sha256 over canonical
+        #: JSON costs more than a result-cache hit does; under churn the
+        #: same carried-set configurations recur constantly, so the
+        #: digest is worth memoizing (unbounded, but the key space is
+        #: the visited configuration space — the same thing the result
+        #: cache already holds).
+        self._fp_memo: Dict[Tuple[Tuple[str, ...], Tuple[float, ...]], str] = {}
+        self._metric = HopCountMetric()
+        self._context = RoutingContext(model)
+        #: Sequence ids handed to synthetic :meth:`admit_path` arrivals.
+        self._synthetic_seq = 0
+
+    # -- state ------------------------------------------------------------------
+
+    def carried(self) -> List[Tuple[Path, float]]:
+        """The carried flows as (path, demand) pairs, admission order."""
+        return list(self._carried.values())
+
+    def down_nodes(self) -> set:
+        """Node ids currently down."""
+        return set(self._down)
+
+    # -- event loop -------------------------------------------------------------
+
+    def handle(self, event: FlowEvent) -> Optional[OnlineDecision]:
+        """Process one event; arrivals return a decision, churn returns None."""
+        recorder = get_recorder()
+        recorder.count("online.events")
+        if event.kind == "arrival":
+            return self._arrival(event)
+        if event.kind == "departure":
+            recorder.count("online.departures")
+            self._carried.pop(event.flow_id, None)
+            recorder.gauge("online.carried_flows", len(self._carried))
+            return None
+        if event.kind == "node-down":
+            recorder.count("online.node_down")
+            self._down.add(event.node_id)
+            for flow_id in [
+                flow_id
+                for flow_id, (path, _demand) in self._carried.items()
+                if any(event.node_id in link.endpoints for link in path)
+            ]:
+                del self._carried[flow_id]
+                recorder.count("online.forced_departures")
+            recorder.gauge("online.carried_flows", len(self._carried))
+            return None
+        if event.kind == "node-up":
+            recorder.count("online.node_up")
+            self._down.discard(event.node_id)
+            return None
+        raise ConfigurationError(f"unknown churn event kind {event.kind!r}")
+
+    def admit_path(
+        self,
+        flow_id: str,
+        path: Path,
+        demand_mbps: float,
+        at: float = 0.0,
+    ) -> OnlineDecision:
+        """Synthetic arrival over a caller-supplied, pre-routed path.
+
+        The verify harness replays instances whose paths are arbitrary
+        constructions, not hop-count routes, so the event API cannot
+        reproduce them.  This entry point skips routing and runs the
+        identical decision pipeline — solve (result/warm/cold), pin
+        cross-check, carried-set update, telemetry — on ``path``
+        directly.  Sequence ids are allocated from a private counter so
+        synthetic arrivals interleave safely with a real event stream.
+        """
+        nodes = _path_nodes(path)
+        event = FlowEvent(
+            time=at,
+            kind="arrival",
+            seq=self._synthetic_seq,
+            flow_id=flow_id,
+            source=nodes[0] if nodes else "",
+            destination=nodes[-1] if nodes else "",
+            demand_mbps=demand_mbps,
+        )
+        self._synthetic_seq += 1
+        return self._arrival(event, path=path)
+
+    def _arrival(
+        self, event: FlowEvent, path: object = _AUTO_ROUTE
+    ) -> OnlineDecision:
+        recorder = get_recorder()
+        started = time.perf_counter()
+        recorder.count("online.arrivals")
+        if path is _AUTO_ROUTE:
+            path = self._route(event.source, event.destination)
+        if path is None:
+            outcome = _ArrivalOutcome()
+            outcome.cache_state = "unrouted"
+            admitted = False
+            recorder.count("online.unrouted")
+        else:
+            if self._twohop is not None:
+                outcome = _ArrivalOutcome()
+                outcome.cache_state = "twohop"
+                outcome.bandwidth = self._twohop.estimate(
+                    path, self.carried()
+                ).available_bandwidth
+            elif self.incremental:
+                outcome = self._available_bandwidth(path)
+            else:
+                outcome = self._cold_bandwidth(path)
+            admitted = outcome.bandwidth + self.tolerance >= event.demand_mbps
+            if self.pin:
+                self._pin_check(event, path, outcome, admitted)
+            if admitted:
+                self._carried[event.flow_id] = (path, event.demand_mbps)
+        latency = time.perf_counter() - started
+        recorder.count("online.admitted" if admitted else "online.rejected")
+        recorder.histogram("online.latency_seconds", latency)
+        recorder.histogram("serve.latency_seconds", latency)
+        recorder.histogram("online.bandwidth_mbps", outcome.bandwidth)
+        recorder.gauge("online.carried_flows", len(self._carried))
+        trace_id = f"e{event.seq:06d}"
+        self.flight.record(
+            {
+                "trace_id": trace_id,
+                "query_id": event.flow_id,
+                "latency_seconds": latency,
+                "admitted": admitted,
+                "available_bandwidth_mbps": outcome.bandwidth,
+                "demand_mbps": event.demand_mbps,
+                "fingerprint": outcome.fingerprint,
+                "cache_state": outcome.cache_state,
+                "carried_flows": len(self._carried),
+            }
+        )
+        return OnlineDecision(
+            seq=event.seq,
+            trace_id=trace_id,
+            time=event.time,
+            flow_id=event.flow_id,
+            source=event.source,
+            destination=event.destination,
+            demand_mbps=event.demand_mbps,
+            routed=path is not None,
+            path_nodes=_path_nodes(path),
+            admitted=admitted,
+            available_bandwidth_mbps=outcome.bandwidth,
+            cache_state=outcome.cache_state,
+            latency_seconds=latency,
+            carried_flows=len(self._carried),
+            fingerprint=outcome.fingerprint,
+        )
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route(self, source: str, destination: str) -> Optional[Path]:
+        """Hop-count route, or None when unroutable / through a down node."""
+        if source in self._down or destination in self._down:
+            return None
+        key = (source, destination)
+        if key not in self._routes:
+            try:
+                self._routes[key] = route(
+                    self.network, source, destination,
+                    self._metric, self._context,
+                )
+            except RoutingError:
+                self._routes[key] = None
+        path = self._routes[key]
+        if path is None:
+            return None
+        if self._down and any(
+            link.endpoints & self._down for link in path
+        ):
+            return None
+        return path
+
+    # -- solving ----------------------------------------------------------------
+
+    def _fingerprint(
+        self,
+        union_key: Tuple[str, ...],
+        demand_key: Tuple[float, ...],
+    ) -> str:
+        """Memoised digest of (model, link union, demand vector)."""
+        memo_key = (union_key, demand_key)
+        digest = self._fp_memo.get(memo_key)
+        if digest is None:
+            digest = fingerprint(
+                [self._model_fp, list(union_key), list(demand_key)]
+            )
+            self._fp_memo[memo_key] = digest
+        return digest
+
+    def _query_state(self, path: Path):
+        """(background, union, keys, demands) for an arrival's solve.
+
+        Demands are re-summed from the full carried set every time:
+        incremental add/subtract would drift from a cold solve's floats
+        (addition order matters), and the sum is linear in carried
+        flows — noise next to the solve.
+        """
+        background = list(self._carried.values())
+        union = _collect_links(background, path)
+        union_key = tuple(link.link_id for link in union)
+        path_key = tuple(link.link_id for link in path)
+        demands = link_demands_from_paths(background)
+        demand_key = tuple(demands.get(link, 0.0) for link in union)
+        return background, union, union_key, path_key, demands, demand_key
+
+    def _available_bandwidth(self, path: Path) -> _ArrivalOutcome:
+        """The incremental decision path: result → warm → cold."""
+        recorder = get_recorder()
+        (_background, union, union_key, path_key,
+         demands, demand_key) = self._query_state(path)
+        outcome = _ArrivalOutcome()
+        outcome.fingerprint = self._fingerprint(union_key, demand_key)
+        cached = self.result_cache.get((union_key, path_key, demand_key))
+        if cached is not None:
+            outcome.bandwidth = cached
+            outcome.cache_state = "result"
+            return outcome
+
+        master = self.master_cache.get(union_key)
+        if master is None:
+            outcome.cache_state = "cold"
+            recorder.count("online.rebuild_fallbacks")
+            columns = self.enum_cache.get(union_key)
+            if columns is None:
+                columns = enumerate_maximal_independent_sets(
+                    self.model, union, self.max_sets
+                )
+                self.enum_cache.put(union_key, columns)
+            lp, f_var, lambda_vars = build_path_bandwidth_lp(
+                columns, union, demands, set(path.links)
+            )
+            master = _OnlineMaster(
+                lp, f_var, list(lambda_vars), columns, path_key, demand_key
+            )
+            self.master_cache.put(union_key, master)
+        else:
+            outcome.cache_state = "warm"
+            recorder.count("online.warm_resolves")
+        with master.lock:
+            if master.path_key != path_key:
+                # Retarget the cached program at the new arrival's path
+                # (same -1 orientation build_path_bandwidth_lp uses).
+                master.lp.set_column(
+                    master.f_var,
+                    {f"demand[{link_id}]": -1.0 for link_id in path_key},
+                )
+                master.path_key = path_key
+            if master.demand_key != demand_key:
+                for link_id, old, new in zip(
+                    union_key, master.demand_key, demand_key
+                ):
+                    if new != old:
+                        master.lp.set_rhs(f"demand[{link_id}]", new)
+                        if new < old:
+                            # Departed load leaving the warm master: the
+                            # row's requirement shrinks in place instead
+                            # of rebuilding the program without it.
+                            recorder.count("online.column_retirements")
+                master.demand_key = demand_key
+            solution = master.lp.solve()
+            result = path_bandwidth_from_solution(
+                solution, master.lambda_vars, master.columns, demands
+            )
+        self.result_cache.put(
+            (union_key, path_key, demand_key), result.available_bandwidth
+        )
+        outcome.bandwidth = result.available_bandwidth
+        return outcome
+
+    def _cold_bandwidth(self, path: Path) -> _ArrivalOutcome:
+        """The rebuild-per-event baseline: no caches, fresh everything."""
+        recorder = get_recorder()
+        (background, _union, union_key, _path_key,
+         _demands, demand_key) = self._query_state(path)
+        recorder.count("online.rebuild_fallbacks")
+        outcome = _ArrivalOutcome()
+        outcome.cache_state = "cold"
+        outcome.fingerprint = self._fingerprint(union_key, demand_key)
+        result = available_path_bandwidth(
+            self.model, path, background, max_sets=self.max_sets
+        )
+        outcome.bandwidth = result.available_bandwidth
+        return outcome
+
+    def _pin_check(
+        self,
+        event: FlowEvent,
+        path: Path,
+        outcome: _ArrivalOutcome,
+        admitted: bool,
+    ) -> None:
+        """Assert this decision == a cold Eq. 6 solve, bit for bit."""
+        get_recorder().count("online.pin_checks")
+        reference = available_path_bandwidth(
+            self.model, path, self.carried(), max_sets=self.max_sets
+        )
+        cold = reference.available_bandwidth
+        cold_admitted = cold + self.tolerance >= event.demand_mbps
+        if outcome.bandwidth != cold or admitted != cold_admitted:
+            raise VerificationError(
+                f"online decision for {event.flow_id!r} diverged from the "
+                f"cold Eq. 6 solve: online {outcome.bandwidth!r} "
+                f"(admitted={admitted}) vs cold {cold!r} "
+                f"(admitted={cold_admitted}), cache_state="
+                f"{outcome.cache_state}"
+            )
+
+
+def _path_nodes(path: Optional[Path]) -> Tuple[str, ...]:
+    """The node-id sequence of ``path`` (empty when unrouted)."""
+    if path is None:
+        return ()
+    links = list(path)
+    if not links:
+        return ()
+    nodes = [links[0].sender.node_id]
+    nodes.extend(link.receiver.node_id for link in links)
+    return tuple(nodes)
+
+
+def run_online_session(
+    controller: OnlineAdmissionController,
+    events: Sequence[FlowEvent],
+) -> Tuple[List[OnlineDecision], float]:
+    """Drive ``controller`` over ``events``; (arrival decisions, wall s).
+
+    Publishes the session's ``online.decisions_per_second`` gauge (the
+    SLO floor reads it) from the caller-visible wall time.
+    """
+    recorder = get_recorder()
+    started = time.perf_counter()
+    decisions: List[OnlineDecision] = []
+    with recorder.span("online.session"):
+        for event in events:
+            decision = controller.handle(event)
+            if decision is not None:
+                decisions.append(decision)
+    wall = time.perf_counter() - started
+    recorder.gauge(
+        "online.decisions_per_second",
+        len(decisions) / wall if wall > 0 else 0.0,
+    )
+    return decisions, wall

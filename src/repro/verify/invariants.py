@@ -29,6 +29,7 @@ invariants.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, FrozenSet, List, Tuple
@@ -41,6 +42,7 @@ from repro.core.independent_sets import (
     enumerate_maximal_independent_sets,
     prune_dominated,
 )
+from repro.errors import VerificationError
 from repro.estimation.estimators import ESTIMATORS
 from repro.estimation.idle_time import (
     node_idleness_from_schedule,
@@ -463,6 +465,110 @@ def _check_mac_conservative(ctx: InstanceArtifacts) -> Tuple[bool, str]:
     return est["conservative"] <= ceiling, detail
 
 
+def _check_online_identity(ctx: InstanceArtifacts) -> Tuple[bool, str]:
+    """A pin-mode online episode over the instance's flows.
+
+    Background flows are admitted in declaration order through
+    :meth:`~repro.serve.online.OnlineAdmissionController.admit_path`
+    (the synthetic-arrival entry point — verify paths are arbitrary
+    constructions, not hop-count routes), the new path is probed twice
+    (the repeat must come from the result cache, bit-equal), then the
+    first admitted background flow departs and is re-admitted with
+    probes in between — the episode walks the result, warm and cold
+    decision paths while ``pin=True`` cross-checks every decision
+    against a cold Eq. 6 solve with exact ``==``.
+    """
+    from repro.serve.online import OnlineAdmissionController
+    from repro.workloads.churn import FlowEvent
+
+    instance = ctx.instance
+    controller = OnlineAdmissionController(instance.model, pin=True)
+    reject_all = float("inf")
+    states: List[str] = []
+    try:
+        flows = {}
+        background_decisions = []
+        for index, (path, demand) in enumerate(instance.background):
+            flow_id = f"bg{index:02d}"
+            flows[flow_id] = (path, demand)
+            background_decisions.append(
+                controller.admit_path(flow_id, path, demand)
+            )
+        probe = controller.admit_path(
+            "probe-a", instance.new_path, reject_all
+        )
+        repeat = controller.admit_path(
+            "probe-b", instance.new_path, reject_all
+        )
+        states += [probe.cache_state, repeat.cache_state]
+        admitted = [d for d in background_decisions if d.admitted]
+        if admitted:
+            departed = admitted[0].flow_id
+            controller.handle(
+                FlowEvent(
+                    time=probe.time, kind="departure",
+                    seq=10_000, flow_id=departed,
+                )
+            )
+            after = controller.admit_path(
+                "probe-c", instance.new_path, reject_all
+            )
+            path, demand = flows[departed]
+            controller.admit_path(f"{departed}-back", path, demand)
+            again = controller.admit_path(
+                "probe-d", instance.new_path, reject_all
+            )
+            states += [after.cache_state, again.cache_state]
+    except VerificationError as exc:
+        return False, f"pin divergence: {exc}"
+    detail = (
+        f"{len(instance.background)} background flows "
+        f"({len(admitted)} admitted), probe states {'/'.join(states)}, "
+        f"online {probe.available_bandwidth_mbps:.6f} Mbps"
+    )
+    if repeat.available_bandwidth_mbps != probe.available_bandwidth_mbps:
+        return False, detail + " (repeat probe not bit-equal)"
+    if repeat.cache_state != "result":
+        return False, detail + " (repeat probe missed the result cache)"
+    if len(admitted) == len(instance.background):
+        # The carried set equals the instance's background in the same
+        # order, so the online answer must be *bit-equal* to the shared
+        # cold Eq. 6 artifact — same call, same floats.
+        if probe.available_bandwidth_mbps != ctx.optimum:
+            return False, detail + (
+                f" != cold optimum {ctx.optimum:.6f} Mbps"
+            )
+    return True, detail
+
+
+def _twohop_estimate(ctx: InstanceArtifacts):
+    from repro.routing.admission import TwoHopAdmission
+
+    return TwoHopAdmission(ctx.instance.model).estimate(
+        ctx.instance.new_path, ctx.instance.background
+    )
+
+
+def _check_twohop_single_clique(ctx: InstanceArtifacts) -> Tuple[bool, str]:
+    value = _twohop_estimate(ctx).available_bandwidth
+    gap = abs(value - ctx.optimum)
+    detail = (
+        f"2-hop {value:.6f} vs optimum {ctx.optimum:.6f} Mbps"
+    )
+    return gap <= _tolerance(ctx.optimum), detail
+
+
+def _check_twohop_sane(ctx: InstanceArtifacts) -> Tuple[bool, str]:
+    estimate = _twohop_estimate(ctx)
+    value = estimate.available_bandwidth
+    detail = (
+        f"2-hop estimate {value:.6f} Mbps "
+        f"(bottleneck {estimate.bottleneck or 'none'}, "
+        f"optimum {ctx.optimum:.6f})"
+    )
+    return math.isfinite(value) and value >= 0.0, detail
+
+
 def _pairwise(instance: VerifyInstance) -> bool:
     return not isinstance(instance.model, PhysicalInterferenceModel)
 
@@ -596,5 +702,35 @@ INVARIANTS: Tuple[Invariant, ...] = (
         check=_check_mac_conservative,
         predicate=lambda i: i.single_clique and bool(i.background),
         profiles=("deep",),
+    ),
+    Invariant(
+        name="online-matches-cold-solve",
+        equation="Eq. 6",
+        description=(
+            "The incremental online controller's decisions (result, warm "
+            "and cold paths, across a departure/re-admission episode) are "
+            "byte-identical to cold Eq. 6 solves over the same carried set"
+        ),
+        check=_check_online_identity,
+    ),
+    Invariant(
+        name="twohop-exact-on-single-clique",
+        equation="Eq. 6 / Sec. 2.2",
+        description=(
+            "The distributed 2-hop admission estimate equals the Eq. 6 "
+            "optimum when all links are mutually conflicting (on general "
+            "instances it legitimately diverges — that is X6's story)"
+        ),
+        check=_check_twohop_single_clique,
+        predicate=lambda i: i.single_clique,
+    ),
+    Invariant(
+        name="twohop-estimate-sane",
+        equation="Sec. 2.2",
+        description=(
+            "The distributed 2-hop estimate is finite and nonnegative "
+            "on every instance"
+        ),
+        check=_check_twohop_sane,
     ),
 )

@@ -4,12 +4,18 @@ from repro.workloads.churn import (
     ChurnConfig,
     ChurnEvent,
     ChurnOutcome,
+    FlowEvent,
+    OnlineChurnConfig,
+    churn_event_stream,
+    event_sort_key,
     simulate_churn,
 )
 from repro.workloads.flows import Flow, random_flow_endpoints
 from repro.workloads.scenarios import (
+    OnlineWorkload,
     ScenarioOne,
     ScenarioTwo,
+    online_churn_workload,
     paper_random_topology,
     scenario_one,
     scenario_two,
@@ -22,9 +28,15 @@ __all__ = [
     "ChurnEvent",
     "ChurnOutcome",
     "simulate_churn",
+    "FlowEvent",
+    "OnlineChurnConfig",
+    "churn_event_stream",
+    "event_sort_key",
     "ScenarioOne",
     "ScenarioTwo",
     "scenario_one",
     "scenario_two",
     "paper_random_topology",
+    "OnlineWorkload",
+    "online_churn_workload",
 ]

@@ -8,6 +8,19 @@ demands that no schedule can deliver).  This module provides the workload
 generator and the churn simulation loop; the X3 experiment compares the
 Section 4 estimators (and the exact Eq. 6 test) as admission policies
 under identical churn.
+
+For the *online* serving layer (:mod:`repro.serve.online`) the churn is
+made explicit: :func:`churn_event_stream` generates a deterministic
+:class:`FlowEvent` sequence — flow arrivals, the matching departures,
+and optional node down/up churn — ordered by :func:`event_sort_key`.
+The ordering is part of the contract: events sort by time, then
+departures (and node transitions) before arrivals sharing the same
+timestamp, then by generation sequence id, so a capacity release at
+instant *t* is always visible to an arrival at instant *t* regardless
+of how the events were produced or stored.  Arrival endpoints are drawn
+from a bounded *route pool*, so link unions repeat and an online
+controller's warm caches actually get exercised — the same reason a
+real mesh sees recurring flows between the same gateways.
 """
 
 from __future__ import annotations
@@ -33,7 +46,17 @@ from repro.routing.metrics import METRICS, RoutingContext
 from repro.routing.shortest_path import route
 from repro.rng import SeedLike, make_rng
 
-__all__ = ["ChurnConfig", "ChurnEvent", "ChurnOutcome", "simulate_churn"]
+__all__ = [
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnOutcome",
+    "simulate_churn",
+    "FlowEvent",
+    "OnlineChurnConfig",
+    "EVENT_PRIORITY",
+    "event_sort_key",
+    "churn_event_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +135,202 @@ class ChurnOutcome:
         )
 
 
+@dataclass(frozen=True)
+class FlowEvent:
+    """One event of an online churn stream.
+
+    ``kind`` is one of ``"arrival"`` (a flow asks to join),
+    ``"departure"`` (a carried flow leaves), ``"node-down"`` /
+    ``"node-up"`` (node churn).  Arrivals carry endpoints and demand;
+    departures name the flow; node events name the node.  ``seq`` is
+    the generation sequence id — the deterministic last-resort
+    tie-break of :func:`event_sort_key`.
+    """
+
+    time: float
+    kind: str
+    seq: int
+    flow_id: str = ""
+    source: str = ""
+    destination: str = ""
+    demand_mbps: float = 0.0
+    node_id: str = ""
+
+
+#: Same-timestamp processing order: capacity-releasing events (departures,
+#: node transitions) strictly before the arrival that could use them.
+EVENT_PRIORITY = {
+    "departure": 0,
+    "node-down": 1,
+    "node-up": 2,
+    "arrival": 3,
+}
+
+
+def event_sort_key(event: FlowEvent) -> Tuple[float, int, int]:
+    """The stream's total order: (time, departure-before-arrival, seq).
+
+    Sorting by this key makes event ordering independent of how the
+    events were generated or stored (dict insertion order, file order):
+    a departure sharing an arrival's timestamp is always processed
+    first, and remaining ties fall back to the generation sequence id.
+    """
+    return (event.time, EVENT_PRIORITY[event.kind], event.seq)
+
+
+@dataclass(frozen=True)
+class OnlineChurnConfig:
+    """Parameters of :func:`churn_event_stream`.
+
+    ``n_events`` counts *events* (arrivals + departures + node churn),
+    not arrivals — a 500-event CI stream is ~250 flows.  Endpoints are
+    drawn from a pool of ``route_pool`` distinct pairs so the stream's
+    link unions repeat; ``node_churn`` adds that many node down/up
+    pairs spread over the busy period.
+    """
+
+    n_events: int = 100
+    mean_interarrival: float = 1.0
+    mean_holding: float = 4.0
+    demand_mbps: float = 2.0
+    min_distance_m: float = 100.0
+    route_pool: int = 8
+    node_churn: int = 0
+    mean_downtime: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_events < 1:
+            raise ConfigurationError("need at least one event")
+        if self.mean_interarrival <= 0 or self.mean_holding <= 0:
+            raise ConfigurationError("timescales must be positive")
+        if self.demand_mbps <= 0:
+            raise ConfigurationError("demand must be positive")
+        if self.route_pool < 1:
+            raise ConfigurationError("route pool needs at least one pair")
+        if self.node_churn < 0:
+            raise ConfigurationError("node_churn must be >= 0")
+        if self.mean_downtime <= 0:
+            raise ConfigurationError("mean_downtime must be positive")
+
+
+def _endpoint_pool(
+    network: Network,
+    rng,
+    size: int,
+    min_distance_m: float,
+    max_attempts: int = 1000,
+) -> List[Tuple[str, str]]:
+    """``size`` endpoint pairs honouring the minimum distance.
+
+    Pairs may repeat when the topology offers few distant pairs; the
+    attempt cap keeps degenerate topologies from looping forever (the
+    last draw is accepted as-is once the cap is hit).
+    """
+    nodes = [node.node_id for node in network.nodes]
+    pool: List[Tuple[str, str]] = []
+    for _ in range(size):
+        source = destination = nodes[0]
+        for attempt in range(max_attempts):
+            source, destination = rng.choice(nodes, size=2, replace=False)
+            source, destination = str(source), str(destination)
+            if (
+                min_distance_m <= 0.0
+                or network.distance(source, destination) >= min_distance_m
+            ):
+                break
+        pool.append((source, destination))
+    return pool
+
+
+def churn_event_stream(
+    network: Network,
+    config: OnlineChurnConfig = OnlineChurnConfig(),
+    seed: SeedLike = 17,
+) -> List[FlowEvent]:
+    """A deterministic online churn trace of exactly ``n_events`` events.
+
+    Flows arrive with exponential inter-arrival times, hold for an
+    exponential duration, and depart; optional node churn takes nodes
+    down and back up inside the busy period.  The returned list is
+    sorted by :func:`event_sort_key` and truncated to ``n_events`` —
+    a truncated flow's departure simply never happens, exactly as a
+    live stream would end mid-flight.  The same ``(config, seed)``
+    always produces the identical stream.
+    """
+    rng = make_rng(seed)
+    pool = _endpoint_pool(
+        network, rng, config.route_pool, config.min_distance_m
+    )
+    events: List[FlowEvent] = []
+    seq = 0
+    clock = 0.0
+    # Over-generate arrivals: departures and node churn fill the stream,
+    # and the final sort + truncation trims it to exactly n_events.
+    n_arrivals = max(1, (config.n_events + 1) // 2)
+    for index in range(n_arrivals):
+        clock += float(rng.exponential(config.mean_interarrival))
+        holding = float(rng.exponential(config.mean_holding))
+        source, destination = pool[int(rng.integers(len(pool)))]
+        flow_id = f"f{index:05d}"
+        events.append(
+            FlowEvent(
+                time=clock,
+                kind="arrival",
+                seq=seq,
+                flow_id=flow_id,
+                source=source,
+                destination=destination,
+                demand_mbps=config.demand_mbps,
+            )
+        )
+        seq += 1
+        events.append(
+            FlowEvent(
+                time=clock + holding,
+                kind="departure",
+                seq=seq,
+                flow_id=flow_id,
+            )
+        )
+        seq += 1
+    horizon = clock
+    nodes = [node.node_id for node in network.nodes]
+    for _ in range(config.node_churn):
+        node_id = str(nodes[int(rng.integers(len(nodes)))])
+        down_at = float(rng.uniform(0.0, horizon))
+        downtime = float(rng.exponential(config.mean_downtime))
+        events.append(
+            FlowEvent(
+                time=down_at, kind="node-down", seq=seq, node_id=node_id
+            )
+        )
+        seq += 1
+        events.append(
+            FlowEvent(
+                time=down_at + downtime,
+                kind="node-up",
+                seq=seq,
+                node_id=node_id,
+            )
+        )
+        seq += 1
+    events.sort(key=event_sort_key)
+    return events[: config.n_events]
+
+
+def _active_at(
+    carried: List[Tuple[float, Path, float]], clock: float
+) -> List[Tuple[float, Path, float]]:
+    """Flows still carried when an arrival at ``clock`` is decided.
+
+    The tie rule is the explicit stream's (:func:`event_sort_key`): a
+    departure sharing the arrival's timestamp is processed *first*, so
+    its capacity is free for the new flow — ``>``, not ``>=``, and
+    never dependent on insertion order.
+    """
+    return [entry for entry in carried if entry[0] > clock]
+
+
 def _policy_decision(
     policy: str,
     model: InterferenceModel,
@@ -172,7 +391,7 @@ def simulate_churn(
                 break
         source, destination = str(source), str(destination)
 
-        carried = [entry for entry in carried if entry[0] > clock]
+        carried = _active_at(carried, clock)
         background = [(path, demand) for _t, path, demand in carried]
         if background:
             # allow_overload: after a false accept the carried set may be

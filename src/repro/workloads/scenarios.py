@@ -35,6 +35,8 @@ __all__ = [
     "paper_random_topology",
     "ServeWorkload",
     "admission_query_workload",
+    "OnlineWorkload",
+    "online_churn_workload",
 ]
 
 
@@ -235,3 +237,58 @@ def admission_query_workload(
         background=background,
         queries=queries,
     )
+
+
+@dataclass
+class OnlineWorkload:
+    """An online-admission workload: model plus a churn event stream."""
+
+    network: Network
+    model: object
+    #: Chronologically ordered churn events
+    #: (:class:`repro.workloads.churn.FlowEvent`).
+    events: List[object]
+
+
+def online_churn_workload(
+    topology_seed: SeedLike = 8,
+    stream_seed: SeedLike = 17,
+    n_events: int = 500,
+    network: Network = None,
+    model: object = None,
+) -> OnlineWorkload:
+    """The canonical online-admission stream on the paper's topology.
+
+    Three well-separated endpoint pairs (≥ 300 m, so routes are genuine
+    multi-hop), 1.5 Mbps flows arriving every ~1 s and holding ~4 s,
+    plus two node down/up episodes.  The tight route pool makes carried
+    -flow configurations *recur*, which is the regime an incremental
+    controller exists for: on this stream the warm path answers most
+    arrivals from the result cache, re-solves a cached master for the
+    rest, and falls back to a cold rebuild only on genuinely new link
+    unions — the X6 experiment, the bench harness's online segment and
+    the churn-smoke CI lane all replay exactly this workload.
+
+    Pass ``network``/``model`` to keep the stream parameters but swap
+    the substrate (the CLI's ``--topology``/``--model`` path).
+    """
+    from repro.interference.protocol import ProtocolInterferenceModel
+    from repro.workloads.churn import OnlineChurnConfig, churn_event_stream
+
+    if network is None:
+        network = paper_random_topology(seed=topology_seed)
+    if model is None:
+        model = ProtocolInterferenceModel(network)
+    events = churn_event_stream(
+        network,
+        OnlineChurnConfig(
+            n_events=n_events,
+            route_pool=3,
+            mean_holding=4.0,
+            min_distance_m=300.0,
+            demand_mbps=1.5,
+            node_churn=2,
+        ),
+        seed=stream_seed,
+    )
+    return OnlineWorkload(network=network, model=model, events=events)

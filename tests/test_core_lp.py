@@ -289,3 +289,93 @@ class TestIncrementalAssembly:
 
         assert warm_solution.objective == cold_solution.objective
         assert warm_solution.values == cold_solution.values
+
+
+class TestSetRhs:
+    def test_ge_row_orientation(self):
+        """set_rhs takes the caller-facing RHS: raising a GE demand row
+        tightens the program exactly as rebuilding with that demand."""
+        warm = _master_program(2)
+        warm.solve()
+        warm.set_rhs("demand[a]", 4.0)
+
+        cold = LinearProgram()
+        cold.add_variable("f", objective=1.0)
+        airtime = {}
+        for index in range(2):
+            airtime[cold.add_variable(f"lambda_{index}")] = 1.0
+        cold.add_constraint_le(airtime, 1.0, name="airtime")
+        for row, throughputs, rhs in (
+            ("demand[a]", 10.0, 4.0),
+            ("demand[b]", 6.0, 0.0),
+        ):
+            coefficients = {
+                f"lambda_{index}": throughputs * (index + 1)
+                for index in range(2)
+            }
+            coefficients["f"] = -1.0
+            cold.add_constraint_ge(coefficients, rhs, name=row)
+
+        warm_solution, cold_solution = warm.solve(), cold.solve()
+        assert warm_solution.objective == cold_solution.objective
+        assert warm_solution.values == cold_solution.values
+
+    def test_restoring_rhs_restores_the_solution(self):
+        lp = _master_program(2)
+        original = lp.solve()
+        lp.set_rhs("demand[b]", 3.0)
+        assert lp.solve().objective != original.objective
+        lp.set_rhs("demand[b]", 0.0)
+        restored = lp.solve()
+        assert restored.objective == original.objective
+        assert restored.values == original.values
+
+    def test_unknown_row_rejected(self):
+        lp = _master_program(1)
+        with pytest.raises(SolverError, match="unknown LP constraint"):
+            lp.set_rhs("demand[zz]", 1.0)
+
+
+class TestRetireColumn:
+    def test_retired_column_equals_program_without_it(self):
+        masked = _master_program(3)
+        masked.solve()
+        masked.retire_column("lambda_1")
+
+        shrunk = LinearProgram()
+        shrunk.add_variable("f", objective=1.0)
+        airtime = {}
+        for index in (0, 2):
+            airtime[shrunk.add_variable(f"lambda_{index}")] = 1.0
+        shrunk.add_constraint_le(airtime, 1.0, name="airtime")
+        for row, throughputs in (("demand[a]", 10.0), ("demand[b]", 6.0)):
+            coefficients = {
+                f"lambda_{index}": throughputs * (index + 1)
+                for index in (0, 2)
+            }
+            coefficients["f"] = -1.0
+            shrunk.add_constraint_ge(coefficients, 0.0, name=row)
+
+        assert masked.solve().objective == shrunk.solve().objective
+
+    def test_snapshot_readmits_exactly(self):
+        lp = _master_program(3)
+        fresh = lp.solve()
+        snapshot = lp.retire_column("lambda_2")
+        assert lp.solve().objective != fresh.objective
+        lp.set_column("lambda_2", **snapshot)
+        restored = lp.solve()
+        assert restored.objective == fresh.objective
+        assert restored.values == fresh.values
+
+    def test_retirements_counted(self):
+        recorder = Recorder()
+        lp = _master_program(2)
+        with use_recorder(recorder):
+            lp.retire_column("lambda_0")
+        assert recorder.counters.get("lp.column_retirements") == 1
+
+    def test_unknown_column_rejected(self):
+        lp = _master_program(1)
+        with pytest.raises(SolverError, match="unknown LP variable"):
+            lp.retire_column("lambda_9")

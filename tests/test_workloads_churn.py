@@ -1,10 +1,19 @@
-"""Flow churn simulation (reduced traces)."""
+"""Flow churn simulation and the online event stream (reduced traces)."""
+
+import random
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.interference.protocol import ProtocolInterferenceModel
-from repro.workloads.churn import ChurnConfig, simulate_churn
+from repro.workloads.churn import (
+    ChurnConfig,
+    FlowEvent,
+    OnlineChurnConfig,
+    churn_event_stream,
+    event_sort_key,
+    simulate_churn,
+)
 from repro.workloads.scenarios import paper_random_topology
 
 SMALL = ChurnConfig(n_arrivals=8)
@@ -85,3 +94,120 @@ class TestSimulation:
             config=ChurnConfig(n_arrivals=12, mean_holding=8.0),
         )
         assert outcome.overload_admissions <= outcome.false_accepts
+
+
+STREAM_CONFIG = OnlineChurnConfig(n_events=60, route_pool=3, node_churn=2)
+
+
+class TestOnlineConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_events": 0},
+            {"mean_interarrival": 0.0},
+            {"mean_holding": -1.0},
+            {"demand_mbps": 0.0},
+            {"route_pool": 0},
+            {"node_churn": -1},
+            {"mean_downtime": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OnlineChurnConfig(**kwargs)
+
+
+class TestEventOrdering:
+    """The pinned total order: (time, departure-before-arrival, seq)."""
+
+    def test_departure_sorts_before_arrival_at_same_time(self):
+        arrival = FlowEvent(time=3.0, kind="arrival", seq=0,
+                            flow_id="f0", source="a", destination="b",
+                            demand_mbps=1.0)
+        departure = FlowEvent(time=3.0, kind="departure", seq=1,
+                              flow_id="f1")
+        assert sorted([arrival, departure], key=event_sort_key) == [
+            departure, arrival,
+        ]
+
+    def test_node_churn_sorts_between_departure_and_arrival(self):
+        time = 5.0
+        events = [
+            FlowEvent(time=time, kind="arrival", seq=0, flow_id="f0"),
+            FlowEvent(time=time, kind="node-up", seq=1, node_id="n1"),
+            FlowEvent(time=time, kind="node-down", seq=2, node_id="n1"),
+            FlowEvent(time=time, kind="departure", seq=3, flow_id="f1"),
+        ]
+        kinds = [e.kind for e in sorted(events, key=event_sort_key)]
+        assert kinds == ["departure", "node-down", "node-up", "arrival"]
+
+    def test_seq_breaks_remaining_ties(self):
+        events = [
+            FlowEvent(time=1.0, kind="arrival", seq=seq, flow_id=f"f{seq}")
+            for seq in (4, 1, 3)
+        ]
+        ordered = sorted(events, key=event_sort_key)
+        assert [e.seq for e in ordered] == [1, 3, 4]
+
+    def test_order_independent_of_input_permutation(self):
+        """Any shuffle of the same events sorts to the same sequence."""
+        network = paper_random_topology(seed=8)
+        events = churn_event_stream(network, STREAM_CONFIG, seed=17)
+        rng = random.Random(99)
+        for _ in range(5):
+            shuffled = list(events)
+            rng.shuffle(shuffled)
+            assert sorted(shuffled, key=event_sort_key) == events
+
+
+class TestEventStream:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        network = paper_random_topology(seed=8)
+        return churn_event_stream(network, STREAM_CONFIG, seed=17)
+
+    def test_exact_length_and_sorted(self, stream):
+        assert len(stream) == STREAM_CONFIG.n_events
+        assert stream == sorted(stream, key=event_sort_key)
+
+    def test_deterministic_per_config_and_seed(self, stream):
+        network = paper_random_topology(seed=8)
+        again = churn_event_stream(network, STREAM_CONFIG, seed=17)
+        assert again == stream
+        other = churn_event_stream(network, STREAM_CONFIG, seed=18)
+        assert other != stream
+
+    def test_arrival_precedes_matching_departure(self, stream):
+        arrived = {}
+        for event in stream:
+            if event.kind == "arrival":
+                arrived[event.flow_id] = event
+            elif event.kind == "departure":
+                # Truncation may drop an arrival's departure but never
+                # the reverse: every departure names a seen flow and
+                # postdates (or ties at) its arrival with a larger seq.
+                assert event.flow_id in arrived, event
+                arrival = arrived[event.flow_id]
+                assert event_sort_key(arrival) < event_sort_key(event)
+
+    def test_node_churn_pairs_down_before_up(self, stream):
+        down_at = {}
+        for event in stream:
+            if event.kind == "node-down":
+                down_at[event.node_id] = event
+            elif event.kind == "node-up":
+                assert event.node_id in down_at, event
+                assert event_sort_key(down_at.pop(event.node_id)) < (
+                    event_sort_key(event)
+                )
+        kinds = {e.kind for e in stream}
+        assert "node-down" in kinds
+
+    def test_arrivals_carry_endpoints_and_demand(self, stream):
+        for event in stream:
+            if event.kind != "arrival":
+                continue
+            assert event.flow_id
+            assert event.source and event.destination
+            assert event.source != event.destination
+            assert event.demand_mbps == STREAM_CONFIG.demand_mbps

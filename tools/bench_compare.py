@@ -69,6 +69,21 @@ SERVE_COUNTERS = (
     "serve.lp.warm_starts",
 )
 
+#: Online-controller counters (the bench online-churn segment), gated
+#: under the same both-sides rule as :data:`SERVE_COUNTERS`.  The churn
+#: stream is seed-fixed, so these are deterministic: retirements or
+#: warm re-solves *changing* means the incremental machinery changed
+#: behaviour, and rebuild fallbacks *growing* means cached unions
+#: stopped matching — the exact regression the incremental controller
+#: exists to prevent.
+ONLINE_COUNTERS = (
+    "online.arrivals",
+    "online.warm_resolves",
+    "online.rebuild_fallbacks",
+    "online.column_retirements",
+    "online.cache.result.misses",
+)
+
 #: The smoke run solves only the 4-hop instance; compare against that row.
 SMOKE_HOPS = 4
 
@@ -134,7 +149,7 @@ def compare(
     regressions = []
     serve_gated = [
         name
-        for name in SERVE_COUNTERS
+        for name in (*SERVE_COUNTERS, *ONLINE_COUNTERS)
         if name in baseline and name in smoke
     ]
     width = max(

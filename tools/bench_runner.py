@@ -13,6 +13,10 @@ Two kinds of measurement go into the file:
   cold (per-query re-solving) and warm (through ``repro.serve``), with
   queries/sec, p50/p99 decision latency and the ``serve.*`` cache
   counters;
+* **online churn** — the X6 churn stream replayed through the
+  incremental online controller and the rebuild-per-event baseline
+  (identical decisions asserted), with decisions/sec, speedup, p50/p99
+  latency and the ``online.*`` counters;
 * **pytest pass/fail** of the ablation benchmark files, so a timing run
   also proves the benchmarks still assert the paper's facts.
 
@@ -255,6 +259,121 @@ def measure_serve_throughput(repeats: int = REPEATS):
     }
 
 
+def measure_online_churn(repeats: int = REPEATS, n_events: int = 500):
+    """Online admission under churn: incremental vs rebuild-per-event.
+
+    Replays :func:`repro.workloads.scenarios.online_churn_workload` (the
+    churn-smoke CI stream) through the incremental controller and the
+    rebuild-per-event baseline, best of ``repeats`` each, and asserts
+    the decision streams are identical (byte-identity is the contract —
+    the caches may only change *cost*, never an answer) before
+    reporting.  Each controller runs under its own recorder so the
+    baseline's ``online.rebuild_fallbacks`` cannot pollute the
+    incremental controller's gated counters; only the incremental
+    side's ``online.*`` counters are merged into the ambient recorder
+    (plus both span trees under ``bench.online``).
+    """
+    from repro.obs import Recorder, get_recorder, use_recorder
+    from repro.serve import summarize_online_decisions
+    from repro.serve.online import OnlineAdmissionController, run_online_session
+    from repro.workloads.scenarios import online_churn_workload
+
+    ambient = get_recorder()
+    workload = online_churn_workload(n_events=n_events)
+    online_seconds = rebuild_seconds = float("inf")
+    online_decisions = []
+    rebuild_decisions = []
+    recorder = Recorder()
+    spans = []
+    for _ in range(repeats):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            controller = OnlineAdmissionController(workload.model)
+            online_decisions, wall = run_online_session(
+                controller, workload.events
+            )
+        online_seconds = min(online_seconds, wall)
+
+        rebuild_recorder = Recorder()
+        with use_recorder(rebuild_recorder):
+            baseline = OnlineAdmissionController(
+                workload.model, incremental=False
+            )
+            rebuild_decisions, wall = run_online_session(
+                baseline, workload.events
+            )
+        rebuild_seconds = min(rebuild_seconds, wall)
+        spans = (
+            recorder.snapshot()["spans"]
+            + rebuild_recorder.snapshot()["spans"]
+        )
+
+    def _essence(decision):
+        # Everything except what legitimately differs between the two
+        # controllers: latency and the cache path taken.
+        return (
+            decision.seq,
+            decision.flow_id,
+            decision.routed,
+            decision.path_nodes,
+            decision.admitted,
+            decision.available_bandwidth_mbps,
+            decision.carried_flows,
+            decision.fingerprint,
+        )
+
+    if len(online_decisions) != len(rebuild_decisions):
+        raise AssertionError(
+            f"online churn decision counts diverged: incremental "
+            f"{len(online_decisions)} vs rebuild {len(rebuild_decisions)}"
+        )
+    for warm, cold in zip(online_decisions, rebuild_decisions):
+        if _essence(warm) != _essence(cold):
+            raise AssertionError(
+                f"online churn decision diverged on {warm.flow_id}: "
+                f"incremental {_essence(warm)} vs rebuild {_essence(cold)}"
+            )
+
+    online_counters = {
+        name: value
+        for name, value in recorder.counters.items()
+        if name.startswith("online.")
+    }
+    snapshot = recorder.snapshot()
+    ambient.merge(
+        {
+            "counters": online_counters,
+            "gauges": {
+                name: value
+                for name, value in recorder.gauges.items()
+                if name.startswith("online.")
+            },
+            "histograms": {
+                name: data
+                for name, data in snapshot.get("histograms", {}).items()
+                if name.startswith("online.")
+            },
+            "spans": spans,
+        },
+        under="bench.online",
+        seconds=online_seconds + rebuild_seconds,
+    )
+    summary = summarize_online_decisions(online_decisions, online_seconds)
+    return {
+        "events": len(workload.events),
+        "decisions": len(online_decisions),
+        "online_seconds": online_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": rebuild_seconds / online_seconds,
+        "online_dps": summary["decisions_per_second"],
+        "rebuild_dps": len(rebuild_decisions) / rebuild_seconds,
+        "p50_latency_seconds": summary["p50_latency_seconds"],
+        "p99_latency_seconds": summary["p99_latency_seconds"],
+        "admitted": summary["admitted"],
+        "counters": online_counters,
+    }
+
+
 def run_pytest_benchmarks(smoke: bool = False):
     """Run the ablation benchmark files under pytest.
 
@@ -394,6 +513,7 @@ def main(argv=None) -> int:
         with use_recorder(recorder):
             rows = measure_solver_scaling(lengths=(4,), repeats=1)
             serve_row = measure_serve_throughput(repeats=1)
+            online_row = measure_online_churn(repeats=1, n_events=200)
         wall = time.perf_counter() - started
         if args.trace_json:
             write_run_report(recorder, args.trace_json)
@@ -409,6 +529,12 @@ def main(argv=None) -> int:
             f"over cold ({serve_row['warm_qps']:.0f} q/s, "
             f"p99 {serve_row['p99_latency_seconds'] * 1e3:.3f} ms)"
         )
+        print(
+            f"smoke online churn ok: {online_row['speedup']:.1f}x "
+            f"incremental over rebuild ({online_row['decisions']} decisions, "
+            f"{online_row['online_dps']:.0f} dec/s, "
+            f"p99 {online_row['p99_latency_seconds'] * 1e3:.3f} ms)"
+        )
         pytest_result = run_pytest_benchmarks(smoke=True)
         print(pytest_result["summary"])
         return 0 if pytest_result["returncode"] == 0 else 1
@@ -418,6 +544,7 @@ def main(argv=None) -> int:
     with use_recorder(recorder):
         scaling = measure_solver_scaling()
         serve_row = measure_serve_throughput()
+        online_row = measure_online_churn()
     wall = time.perf_counter() - started
     if args.trace_json:
         write_run_report(recorder, args.trace_json)
@@ -432,6 +559,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "solver_scaling": scaling,
         "serve_throughput": serve_row,
+        "online_churn": online_row,
     }
     if not args.skip_pytest:
         pytest_result = run_pytest_benchmarks()
@@ -471,6 +599,12 @@ def main(argv=None) -> int:
         f"({serve_row['cold_qps']:.0f} -> {serve_row['warm_qps']:.0f} q/s), "
         f"p50 {serve_row['p50_latency_seconds'] * 1e3:.3f} ms, "
         f"p99 {serve_row['p99_latency_seconds'] * 1e3:.3f} ms"
+    )
+    print(
+        f"online: {online_row['events']} events, "
+        f"{online_row['speedup']:.1f}x incremental over rebuild "
+        f"({online_row['rebuild_dps']:.0f} -> {online_row['online_dps']:.0f} "
+        f"dec/s), p99 {online_row['p99_latency_seconds'] * 1e3:.3f} ms"
     )
     return 0
 
