@@ -157,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of arriving flows for the random-topology experiments",
     )
     run_parser.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        help="path links per interference tile for the scaling study "
+        "(x7 only; default 6 — smaller tiles are cheaper but widen the "
+        "[LB, UB] bracket)",
+    )
+    run_parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -478,6 +486,20 @@ def build_parser() -> argparse.ArgumentParser:
 def _configured_runner(experiment_id: str, args: argparse.Namespace):
     """Resolve an experiment, honouring the workload flags when given."""
     workers = getattr(args, "workers", None)
+    tile_size = getattr(args, "tile_size", None)
+    if experiment_id == "x7" and tile_size is not None:
+        from repro.experiments.scale_study import run_scale_study
+
+        def call_scale():
+            from repro.experiments.failures import tag_experiment
+
+            recorder = get_recorder()
+            with recorder.span("experiment.x7"), tag_experiment("x7"):
+                result = run_scale_study(tile_size=tile_size)
+            recorder.count("experiment.runs")
+            return result
+
+        return call_scale
     overrides = {
         "topology_seed": args.topology_seed,
         "flow_seed": args.flow_seed,
@@ -1161,6 +1183,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "flow_seed": args.flow_seed,
                             "flows": args.flows,
                             "workers": args.workers,
+                            "tile_size": args.tile_size,
                         }
                     ),
                     failures=len(all_failures),

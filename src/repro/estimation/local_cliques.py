@@ -50,12 +50,14 @@ def local_interference_cliques(
         ):
             end += 1
         runs.append(list(range(start, end + 1)))
+    # Runs are contiguous index intervals with strictly increasing starts,
+    # so a run is contained in another iff an *earlier* run reaches at least
+    # as far right.  One linear sweep over the max end seen keeps exactly
+    # the maximal runs.
     maximal: List[List[int]] = []
+    best_end = -1
     for run in runs:
-        if any(
-            set(run) < set(other) for other in runs if other is not run
-        ):
-            continue
-        if run not in maximal:
+        if run[-1] > best_end:
             maximal.append(run)
+            best_end = run[-1]
     return maximal

@@ -59,6 +59,7 @@ from repro.experiments.parallel import fault_tolerant_map, parallel_map
 from repro.experiments.report import format_table
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.ascii_map import render_topology
+from repro.experiments.scale_study import ScaleStudyResult, run_scale_study
 from repro.experiments.scenario1 import Scenario1Result, run_scenario1
 from repro.experiments.scenario2 import Scenario2Result, run_scenario2
 from repro.experiments.seed_study import SeedStudyResult, run_seed_study
@@ -101,6 +102,8 @@ __all__ = [
     "render_topology",
     "run_seed_study",
     "SeedStudyResult",
+    "run_scale_study",
+    "ScaleStudyResult",
     "EXPERIMENTS",
     "run_experiment",
     "parallel_map",

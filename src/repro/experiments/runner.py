@@ -78,6 +78,7 @@ def _registry() -> Dict[str, ExperimentSpec]:
     from repro.experiments.fig4_estimation import run_fig4
     from repro.experiments.scenario1 import run_scenario1
     from repro.experiments.scenario2 import run_scenario2
+    from repro.experiments.scale_study import run_scale_study
     from repro.experiments.seed_study import run_seed_study
 
     specs = [
@@ -156,6 +157,11 @@ def _registry() -> Dict[str, ExperimentSpec]:
             "x6",
             "Extension: online admission under churn, head-to-head",
             run_online_study,
+        ),
+        ExperimentSpec(
+            "x7",
+            "Extension: tiled estimation quality and wall-time scaling",
+            run_scale_study,
         ),
         ExperimentSpec(
             "s1",

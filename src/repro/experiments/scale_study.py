@@ -1,0 +1,222 @@
+"""Experiment X7 — tiled estimation quality and wall-time scaling.
+
+Two questions about :mod:`repro.scale`'s interference-tile estimator:
+
+* **Quality** — on instances small enough for the exact Eq. 6 solve, how
+  tight is the ``[lower, upper]`` bracket?  Every row re-checks
+  ``LB ≤ exact ≤ UB`` (the same invariant :mod:`repro.verify` enforces).
+* **Scaling** — on uniform random fields of growing size, how does the
+  tiled estimate's wall time grow, and where does the exact global
+  enumeration stop being affordable?  Exact is attempted only up to
+  ``exact_limit`` nodes; beyond it the tiled solver runs alone, which is
+  the whole point of the decomposition.
+
+The scatter fields keep node density constant (field edges grow with
+``sqrt(n)``), so hop counts and interference degree grow the way a real
+deployment's would.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.bandwidth import available_path_bandwidth
+from repro.errors import InfeasibleProblemError
+from repro.experiments.report import format_table
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.generators import scatter_topology
+from repro.net.path import Path
+from repro.net.topology import Network
+from repro.obs import get_recorder
+from repro.scale.tiles import TileConfig, tiled_path_bandwidth
+from repro.verify.instances import iter_instances
+
+__all__ = ["ScaleStudyResult", "run_scale_study"]
+
+#: Verify families whose exact optimum is always tractable (used for the
+#: quality half of the study).
+QUALITY_FAMILIES = (
+    "declared-chain",
+    "geometric-chain",
+    "geometric-scatter",
+    "single-clique",
+    "single-rate-chain",
+)
+
+
+@dataclass
+class ScaleStudyResult:
+    """Quality rows (vs exact) and scaling rows (vs topology size)."""
+
+    quality_rows: List[List[object]]
+    scaling_rows: List[List[object]]
+    #: Number of quality instances whose bracket held (== len(quality_rows)
+    #: on a healthy run; the runner raises otherwise).
+    bracketed: int
+
+    def table(self) -> str:
+        quality = format_table(
+            headers=["instance", "exact", "tiled LB", "tiled UB", "gap", "tiles"],
+            rows=self.quality_rows,
+            title="X7a: tiled bracket vs exact Eq. 6 (small instances)",
+        )
+        scaling = format_table(
+            headers=[
+                "nodes",
+                "links",
+                "hops",
+                "tiles",
+                "tiled LB",
+                "tiled UB",
+                "tiled s",
+                "exact s",
+                "speedup",
+            ],
+            rows=self.scaling_rows,
+            title="X7b: wall-time scaling on constant-density scatter fields",
+        )
+        return quality + "\n\n" + scaling
+
+
+def _scatter_instance(
+    n_nodes: int, seed: int
+) -> Tuple[Network, ProtocolInterferenceModel, Path, List[Tuple[Path, float]]]:
+    """A constant-density scatter field with a long path and two cross flows."""
+    edge = math.sqrt(float(n_nodes))
+    network = scatter_topology(
+        n_nodes, 60.0 * edge, 90.0 * edge, seed=seed
+    )
+    model = ProtocolInterferenceModel(network)
+    graph = network.to_digraph()
+
+    def route(source: str, destination: str) -> Optional[Path]:
+        try:
+            hops = nx.shortest_path(graph, source, destination)
+        except nx.NetworkXException:
+            return None
+        if len(hops) < 2:
+            return None
+        return Path(
+            network.link_between(a, b) for a, b in zip(hops, hops[1:])
+        )
+
+    reachable = nx.single_source_shortest_path(graph, "n0")
+    farthest = max(reachable, key=lambda node: len(reachable[node]))
+    new_path = route("n0", farthest)
+    if new_path is None:
+        raise InfeasibleProblemError(
+            f"scatter seed {seed} left n0 isolated at {n_nodes} nodes"
+        )
+    node_ids = [node.node_id for node in network.nodes]
+    background: List[Tuple[Path, float]] = []
+    for source, destination in (
+        (node_ids[5], node_ids[n_nodes // 2]),
+        (node_ids[n_nodes // 3], node_ids[-3]),
+    ):
+        flow = route(source, destination)
+        if flow is not None:
+            background.append((flow, 0.5))
+    return network, model, new_path, background
+
+
+def run_scale_study(
+    sizes: Sequence[int] = (64, 128, 192, 256, 512, 1000),
+    exact_limit: int = 192,
+    tile_size: int = 6,
+    quality_instances: int = 12,
+    seed: int = 8,
+) -> ScaleStudyResult:
+    """X7: bracket quality on small instances, wall time on large fields.
+
+    Raises:
+        InfeasibleProblemError: if any quality instance violates the
+            ``LB ≤ exact ≤ UB`` bracket — that would mean the estimator is
+            wrong, not slow, and must not be reported as a timing row.
+    """
+    recorder = get_recorder()
+    config = TileConfig(tile_size=tile_size)
+
+    # Quality half: deliberately tiny tiles (two path links each), so the
+    # bracket is exercised with real multi-tile decompositions instead of
+    # collapsing onto the exact solve.
+    quality_config = TileConfig(tile_size=2)
+    quality_rows: List[List[object]] = []
+    bracketed = 0
+    for instance in iter_instances(
+        quality_instances, seed=seed, families=QUALITY_FAMILIES
+    ):
+        try:
+            exact = available_path_bandwidth(
+                instance.model, instance.new_path, instance.background
+            ).available_bandwidth
+        except InfeasibleProblemError:
+            continue
+        estimate = tiled_path_bandwidth(
+            instance.model,
+            instance.new_path,
+            instance.background,
+            quality_config,
+        )
+        tolerance = 1e-6 * max(1.0, abs(exact))
+        if not (
+            estimate.lower_bound <= exact + tolerance
+            and exact <= estimate.upper_bound + tolerance
+        ):
+            raise InfeasibleProblemError(
+                f"tiled bracket violated on {instance.name}: "
+                f"LB={estimate.lower_bound} exact={exact} "
+                f"UB={estimate.upper_bound}"
+            )
+        bracketed += 1
+        quality_rows.append(
+            [
+                instance.name,
+                exact,
+                estimate.lower_bound,
+                estimate.upper_bound,
+                estimate.gap,
+                len(estimate.tiles),
+            ]
+        )
+
+    scaling_rows: List[List[object]] = []
+    for n_nodes in sizes:
+        network, model, new_path, background = _scatter_instance(
+            n_nodes, seed
+        )
+        started = time.perf_counter()
+        estimate = tiled_path_bandwidth(model, new_path, background, config)
+        tiled_seconds = time.perf_counter() - started
+        recorder.gauge(f"scale.study.tiled_seconds.n{n_nodes}", tiled_seconds)
+        if n_nodes <= exact_limit:
+            started = time.perf_counter()
+            available_path_bandwidth(model, new_path, background)
+            exact_seconds = time.perf_counter() - started
+            exact_cell: object = exact_seconds
+            speedup: object = exact_seconds / max(tiled_seconds, 1e-9)
+        else:
+            exact_cell = "-"
+            speedup = "-"
+        scaling_rows.append(
+            [
+                n_nodes,
+                len(network.links),
+                len(new_path),
+                len(estimate.tiles),
+                estimate.lower_bound,
+                estimate.upper_bound,
+                tiled_seconds,
+                exact_cell,
+                speedup,
+            ]
+        )
+    return ScaleStudyResult(
+        quality_rows=quality_rows,
+        scaling_rows=scaling_rows,
+        bracketed=bracketed,
+    )

@@ -12,28 +12,62 @@ whole library.
 matrix built at model construction, plus a lazily filled per-link entry
 holding the sender/receiver indices into that matrix, the link's signal
 power, and its standalone rates with pre-converted linear SINR thresholds.
-All values are produced by the *same scalar calls* the seed made
-(``Node.distance_to`` → ``RadioConfig.received_mw``), so cached answers are
+Per-link values are produced by the *same scalar calls* the seed made
+(``Link.length_m`` → ``RadioConfig.received_mw``), so cached answers are
 bit-identical to the uncached ones.
 
+The power matrix itself is built vectorized (n² scalar Python calls take
+seconds at 1000 nodes).  Its canonical per-entry formula uses only
+correctly-rounded elementwise operations — ``sqrt(dx*dx + dy*dy)`` for the
+distance and an integral-exponent multiplication chain for the path gain —
+so the numpy build is bit-identical to the scalar reference
+:func:`matrix_power_reference` on every topology, not just in expectation.
+(``math.hypot`` and libm ``pow`` were rejected because their numpy
+counterparts differ in the last ulp; the canonical metric is within one ulp
+of ``Node.distance_to``.)
+
 The kernel tolerates nodes being added to the network after construction:
-every public accessor checks the node count and rebuilds the matrix when it
-grew (positions are immutable, so existing rows never go stale).
+entry lookups check the node count and **grow** the matrix incrementally
+when it increased — only the new rows/columns are computed, existing rows
+and cached link entries stay (positions are immutable, so they never go
+stale).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.errors import TopologyError
 from repro.net.link import Link
+from repro.net.node import Node
 from repro.net.topology import Network
 from repro.obs import get_recorder
+from repro.phy.radio import RadioConfig
 from repro.phy.rates import Rate
 
-__all__ = ["GeometricKernel", "LinkEntry"]
+__all__ = ["GeometricKernel", "LinkEntry", "matrix_power_reference"]
+
+
+def matrix_power_reference(radio: RadioConfig, a: Node, b: Node) -> float:
+    """Scalar reference for one power-matrix entry (what tests pin against).
+
+    Computes the received power of ``a``'s transmission at ``b`` using the
+    kernel's canonical distance metric ``sqrt(dx*dx + dy*dy)`` — the
+    formulation whose vectorized evaluation is bit-identical to this scalar
+    one (see the module docstring).
+    """
+    if not a.has_position or not b.has_position:
+        raise TopologyError(
+            f"distance between {a.node_id!r} and {b.node_id!r} "
+            "is undefined: abstract nodes have no coordinates"
+        )
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return radio.received_mw(math.sqrt(dx * dx + dy * dy))
 
 
 @dataclass(frozen=True)
@@ -68,25 +102,85 @@ class GeometricKernel:
         self._entries: Dict[str, LinkEntry] = {}
         self._build_matrix()
 
+    def _coords(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
+        xs = np.empty(len(nodes), dtype=float)
+        ys = np.empty(len(nodes), dtype=float)
+        for index, node in enumerate(nodes):
+            if not node.has_position:
+                raise TopologyError(
+                    f"node {node.node_id!r} has no coordinates: the "
+                    "geometric kernel needs a placed topology"
+                )
+            xs[index] = node.x
+            ys[index] = node.y
+        return xs, ys
+
+    def _power_block(
+        self,
+        sender_xs: np.ndarray,
+        sender_ys: np.ndarray,
+        receiver_xs: np.ndarray,
+        receiver_ys: np.ndarray,
+    ) -> np.ndarray:
+        """Received-power block, senders on rows and receivers on columns.
+
+        Only correctly-rounded elementwise operations, so each entry equals
+        :func:`matrix_power_reference` bit-for-bit.
+        """
+        dx = sender_xs[:, None] - receiver_xs[None, :]
+        dy = sender_ys[:, None] - receiver_ys[None, :]
+        distances = np.sqrt(dx * dx + dy * dy)
+        return self.network.radio.received_mw_array(distances)
+
     def _build_matrix(self) -> None:
         get_recorder().count("kernel.matrix_builds")
         nodes = self.network.nodes
         self.node_index = {
             node.node_id: index for index, node in enumerate(nodes)
         }
-        received = self.network.radio.received_mw
-        n = len(nodes)
-        power = np.empty((n, n), dtype=float)
-        # Scalar calls on purpose: identical rounding to the uncached path.
-        for i, a in enumerate(nodes):
-            for j, b in enumerate(nodes):
-                power[i, j] = received(a.distance_to(b))
-        self.power = power
+        self._xs, self._ys = self._coords(nodes)
+        self.power = self._power_block(self._xs, self._ys, self._xs, self._ys)
 
     def _ensure_current(self) -> None:
-        if len(self.node_index) != len(self.network.nodes):
+        nodes = self.network.nodes
+        known = len(self.node_index)
+        if known == len(nodes):
+            return
+        if known > len(nodes) or any(
+            self.node_index.get(node.node_id) != index
+            for index, node in enumerate(nodes[:known])
+        ):
+            # Known nodes changed (never happens with the append-only
+            # Network API) — fall back to a full rebuild.
             self._build_matrix()
             self._entries.clear()
+            return
+        self._grow_matrix(nodes, known)
+
+    def _grow_matrix(self, nodes, known: int) -> None:
+        """Append rows/columns for nodes added since the last (re)build.
+
+        Existing entries are copied, not recomputed, and cached link entries
+        stay valid: node indices are stable because the network's node store
+        is append-only and positions are immutable.
+        """
+        get_recorder().count("kernel.matrix_grows")
+        new_xs, new_ys = self._coords(nodes[known:])
+        total = len(nodes)
+        power = np.empty((total, total), dtype=float)
+        power[:known, :known] = self.power
+        power[known:, :] = self._power_block(
+            new_xs, new_ys, np.concatenate([self._xs, new_xs]),
+            np.concatenate([self._ys, new_ys]),
+        )
+        power[:known, known:] = self._power_block(
+            self._xs, self._ys, new_xs, new_ys
+        )
+        self.power = power
+        self._xs = np.concatenate([self._xs, new_xs])
+        self._ys = np.concatenate([self._ys, new_ys])
+        for offset, node in enumerate(nodes[known:]):
+            self.node_index[node.node_id] = known + offset
 
     def entry(self, link: Link) -> LinkEntry:
         """The precomputed :class:`LinkEntry` for ``link`` (built lazily)."""

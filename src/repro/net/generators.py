@@ -9,13 +9,19 @@ hand-placing nodes.
 from __future__ import annotations
 
 import math
+import random
 from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.net.topology import Network
 from repro.phy.radio import RadioConfig
 
-__all__ = ["chain_topology", "grid_topology", "ring_topology"]
+__all__ = [
+    "chain_topology",
+    "grid_topology",
+    "ring_topology",
+    "scatter_topology",
+]
 
 
 def _radio_or_default(radio: Optional[RadioConfig]) -> RadioConfig:
@@ -97,6 +103,38 @@ def ring_topology(
             f"n{index}",
             x=radius_m * math.cos(angle),
             y=radius_m * math.sin(angle),
+        )
+    network.build_links_within_range()
+    return network
+
+
+def scatter_topology(
+    n_nodes: int,
+    width_m: float,
+    height_m: float,
+    seed: int = 0,
+    radio: Optional[RadioConfig] = None,
+    name: str = "scatter",
+) -> Network:
+    """``n_nodes`` placed uniformly at random in a ``width × height`` field.
+
+    The large-topology workhorse of the scaling layer: unlike
+    :func:`~repro.net.random_topology.random_topology` it never resamples
+    for connectivity (a 1000-node field would resample forever or never),
+    so generation cost is one placement plus the vectorized link build.
+    Deterministic in ``seed``.
+    """
+    if n_nodes < 2:
+        raise ConfigurationError("a scatter needs at least two nodes")
+    if width_m <= 0 or height_m <= 0:
+        raise ConfigurationError("field dimensions must be positive")
+    rng = random.Random(f"repro-scatter:{seed}")
+    network = Network(_radio_or_default(radio), name=name)
+    for index in range(n_nodes):
+        network.add_node(
+            f"n{index}",
+            x=rng.uniform(0.0, width_m),
+            y=rng.uniform(0.0, height_m),
         )
     network.build_links_within_range()
     return network

@@ -103,6 +103,10 @@ class RadioConfig:
         """Received power at ``distance_m`` from any transmitter."""
         return self.path_loss.received_mw(self.tx_power_mw, distance_m)
 
+    def received_mw_array(self, distances_m):
+        """Vectorized :meth:`received_mw` over a numpy array of distances."""
+        return self.path_loss.received_mw_array(self.tx_power_mw, distances_m)
+
     def sensitivity_mw(self, rate: Rate) -> float:
         """Calibrated receiver sensitivity for ``rate``."""
         return self._sensitivity_mw[rate.mbps]

@@ -1,0 +1,44 @@
+"""Scaling layer: interference tiles and optional compiled kernels.
+
+Everything in :mod:`repro.core` is exact and global; this package is the
+first layer that trades exactness for scale, so every approximation comes
+with an oracle-guarded bound:
+
+* :mod:`repro.scale.tiles` — interference-tile decomposition with a
+  bracketing ``[lower_bound, upper_bound]`` estimate of Eq. 6 (verified
+  against the exact optimum by :mod:`repro.verify` wherever exact
+  enumeration is tractable);
+* :mod:`repro.scale.kernels` — opt-in vectorized / numba-compiled
+  replacements for the enumeration hot loops, pinned bit-identical to the
+  pure-Python reference paths.
+"""
+
+from repro.scale.kernels import (
+    RateSelector,
+    cliques_u64,
+    compiled_cliques,
+    compiled_kernels_available,
+    enable_compiled_kernels,
+    kernels_active,
+)
+from repro.scale.tiles import (
+    Tile,
+    TileConfig,
+    TiledPathEstimate,
+    decompose_path,
+    tiled_path_bandwidth,
+)
+
+__all__ = [
+    "TileConfig",
+    "Tile",
+    "TiledPathEstimate",
+    "decompose_path",
+    "tiled_path_bandwidth",
+    "compiled_kernels_available",
+    "enable_compiled_kernels",
+    "kernels_active",
+    "compiled_cliques",
+    "cliques_u64",
+    "RateSelector",
+]

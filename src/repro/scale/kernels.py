@@ -1,0 +1,315 @@
+"""Optional compiled kernels for the two remaining enumeration hot loops.
+
+Profiling the tiled solver at 500+ nodes leaves two Python-level hot loops:
+
+* **cumulative-SINR feasibility** — :func:`repro.core.independent_sets`'s
+  DFS re-derives every subset member's best rate with a scalar
+  threshold scan per member;
+* **bitmask clique expansion** — Bron–Kerbosch over arbitrary-precision
+  Python integers, also the column-generation pricing oracle's inner loop.
+
+This module provides drop-in replacements: a vectorized (numpy) rate
+selector for the feasibility loop and a fixed-width ``uint64``
+Bron–Kerbosch for graphs of at most 64 vertices.  When :mod:`numba` is
+importable the ``uint64`` search and the rate selector are JIT-compiled;
+without it the rate selector still runs as pure numpy and the clique
+search falls back to the pure-Python reference implementation.
+
+Everything here is **opt-in** (:func:`enable_compiled_kernels`) and
+bit-identical to the pure-Python reference paths by construction: the rate
+selector performs the same IEEE division and threshold comparison the
+scalar loop does (division and comparison are correctly rounded, so
+vectorization cannot change the chosen rate), and the ``uint64`` search
+mirrors the reference's pivot rule, branch order, and DFS-node count
+exactly.  ``tests/test_scale.py`` pins both equalities, which is what
+keeps :mod:`repro.verify`'s pure-Python path authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "compiled_kernels_available",
+    "enable_compiled_kernels",
+    "kernels_active",
+    "compiled_cliques",
+    "cliques_u64",
+    "RateSelector",
+]
+
+#: Module-level switch; OFF by default so the pure-Python reference paths
+#: (and their obs counters) stay byte-for-byte unchanged unless a caller
+#: opts in.
+_ENABLED = False
+
+_NUMBA_CACHE: Optional[bool] = None
+
+
+def compiled_kernels_available() -> bool:
+    """Whether :mod:`numba` is importable (JIT compilation possible)."""
+    global _NUMBA_CACHE
+    if _NUMBA_CACHE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_CACHE = True
+        except ImportError:
+            _NUMBA_CACHE = False
+    return _NUMBA_CACHE
+
+
+def enable_compiled_kernels(enabled: bool = True) -> bool:
+    """Toggle the compiled kernels; returns whether they are now active.
+
+    Activation is independent of :mod:`numba`: without it the rate
+    selector runs as pure numpy and the clique search stays on the
+    pure-Python reference, so enabling is always safe.
+    """
+    global _ENABLED
+    _ENABLED = bool(enabled)
+    return kernels_active()
+
+
+def kernels_active() -> bool:
+    """Whether callers should dispatch to the kernels in this module."""
+    return _ENABLED
+
+
+# -- uint64 Bron–Kerbosch ------------------------------------------------------
+
+
+def _popcount(x: int) -> int:
+    count = 0
+    while x:
+        x &= x - 1
+        count += 1
+    return count
+
+
+def cliques_u64(
+    adjacency: List[int], count: int, start: int
+) -> Tuple[List[int], int]:
+    """Fixed-width Bron–Kerbosch; requires ``count <= 64``.
+
+    Mirrors :func:`repro.core.independent_sets._maximal_cliques_bitset`
+    exactly — same pivot rule (first vertex, in ascending low-bit order,
+    with a strictly larger candidate cover), same branch order, same
+    DFS-node accounting — so its output is byte-identical to the
+    reference's.  Written in the restricted style :mod:`numba` can compile
+    in ``nopython`` mode; interpreted it is the testable twin of the
+    jitted function.
+
+    Returns ``(clique_masks, dfs_nodes)``.
+    """
+    cliques: List[int] = []
+    dfs_nodes = 0
+
+    def expand(current: int, candidates: int, excluded: int) -> None:
+        nonlocal dfs_nodes
+        dfs_nodes += 1
+        if not candidates and not excluded:
+            cliques.append(current)
+            return
+        pivot_pool = candidates | excluded
+        best_cover = -1
+        pivot_adjacency = 0
+        pool = pivot_pool
+        while pool:
+            low_bit = pool & -pool
+            pool ^= low_bit
+            cover = candidates & adjacency[low_bit.bit_length() - 1]
+            cover_size = _popcount(cover)
+            if cover_size > best_cover:
+                best_cover = cover_size
+                pivot_adjacency = cover
+        branch = candidates & ~pivot_adjacency
+        while branch:
+            low_bit = branch & -branch
+            branch ^= low_bit
+            vertex_adjacency = adjacency[low_bit.bit_length() - 1]
+            expand(
+                current | low_bit,
+                candidates & vertex_adjacency,
+                excluded & vertex_adjacency,
+            )
+            candidates ^= low_bit
+            excluded |= low_bit
+
+    if start:
+        expand(0, start, 0)
+    return cliques, dfs_nodes
+
+
+_JITTED_CLIQUES = None
+
+
+def _jitted_cliques():
+    """Lazily build the numba-compiled uint64 search (None without numba)."""
+    global _JITTED_CLIQUES
+    if _JITTED_CLIQUES is not None or not compiled_kernels_available():
+        return _JITTED_CLIQUES
+    from numba import njit  # pragma: no cover - numba not in CI image
+
+    @njit(cache=True)  # pragma: no cover - numba not in CI image
+    def search(adjacency, count, start):
+        # Iterative Bron–Kerbosch on uint64 masks with an explicit stack;
+        # the visit order reproduces the recursive reference exactly.
+        capacity = 4 * (count + 2)
+        stack_cur = np.zeros(capacity, dtype=np.uint64)
+        stack_cand = np.zeros(capacity, dtype=np.uint64)
+        stack_excl = np.zeros(capacity, dtype=np.uint64)
+        stack_branch = np.zeros(capacity, dtype=np.uint64)
+        stack_state = np.zeros(capacity, dtype=np.int64)
+        cliques = []
+        dfs_nodes = 0
+        top = 0
+        stack_cur[0] = np.uint64(0)
+        stack_cand[0] = start
+        stack_excl[0] = np.uint64(0)
+        stack_state[0] = 0
+        while top >= 0:
+            state = stack_state[top]
+            if state == 0:
+                dfs_nodes += 1
+                candidates = stack_cand[top]
+                excluded = stack_excl[top]
+                if candidates == np.uint64(0) and excluded == np.uint64(0):
+                    cliques.append(stack_cur[top])
+                    top -= 1
+                    continue
+                pool = candidates | excluded
+                best_cover = -1
+                pivot_adjacency = np.uint64(0)
+                while pool != np.uint64(0):
+                    low_bit = pool & (~pool + np.uint64(1))
+                    pool ^= low_bit
+                    index = 0
+                    probe = low_bit
+                    while probe > np.uint64(1):
+                        probe >>= np.uint64(1)
+                        index += 1
+                    cover = candidates & adjacency[index]
+                    cover_size = 0
+                    c = cover
+                    while c != np.uint64(0):
+                        c &= c - np.uint64(1)
+                        cover_size += 1
+                    if cover_size > best_cover:
+                        best_cover = cover_size
+                        pivot_adjacency = cover
+                stack_branch[top] = candidates & ~pivot_adjacency
+                stack_state[top] = 1
+            else:
+                branch = stack_branch[top]
+                if branch == np.uint64(0):
+                    top -= 1
+                    continue
+                low_bit = branch & (~branch + np.uint64(1))
+                stack_branch[top] = branch ^ low_bit
+                index = 0
+                probe = low_bit
+                while probe > np.uint64(1):
+                    probe >>= np.uint64(1)
+                    index += 1
+                vertex_adjacency = adjacency[index]
+                child_cur = stack_cur[top] | low_bit
+                child_cand = stack_cand[top] & vertex_adjacency
+                child_excl = stack_excl[top] & vertex_adjacency
+                stack_cand[top] = stack_cand[top] ^ low_bit
+                stack_excl[top] = stack_excl[top] | low_bit
+                top += 1
+                stack_cur[top] = child_cur
+                stack_cand[top] = child_cand
+                stack_excl[top] = child_excl
+                stack_state[top] = 0
+        return cliques, dfs_nodes
+
+    _JITTED_CLIQUES = search
+    return _JITTED_CLIQUES
+
+
+def compiled_cliques(
+    adjacency: List[int], count: int, start: int
+) -> Optional[Tuple[List[int], int]]:
+    """JIT-compiled clique search, or ``None`` when the caller should use
+    the pure-Python reference (kernels off, graph too wide, or no numba).
+    """
+    if not _ENABLED or count > 64 or not compiled_kernels_available():
+        return None
+    search = _jitted_cliques()
+    if search is None:  # pragma: no cover - defensive
+        return None
+    masks = np.array(
+        [np.uint64(mask) for mask in adjacency], dtype=np.uint64
+    )  # pragma: no cover - numba not in CI image
+    raw, dfs_nodes = search(
+        masks, count, np.uint64(start)
+    )  # pragma: no cover - numba not in CI image
+    return [int(mask) for mask in raw], int(
+        dfs_nodes
+    )  # pragma: no cover - numba not in CI image
+
+
+# -- vectorized cumulative rate selection --------------------------------------
+
+
+class RateSelector:
+    """Vectorized per-member best-rate selection for Eq. 3 feasibility.
+
+    Precomputes a threshold-padded matrix over the enumeration's link
+    entries; :meth:`choose` then answers "which rate does each subset
+    member get under this accumulated interference" with one numpy
+    evaluation instead of a Python loop over members and rates.
+
+    Rate tables are fastest-first with descending SINR thresholds, so the
+    first satisfied threshold is the scalar loop's answer; division and
+    ``>=`` are correctly-rounded elementwise operations, so the vectorized
+    choice is bit-identical to the scalar one.
+    """
+
+    def __init__(self, entries, power: np.ndarray, noise: float):
+        self.senders = np.array(
+            [entry.sender_index for entry in entries], dtype=np.intp
+        )
+        self.receivers = np.array(
+            [entry.receiver_index for entry in entries], dtype=np.intp
+        )
+        self.signals = np.array(
+            [entry.signal_mw for entry in entries], dtype=float
+        )
+        self.self_power = np.array(
+            [
+                power[entry.sender_index, entry.receiver_index]
+                for entry in entries
+            ],
+            dtype=float,
+        )
+        width = max(
+            (len(entry.thresholds) for entry in entries), default=0
+        )
+        thresholds = np.full((len(entries), max(width, 1)), np.inf)
+        for row, entry in enumerate(entries):
+            thresholds[row, : len(entry.thresholds)] = entry.thresholds
+        self.thresholds = thresholds
+        self.noise = noise
+
+    def choose(
+        self, subset: List[int], acc: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Rate indices for ``subset`` under interference ``acc``.
+
+        ``acc[j]`` is the summed received power at node ``j`` from all of
+        the subset's senders.  Returns the per-member index into each
+        entry's ``rates`` tuple, or ``None`` when some member keeps no
+        rate (the subset is infeasible).
+        """
+        index = np.asarray(subset, dtype=np.intp)
+        interference = acc[self.receivers[index]] - self.self_power[index]
+        ratio = self.signals[index] / (interference + self.noise)
+        satisfied = ratio[:, None] >= self.thresholds[index]
+        if not satisfied.any(axis=1).all():
+            return None
+        return satisfied.argmax(axis=1)

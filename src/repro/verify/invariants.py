@@ -50,6 +50,7 @@ from repro.estimation.idle_time import (
 )
 from repro.interference.base import LinkRate
 from repro.interference.physical import PhysicalInterferenceModel
+from repro.scale.tiles import TileConfig, TiledPathEstimate, tiled_path_bandwidth
 from repro.verify.instances import VerifyInstance
 from repro.verify.reference import (
     ReplayReport,
@@ -177,6 +178,21 @@ class InstanceArtifacts:
             self.instance.background,
             subset_size=2,
         ).available_bandwidth
+
+    @cached_property
+    def tiled(self) -> TiledPathEstimate:
+        """The scale layer's tile-decomposed two-sided estimate.
+
+        Two-link tiles on purpose: the bracket must be exercised with a
+        real multi-tile decomposition, not the degenerate single tile
+        (which collapses bit-for-bit onto the exact solve).
+        """
+        return tiled_path_bandwidth(
+            self.instance.model,
+            self.instance.new_path,
+            self.instance.background,
+            TileConfig(tile_size=2),
+        )
 
     @cached_property
     def upper_bound(self) -> float:
@@ -569,6 +585,21 @@ def _check_twohop_sane(ctx: InstanceArtifacts) -> Tuple[bool, str]:
     return math.isfinite(value) and value >= 0.0, detail
 
 
+def _check_tiled_bracket(ctx: InstanceArtifacts) -> Tuple[bool, str]:
+    estimate = ctx.tiled
+    slack = _tolerance(ctx.optimum)
+    detail = (
+        f"tiled [{estimate.lower_bound:.6f}, {estimate.upper_bound:.6f}] "
+        f"vs optimum {ctx.optimum:.6f} Mbps over "
+        f"{len(estimate.tiles)} tiles"
+    )
+    bracketed = (
+        estimate.lower_bound <= ctx.optimum + slack
+        and ctx.optimum <= estimate.upper_bound + slack
+    )
+    return bracketed, detail
+
+
 def _pairwise(instance: VerifyInstance) -> bool:
     return not isinstance(instance.model, PhysicalInterferenceModel)
 
@@ -723,6 +754,15 @@ INVARIANTS: Tuple[Invariant, ...] = (
         ),
         check=_check_twohop_single_clique,
         predicate=lambda i: i.single_clique,
+    ),
+    Invariant(
+        name="tiled-bracket-holds",
+        equation="Eq. 6 / Sec. 3.3",
+        description=(
+            "The interference-tile estimate brackets the exact optimum: "
+            "restricted-column LB <= Eq. 6 <= bottleneck-tile UB"
+        ),
+        check=_check_tiled_bracket,
     ),
     Invariant(
         name="twohop-estimate-sane",

@@ -76,3 +76,61 @@ class TestLineNetwork:
             for other in cliques:
                 if clique is not other:
                     assert not set(clique) < set(other)
+
+
+class TestLinearSweepPin:
+    """The linear dominance sweep vs the quadratic subset filter."""
+
+    @staticmethod
+    def _quadratic_reference(model, path, rates):
+        """The seed's O(runs^2) maximality filter over the raw runs."""
+        from repro.interference.base import LinkRate
+
+        couples = [LinkRate(link, rates[link.link_id]) for link in path]
+        n = len(couples)
+        runs = []
+        for start in range(n):
+            end = start
+            while end + 1 < n and all(
+                model.conflicts(couples[end + 1], couples[member])
+                for member in range(start, end + 1)
+            ):
+                end += 1
+            runs.append(list(range(start, end + 1)))
+        return [
+            run
+            for run in runs
+            if not any(
+                other is not run and set(run) < set(other)
+                for other in runs
+            )
+        ]
+
+    def test_matches_quadratic_reference_on_all_families(self):
+        import pytest
+
+        pytest.importorskip("hypothesis")
+        from hypothesis import HealthCheck, given, settings
+
+        from repro.verify.instances import instance_strategy
+
+        @given(instance=instance_strategy())
+        @settings(
+            max_examples=30,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        def identical(instance):
+            rates = {
+                link.link_id: instance.model.max_standalone_rate(link)
+                for link in instance.new_path
+            }
+            if any(rate is None for rate in rates.values()):
+                return
+            assert local_interference_cliques(
+                instance.model, instance.new_path, rates
+            ) == self._quadratic_reference(
+                instance.model, instance.new_path, rates
+            )
+
+        identical()

@@ -159,7 +159,7 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5",
             "a1", "a2", "a3", "a4", "a5",
-            "x1", "x2", "x3", "x4", "x6", "s1",
+            "x1", "x2", "x3", "x4", "x6", "x7", "s1",
         }
 
     def test_unknown_id_raises(self):

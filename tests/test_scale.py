@@ -1,0 +1,396 @@
+"""The scaling layer: interference tiles, compiled kernels, and the
+scale-exposed bug pins (incremental kernel growth, vectorized matrix and
+link builds)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import available_path_bandwidth
+from repro.core.independent_sets import (
+    _maximal_cliques_bitset,
+    enumerate_maximal_independent_sets,
+)
+from repro.errors import InfeasibleProblemError
+from repro.interference.kernel import GeometricKernel, matrix_power_reference
+from repro.interference.protocol import ProtocolInterferenceModel
+from repro.net.generators import scatter_topology
+from repro.net.random_topology import random_topology
+from repro.obs import Recorder, use_recorder
+from repro.phy.radio import RadioConfig
+from repro.scale import (
+    RateSelector,
+    TileConfig,
+    cliques_u64,
+    compiled_cliques,
+    compiled_kernels_available,
+    decompose_path,
+    enable_compiled_kernels,
+    kernels_active,
+    tiled_path_bandwidth,
+)
+from repro.verify.instances import iter_instances
+
+
+def _exact_or_none(instance):
+    try:
+        return available_path_bandwidth(
+            instance.model, instance.new_path, instance.background
+        ).available_bandwidth
+    except InfeasibleProblemError:
+        return None
+
+
+class TestTileDecomposition:
+    def test_tiles_cover_the_path_in_order(self):
+        for instance in iter_instances(8, seed=11):
+            tiles = decompose_path(
+                instance.model,
+                instance.new_path,
+                instance.background,
+                TileConfig(tile_size=2),
+            )
+            covered = set()
+            previous_start = -1
+            for tile in tiles:
+                assert tile.start > previous_start
+                previous_start = tile.start
+                covered.update(range(tile.start, tile.end + 1))
+                path_ids = {link.link_id for link in tile.new_links}
+                tile_ids = {link.link_id for link in tile.links}
+                assert path_ids <= tile_ids
+            assert covered == set(range(len(instance.new_path)))
+
+    def test_single_tile_reproduces_exact_bitwise(self):
+        """One tile covering everything is the exact Eq. 6 construction:
+        both bounds must equal the exact optimum bit for bit."""
+        checked = 0
+        for instance in iter_instances(
+            12, seed=7, families=("single-clique",)
+        ):
+            exact = _exact_or_none(instance)
+            if exact is None:
+                continue
+            estimate = tiled_path_bandwidth(
+                instance.model,
+                instance.new_path,
+                instance.background,
+                TileConfig(tile_size=len(instance.new_path)),
+            )
+            if len(estimate.tiles) != 1:
+                continue
+            tile_ids = {link.link_id for link in estimate.tiles[0].links}
+            if any(link.link_id not in tile_ids for link in instance.links):
+                continue
+            assert estimate.lower_bound == exact
+            assert estimate.upper_bound == exact
+            checked += 1
+        assert checked >= 5
+
+    def test_no_rate_path_raises(self):
+        from repro.interference.declared import DeclaredInterferenceModel
+        from repro.net.path import Path
+        from repro.net.topology import Network
+
+        network = Network(RadioConfig(), name="dead-link")
+        for index in range(3):
+            network.add_node(f"n{index}")
+        links = [
+            network.add_link(f"n{i}", f"n{i + 1}", link_id=f"L{i + 1}")
+            for i in range(2)
+        ]
+        model = DeclaredInterferenceModel(
+            network, standalone_mbps={"L2": []}
+        )
+        with pytest.raises(InfeasibleProblemError):
+            decompose_path(model, Path(links))
+
+
+class TestTiledBracket:
+    def test_bracket_on_random_instances(self):
+        pytest.importorskip("hypothesis")
+        from hypothesis import HealthCheck, given, settings
+
+        from repro.verify.instances import instance_strategy
+
+        @given(instance=instance_strategy())
+        @settings(
+            max_examples=20,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        def bracket_holds(instance):
+            exact = _exact_or_none(instance)
+            if exact is None:
+                return
+            estimate = tiled_path_bandwidth(
+                instance.model,
+                instance.new_path,
+                instance.background,
+                TileConfig(tile_size=2),
+            )
+            tolerance = 1e-6 * max(1.0, abs(exact))
+            assert estimate.lower_bound <= exact + tolerance, instance.name
+            assert exact <= estimate.upper_bound + tolerance, instance.name
+            assert estimate.gap >= -tolerance
+
+        bracket_holds()
+
+    def test_scatter_field_end_to_end(self):
+        """A field far past exact tractability completes and brackets."""
+        import networkx as nx
+
+        from repro.net.path import Path
+
+        network = scatter_topology(256, 960.0, 1440.0, seed=8)
+        model = ProtocolInterferenceModel(network)
+        graph = network.to_digraph()
+        reachable = nx.single_source_shortest_path(graph, "n0")
+        farthest = max(reachable, key=lambda node: len(reachable[node]))
+        hops = reachable[farthest]
+        new_path = Path(
+            network.link_between(a, b) for a, b in zip(hops, hops[1:])
+        )
+        bg_hops = nx.shortest_path(graph, "n5", "n128")
+        background = [
+            (
+                Path(
+                    network.link_between(a, b)
+                    for a, b in zip(bg_hops, bg_hops[1:])
+                ),
+                0.5,
+            )
+        ]
+        recorder = Recorder()
+        with use_recorder(recorder):
+            estimate = tiled_path_bandwidth(
+                model, new_path, background, TileConfig(tile_size=6)
+            )
+        assert estimate.upper_bound >= estimate.lower_bound >= 0.0
+        assert len(estimate.tiles) > 1
+        assert recorder.counters["scale.tiles"] == len(estimate.tiles)
+        assert recorder.counters["scale.tile_solves"] == len(estimate.tiles)
+        assert recorder.counters["scale.columns"] == estimate.columns
+
+
+class TestCompiledKernels:
+    def test_flag_roundtrip(self):
+        assert not kernels_active()
+        try:
+            enable_compiled_kernels(True)
+            assert kernels_active()
+        finally:
+            enable_compiled_kernels(False)
+        assert not kernels_active()
+
+    def test_compiled_cliques_disabled_returns_none(self):
+        assert compiled_cliques([0], 1, 1) is None
+
+    def test_compiled_cliques_refuses_wide_graphs(self):
+        try:
+            enable_compiled_kernels(True)
+            assert compiled_cliques([0] * 65, 65, 1) is None
+        finally:
+            enable_compiled_kernels(False)
+
+    def test_cliques_u64_matches_bigint_reference(self):
+        """Same cliques, same order, same DFS-node count, on random
+        graphs up to the 64-vertex width limit."""
+        rng = random.Random("cliques-u64-pin")
+        for _ in range(60):
+            count = rng.randint(1, 16)
+            adjacency = [0] * count
+            for i in range(count):
+                for j in range(i + 1, count):
+                    if rng.random() < rng.choice((0.2, 0.5, 0.8)):
+                        adjacency[i] |= 1 << j
+                        adjacency[j] |= 1 << i
+            recorder = Recorder()
+            with use_recorder(recorder):
+                expected = _maximal_cliques_bitset(adjacency, count)
+            masks, dfs_nodes = cliques_u64(
+                adjacency, count, (1 << count) - 1
+            )
+            assert masks == expected
+            assert dfs_nodes == recorder.counters["enum.dfs_nodes"]
+
+    def test_vectorized_rate_selection_is_bit_identical(self):
+        """Enabling the kernels must not change the cumulative
+        enumeration at all: same sets, same order, same DFS counters."""
+        checked = 0
+        for instance in iter_instances(
+            8, seed=13, families=("physical-chain",)
+        ):
+            baseline_recorder = Recorder()
+            with use_recorder(baseline_recorder):
+                baseline = enumerate_maximal_independent_sets(
+                    instance.model, instance.links
+                )
+            vectorized_recorder = Recorder()
+            try:
+                enable_compiled_kernels(True)
+                with use_recorder(vectorized_recorder):
+                    vectorized = enumerate_maximal_independent_sets(
+                        instance.model, instance.links
+                    )
+            finally:
+                enable_compiled_kernels(False)
+            assert vectorized == baseline
+            assert (
+                vectorized_recorder.counters["enum.dfs_nodes"]
+                == baseline_recorder.counters["enum.dfs_nodes"]
+            )
+            checked += 1
+        assert checked == 8
+
+    def test_rate_selector_matches_scalar_loop(self):
+        """The selector's choice equals the scalar threshold scan on the
+        exact same floats, for every link against every interferer."""
+        network = random_topology(RadioConfig(), seed=8)
+        model = ProtocolInterferenceModel(network)
+        kernel = model.kernel
+        links = list(network.links)[:12]
+        entries = [kernel.entry(link) for link in links]
+        selector = RateSelector(entries, kernel.power, kernel.noise_mw)
+        for interferer in range(len(entries)):
+            subset = [
+                index
+                for index in range(len(entries))
+                if index != interferer
+            ]
+            acc = kernel.power[entries[interferer].sender_index].copy()
+            for index in subset:
+                acc = acc + kernel.power[entries[index].sender_index]
+            chosen = selector.choose(subset, acc)
+            expected = []
+            feasible = True
+            for index in subset:
+                entry = entries[index]
+                interference = (
+                    acc[entry.receiver_index]
+                    - kernel.power[
+                        entry.sender_index, entry.receiver_index
+                    ]
+                )
+                ratio = entry.signal_mw / (interference + kernel.noise_mw)
+                scalar = next(
+                    (
+                        rate_index
+                        for rate_index, threshold in enumerate(
+                            entry.thresholds
+                        )
+                        if ratio >= threshold
+                    ),
+                    None,
+                )
+                if scalar is None:
+                    feasible = False
+                    break
+                expected.append(scalar)
+            if not feasible:
+                assert chosen is None
+            else:
+                assert chosen is not None
+                assert list(chosen) == expected
+
+    def test_numba_availability_is_cached_bool(self):
+        first = compiled_kernels_available()
+        assert compiled_kernels_available() is first
+        assert isinstance(first, bool)
+
+
+class TestKernelGrowth:
+    def _network(self):
+        return scatter_topology(24, 300.0, 300.0, seed=3)
+
+    def test_add_node_grows_instead_of_rebuilding(self):
+        network = self._network()
+        recorder = Recorder()
+        with use_recorder(recorder):
+            kernel = GeometricKernel(network)
+            links = list(network.links)
+            cached = kernel.entry(links[0])
+            network.add_node("z0", 123.0, 45.0)
+            network.add_node("z1", 10.0, 250.0)
+            # A cache miss reaches _ensure_current and grows the matrix;
+            # the previously cached entry must survive untouched.
+            kernel.entry(links[1])
+            assert kernel.entry(links[0]) is cached
+        assert recorder.counters["kernel.matrix_builds"] == 1
+        assert recorder.counters["kernel.matrix_grows"] == 1
+        assert kernel.power.shape == (len(network.nodes),) * 2
+
+    def test_grown_matrix_equals_fresh_rebuild_bitwise(self):
+        network = self._network()
+        kernel = GeometricKernel(network)
+        network.add_node("z0", 77.0, 199.0)
+        kernel.entry(next(iter(network.links)))
+        fresh = GeometricKernel(network)
+        assert kernel.power.shape == fresh.power.shape
+        assert np.array_equal(kernel.power, fresh.power)
+
+    def test_cached_entries_survive_growth(self):
+        network = self._network()
+        recorder = Recorder()
+        with use_recorder(recorder):
+            kernel = GeometricKernel(network)
+            links = list(network.links)
+            entries = {
+                link.link_id: kernel.entry(link) for link in links[:5]
+            }
+            network.add_node("z0", 5.0, 5.0)
+            kernel.entry(links[5])  # cache miss -> matrix growth
+            for link in links[:5]:
+                assert kernel.entry(link) is entries[link.link_id]
+        assert recorder.counters["kernel.matrix_grows"] == 1
+        assert recorder.counters["kernel.entry.misses"] == 6
+
+
+class TestVectorizedMatrix:
+    def test_matrix_matches_scalar_reference_on_paper_topology(self):
+        network = random_topology(RadioConfig(), seed=8)
+        kernel = GeometricKernel(network)
+        nodes = network.nodes
+        for i, sender in enumerate(nodes):
+            for j, receiver in enumerate(nodes):
+                assert kernel.power[i, j] == matrix_power_reference(
+                    network.radio, sender, receiver
+                )
+
+    def test_matrix_matches_scalar_reference_on_scatter(self):
+        network = scatter_topology(40, 400.0, 600.0, seed=21)
+        kernel = GeometricKernel(network)
+        nodes = network.nodes
+        for i, sender in enumerate(nodes):
+            for j, receiver in enumerate(nodes):
+                assert kernel.power[i, j] == matrix_power_reference(
+                    network.radio, sender, receiver
+                )
+
+
+class TestVectorizedLinkBuild:
+    def test_links_identical_to_scalar_loop(self):
+        """The prefiltered link build must emit exactly the links the old
+        all-pairs scalar loop emitted, in the same row-major order."""
+        from repro.net.topology import Network
+
+        reference = scatter_topology(60, 500.0, 750.0, seed=4)
+        scalar = Network(reference.radio, name="scalar")
+        for node in reference.nodes:
+            scalar.add_node(node.node_id, x=node.x, y=node.y)
+        max_range = scalar.radio.rate_table.max_range_m
+        node_list = list(scalar.nodes)
+        scalar_ids = []
+        for sender in node_list:
+            for receiver in node_list:
+                if sender is receiver:
+                    continue
+                if sender.distance_to(receiver) <= max_range:
+                    scalar_ids.append((sender.node_id, receiver.node_id))
+        vector_ids = [
+            (link.sender.node_id, link.receiver.node_id)
+            for link in reference.links
+        ]
+        assert vector_ids == scalar_ids

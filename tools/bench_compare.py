@@ -84,6 +84,18 @@ ONLINE_COUNTERS = (
     "online.cache.result.misses",
 )
 
+#: Tile-decomposition counters (the bench scale segment), gated under
+#: the same both-sides rule.  The scale instance is seed-fixed, so the
+#: tile count, per-tile LP solves and restricted-column family size are
+#: deterministic: tiles *growing* means the decomposer stopped merging
+#: runs, and columns growing means the restricted LB family bloated —
+#: both are the decomposition doing more work per estimate.
+SCALE_COUNTERS = (
+    "scale.tiles",
+    "scale.tile_solves",
+    "scale.columns",
+)
+
 #: The smoke run solves only the 4-hop instance; compare against that row.
 SMOKE_HOPS = 4
 
@@ -149,7 +161,7 @@ def compare(
     regressions = []
     serve_gated = [
         name
-        for name in (*SERVE_COUNTERS, *ONLINE_COUNTERS)
+        for name in (*SERVE_COUNTERS, *ONLINE_COUNTERS, *SCALE_COUNTERS)
         if name in baseline and name in smoke
     ]
     width = max(

@@ -71,6 +71,15 @@ def main(argv=None) -> int:
         default=str(DEFAULT_SLO),
         help=f"SLO definitions (default {DEFAULT_SLO.name})",
     )
+    parser.add_argument(
+        "--objective",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="check only the named objective (repeatable) — for lanes "
+        "that record a subset of the instrumented metrics; an unknown "
+        "name is a usage error",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.slo import evaluate_slos, format_slo_results, load_slo_file
@@ -85,6 +94,27 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
+
+    if args.objective:
+        known = {
+            objective.get("name") for objective in config.get("objective", [])
+        }
+        unknown = [name for name in args.objective if name not in known]
+        if unknown:
+            print(
+                f"unknown objective(s) {', '.join(unknown)}; "
+                f"{args.slo} defines: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        config = {
+            **config,
+            "objective": [
+                objective
+                for objective in config.get("objective", [])
+                if objective.get("name") in args.objective
+            ],
+        }
 
     results = evaluate_slos(config, document)
     print(format_slo_results(results))
