@@ -6,6 +6,7 @@ Usage::
     repro run e2             # reproduce the Section 5.1 worked example
     repro run e4 e5          # several in one go
     repro serve --queries q.jsonl   # batch admission queries (repro.serve)
+    repro explain --path n1,n2,n3 --demand 2   # why a decision came out
     python -m repro run e1   # module form
 
 Resilience: sweeps are fault isolated — a failed sweep item is reported
@@ -348,6 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the flight recorder's K slowest queries after the "
         "table (default 10 when the flag is given bare)",
     )
+    serve_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach a dual-certificate explanation (binding cliques, "
+        "marginal bandwidth, crowd-out) to every decision; rejections "
+        "are explained after the table and --json embeds the full "
+        "explanation per decision",
+    )
     _add_metrics_flags(serve_parser)
     serve_parser.add_argument(
         "--trace",
@@ -371,6 +380,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-history",
         action="store_true",
         help="do not append this traced serve run to the run-history store",
+    )
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="explain one admission decision: dual certificate, binding "
+        "cliques, crowd-out, and the bottleneck clique drawn over the "
+        "topology",
+    )
+    explain_parser.add_argument(
+        "query_id",
+        nargs="?",
+        default="query",
+        help="label of the decision being explained (cosmetic; "
+        "default 'query')",
+    )
+    explain_parser.add_argument(
+        "--path",
+        required=True,
+        metavar="N1,N2,...",
+        help="comma-separated node sequence of the candidate path",
+    )
+    explain_parser.add_argument(
+        "--demand",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="demand to admit; when given, the output leads with the "
+        "admit/reject verdict",
+    )
+    explain_parser.add_argument(
+        "--topology",
+        metavar="PATH",
+        default=None,
+        help="explain over this saved topology (repro.net.io JSON; "
+        "default: the paper's 30-node random topology)",
+    )
+    explain_parser.add_argument(
+        "--paper-seed",
+        type=int,
+        default=8,
+        help="placement seed of the default paper topology (default 8)",
+    )
+    explain_parser.add_argument(
+        "--model",
+        choices=("protocol", "physical"),
+        default="protocol",
+        help="interference model (default protocol)",
+    )
+    explain_parser.add_argument(
+        "--background",
+        metavar="PATH",
+        default=None,
+        help="JSONL background traffic: one "
+        '{"path": [node, ...], "demand_mbps"} object per line',
+    )
+    explain_parser.add_argument(
+        "--max-sets",
+        type=int,
+        default=None,
+        help="enumeration safety cap (default unlimited)",
+    )
+    explain_parser.add_argument(
+        "--no-map",
+        action="store_true",
+        help="skip the ASCII topology rendering of the bottleneck clique",
+    )
+    explain_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the explanation as JSON to PATH ('-' = stdout)",
     )
     obs_parser = subparsers.add_parser(
         "obs",
@@ -710,6 +789,120 @@ def _serve_substrate(args: argparse.Namespace):
     return network, model_type(network)
 
 
+class _LinkSetTrace:
+    """A labelled link set render_topology can trace like a path."""
+
+    def __init__(self, label: str, links):
+        self.label = label
+        self.links = list(links)
+
+    def __iter__(self):
+        return iter(self.links)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _explain_main(args: argparse.Namespace) -> int:
+    """The ``repro explain`` command: one decision, fully attributed."""
+    from repro.core.bandwidth import _collect_links
+    from repro.errors import TopologyError
+    from repro.obs.explain import (
+        explain_path_bandwidth,
+        explanation_to_dict,
+        format_explanation,
+    )
+    from repro.serve.io import load_background, path_from_nodes
+
+    nodes = [node.strip() for node in args.path.split(",") if node.strip()]
+    try:
+        network, model = _serve_substrate(args)
+        background = (
+            load_background(args.background, network)
+            if args.background is not None
+            else []
+        )
+        path = path_from_nodes(network, nodes)
+    except (OSError, json.JSONDecodeError, ConfigurationError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    try:
+        result, explanation = explain_path_bandwidth(
+            model, path, background, max_sets=args.max_sets
+        )
+    except ReproError as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 1
+
+    bandwidth = result.available_bandwidth
+    if args.demand is not None:
+        verdict = "admit" if args.demand <= bandwidth else "reject"
+        print(
+            f"{args.query_id}: {verdict} {args.demand:.3f} Mbps over "
+            f"{' -> '.join(nodes)} ({bandwidth:.6f} Mbps available)"
+        )
+    else:
+        print(
+            f"{args.query_id}: {bandwidth:.6f} Mbps available over "
+            f"{' -> '.join(nodes)}"
+        )
+    print(format_explanation(explanation))
+
+    if not args.no_map:
+        from repro.experiments.ascii_map import render_topology
+
+        traces = [path]
+        bottleneck = explanation.bottleneck
+        if bottleneck is not None:
+            links_by_id = {
+                link.link_id: link
+                for link in _collect_links(background, path)
+            }
+            traces.append(
+                _LinkSetTrace(
+                    "bottleneck clique "
+                    f"{{{', '.join(bottleneck.links)}}}",
+                    (
+                        links_by_id[link_id]
+                        for link_id in bottleneck.links
+                        if link_id in links_by_id
+                    ),
+                )
+            )
+        print()
+        try:
+            print(render_topology(network, paths=traces))
+        except TopologyError as error:
+            print(f"(no topology map: {error})")
+
+    if args.json is not None:
+        document = {
+            "id": args.query_id,
+            "path": nodes,
+            "demand_mbps": args.demand,
+            "available_bandwidth_mbps": bandwidth,
+            "explanation": explanation_to_dict(explanation),
+        }
+        rendered = json.dumps(document, indent=2)
+        if args.json == "-":
+            print(rendered)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(rendered + "\n")
+    return 0
+
+
+def _bottleneck_block(decisions):
+    """The run's dominant-bottleneck history block (``None`` without
+    ``--explain`` — unexplained decisions contribute nothing)."""
+    from repro.obs.explain import bottleneck_summary
+
+    return bottleneck_summary(
+        [decision.explanation for decision in decisions]
+    )
+
+
 def _serve_main(args: argparse.Namespace) -> int:
     """The ``repro serve`` command: answer a JSONL query stream."""
     from repro.fingerprint import fingerprint, network_fingerprint
@@ -774,6 +967,7 @@ def _serve_main(args: argparse.Namespace) -> int:
                 max_sets=args.max_sets,
                 enum_capacity=args.cache_capacity,
                 master_capacity=args.cache_capacity,
+                explain=args.explain,
                 **service_kwargs,
             )
             if flusher is not None:
@@ -816,6 +1010,16 @@ def _serve_main(args: argparse.Namespace) -> int:
     if args.slow_log is not None:
         print()
         print(format_slow_log(service.flight))
+    if args.explain:
+        from repro.obs.explain import format_explanation
+
+        for decision in decisions:
+            if decision.admitted or decision.explanation is None:
+                continue
+            print()
+            print(f"why {decision.query_id} was rejected:")
+            for line in format_explanation(decision.explanation).splitlines():
+                print(f"  {line}")
 
     if recorder is not None:
         if args.trace:
@@ -846,6 +1050,7 @@ def _serve_main(args: argparse.Namespace) -> int:
                             ],
                         }
                     ),
+                    bottleneck=_bottleneck_block(decisions),
                 )
                 store.append(record)
                 print(
@@ -939,6 +1144,7 @@ def _serve_online_main(args: argparse.Namespace) -> int:
                 enum_capacity=args.cache_capacity,
                 master_capacity=args.cache_capacity,
                 pin=args.strict,
+                explain=args.explain,
                 **controller_kwargs,
             )
             if flusher is not None:
@@ -987,6 +1193,16 @@ def _serve_online_main(args: argparse.Namespace) -> int:
     if args.slow_log is not None:
         print()
         print(format_slow_log(controller.flight))
+    if args.explain:
+        from repro.obs.explain import format_explanation
+
+        for decision in decisions:
+            if decision.admitted or decision.explanation is None:
+                continue
+            print()
+            print(f"why {decision.flow_id} was rejected:")
+            for line in format_explanation(decision.explanation).splitlines():
+                print(f"  {line}")
 
     if args.decisions_out is not None:
         with open(args.decisions_out, "w", encoding="utf-8") as stream:
@@ -1016,6 +1232,7 @@ def _serve_online_main(args: argparse.Namespace) -> int:
                             "strict": bool(args.strict),
                         }
                     ),
+                    bottleneck=_bottleneck_block(decisions),
                 )
                 store.append(record)
                 print(
@@ -1057,6 +1274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _obs_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "explain":
+        return _explain_main(args)
     if args.command == "verify":
         from repro.verify import (
             format_differential,

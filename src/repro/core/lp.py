@@ -40,7 +40,8 @@ Infeasible and unbounded outcomes are reported immediately, never retried.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -51,6 +52,7 @@ from repro.errors import InfeasibleProblemError, SolverAttempt, SolverError
 from repro.obs import get_recorder
 
 __all__ = [
+    "DualCertificate",
     "LinearProgram",
     "LpSolution",
     "SOLVER_ATTEMPT_CHAIN",
@@ -108,12 +110,103 @@ class LpSolution:
     #: Dual values (shadow prices) of the ``<=`` constraints, by constraint
     #: name, when the solver reports them.  Used by column generation.
     duals: Dict[str, float]
+    #: Constraint slacks by name: the distance from binding, computed from
+    #: the program's own matrix as ``rhs - A @ x`` in the stored ``<=``
+    #: orientation.  For a ``>=`` row (stored negated) this equals the
+    #: caller-orientation surplus, so ``slack ~ 0`` means *binding* for
+    #: both senses.  Being derived from the program rather than from
+    #: solver internals, the definition is identical across the solver
+    #: fallback chain (dual simplex and ``highs-ipm`` report the same
+    #: slacks for the same ``x``).
+    slacks: Dict[str, float] = field(default_factory=dict)
     #: Simplex/IPM iterations the solver reported (``None`` when
     #: unavailable).  A cached re-solve returns the original count.
     iterations: Optional[int] = None
 
     def __getitem__(self, name: str) -> float:
         return self.values[name]
+
+    def binding_constraints(self, tolerance: float = 1e-9) -> List[str]:
+        """Names of constraints binding at this solution.
+
+        Slacks are nonnegative up to solver noise, so a row is binding
+        when its slack is at most ``tolerance``; the list preserves
+        constraint insertion order.
+        """
+        return [
+            name
+            for name, slack in self.slacks.items()
+            if slack <= tolerance
+        ]
+
+
+@dataclass(frozen=True)
+class DualCertificate:
+    """A checkable optimality certificate for a solved maximisation LP.
+
+    For ``max c.x  s.t.  A x <= b, 0 <= x <= u`` (the stored orientation
+    of :class:`LinearProgram`), LP duality gives ``min b.y + u.w  s.t.
+    A'y + w >= c, y, w >= 0``.  The certificate evaluates the dual
+    objective *from the reported duals alone* — choosing the bound
+    multiplier ``w_j = max(0, c_j - (A'y)_j)`` for every finitely bounded
+    variable, the cheapest dual-feasible completion — and records how far
+    the pair is from textbook optimality:
+
+    * :attr:`gap` — ``|primal - dual|``; zero at optimality.
+    * :attr:`max_row_residual` — ``max_i |y_i * slack_i|``
+      (complementary slackness on rows: a priced row must be binding).
+    * :attr:`max_column_residual` — ``max_j`` of ``|x_j * r_j|`` when the
+      reduced cost ``r_j = c_j - (A'y)_j`` is nonpositive (a variable
+      with negative reduced cost must sit at its lower bound) and
+      ``|(u_j - x_j) * r_j|`` when positive (it must sit at its upper
+      bound).
+    * :attr:`dual_infeasibility` — positive reduced cost on an
+      *unbounded* variable, or a negative row dual; either means ``y``
+      is not actually dual-feasible.
+
+    All four vanish (to tolerance) iff the primal/dual pair proves
+    optimality — a certificate any reviewer can re-check with one
+    matrix-vector product, no solver required.
+    """
+
+    primal_objective: float
+    dual_objective: float
+    gap: float
+    max_row_residual: float
+    max_column_residual: float
+    dual_infeasibility: float
+
+    def valid(self, tolerance: float = 1e-6) -> bool:
+        """Whether every residual is within ``tolerance`` (relative)."""
+        limit = tolerance * max(1.0, abs(self.primal_objective))
+        return (
+            self.gap <= limit
+            and self.max_row_residual <= limit
+            and self.max_column_residual <= limit
+            and self.dual_infeasibility <= limit
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """A JSON-ready mapping of the certificate's fields."""
+        return {
+            "primal_objective": self.primal_objective,
+            "dual_objective": self.dual_objective,
+            "gap": self.gap,
+            "max_row_residual": self.max_row_residual,
+            "max_column_residual": self.max_column_residual,
+            "dual_infeasibility": self.dual_infeasibility,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "DualCertificate":
+        return cls(
+            primal_objective=float(payload["primal_objective"]),
+            dual_objective=float(payload["dual_objective"]),
+            gap=float(payload["gap"]),
+            max_row_residual=float(payload["max_row_residual"]),
+            max_column_residual=float(payload["max_column_residual"]),
+            dual_infeasibility=float(payload["dual_infeasibility"]),
+        )
 
 
 class LinearProgram:
@@ -387,6 +480,79 @@ class LinearProgram:
         self._mutated(append_only=True)
         return name
 
+    # -- certificates ----------------------------------------------------------------
+
+    def certificate(self) -> DualCertificate:
+        """Build the :class:`DualCertificate` for this program's optimum.
+
+        Solves first when needed (an already-solved program reuses its
+        cached solution), then evaluates the dual objective and the
+        complementary-slackness residuals from the stored matrix — one
+        sparse transpose-vector product.  The cost lands on the
+        ``explain.certificate_seconds`` histogram and the
+        ``explain.certificates`` counter.
+        """
+        solution = self.solve()
+        recorder = get_recorder()
+        started = time.perf_counter()
+        n = len(self._names)
+        m = len(self._rhs)
+        x = np.array(
+            [solution.values[name] for name in self._names], dtype=float
+        )
+        c = np.asarray(self._objective, dtype=float)
+        dual_infeasibility = 0.0
+        if m:
+            matrix = self._assemble(m, n)
+            y = np.array(
+                [solution.duals.get(name, 0.0) for name in self._row_names],
+                dtype=float,
+            )
+            slack = np.array(
+                [solution.slacks.get(name, 0.0) for name in self._row_names],
+                dtype=float,
+            )
+            max_row_residual = float(np.max(np.abs(y * slack)))
+            dual_objective = float(np.dot(self._rhs, y))
+            reduced = c - matrix.T @ y
+            if y.size:
+                dual_infeasibility = max(0.0, -float(np.min(y)))
+        else:
+            max_row_residual = 0.0
+            dual_objective = 0.0
+            reduced = c.copy()
+        max_column_residual = 0.0
+        for column, upper in enumerate(self._upper):
+            price = float(reduced[column])
+            if price > 0.0:
+                # Positive reduced cost: the variable must be driven to
+                # its upper bound (or the dual is infeasible when there
+                # is none to drive it to).
+                if upper is None:
+                    dual_infeasibility = max(dual_infeasibility, price)
+                else:
+                    dual_objective += upper * price
+                    max_column_residual = max(
+                        max_column_residual, abs((upper - x[column]) * price)
+                    )
+            else:
+                max_column_residual = max(
+                    max_column_residual, abs(x[column] * price)
+                )
+        certificate = DualCertificate(
+            primal_objective=solution.objective,
+            dual_objective=dual_objective,
+            gap=abs(dual_objective - solution.objective),
+            max_row_residual=max_row_residual,
+            max_column_residual=max_column_residual,
+            dual_infeasibility=dual_infeasibility,
+        )
+        recorder.histogram(
+            "explain.certificate_seconds", time.perf_counter() - started
+        )
+        recorder.count("explain.certificates")
+        return certificate
+
     # -- solving ---------------------------------------------------------------------
 
     def _assemble(self, rows: int, cols: int) -> csr_matrix:
@@ -529,10 +695,21 @@ class LinearProgram:
                     row_name: -float(marginals[row_index])
                     for row_index, row_name in enumerate(self._row_names)
                 }
+            slacks: Dict[str, float] = {}
+            if m:
+                # Recomputed from the program's own matrix rather than
+                # read from solver internals, so dual simplex and the
+                # highs-ipm fallback agree by construction.
+                residual = b_ub - a_ub @ result.x
+                slacks = {
+                    row_name: float(residual[row_index])
+                    for row_index, row_name in enumerate(self._row_names)
+                }
             solution = LpSolution(
                 objective=-float(result.fun),
                 values=values,
                 duals=duals,
+                slacks=slacks,
                 iterations=int(getattr(result, "nit", 0) or 0),
             )
             self._solution = solution

@@ -47,6 +47,17 @@ sets_pruned}``, ``cg.{iterations,columns_added}``,
 """
 
 from repro.obs.events import DEFAULT_MAX_EVENTS, EventBuffer
+from repro.obs.explain import (
+    BindingClique,
+    CrowdOut,
+    Explanation,
+    bottleneck_summary,
+    explain_solution,
+    explanation_from_dict,
+    explanation_to_dict,
+    format_explanation,
+    top_binding_link,
+)
 from repro.obs.export import to_trace_events, write_trace_events
 from repro.obs.metrics import (
     HISTOGRAM_BUCKETS,
@@ -134,4 +145,13 @@ __all__ = [
     "load_slo_file",
     "evaluate_slos",
     "format_slo_results",
+    "BindingClique",
+    "CrowdOut",
+    "Explanation",
+    "bottleneck_summary",
+    "explain_solution",
+    "explanation_from_dict",
+    "explanation_to_dict",
+    "format_explanation",
+    "top_binding_link",
 ]

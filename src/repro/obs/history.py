@@ -86,15 +86,21 @@ def build_run_record(
     wall_seconds: Optional[float] = None,
     fingerprint: Optional[str] = None,
     failures: int = 0,
+    bottleneck: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One history record for a finished run under ``recorder``.
 
     Only top-level span totals are kept (name, calls, total/max
     seconds) — history answers "did the run get slower / do more work",
-    the full tree stays in ``--trace-json``.
+    the full tree stays in ``--trace-json``.  ``bottleneck`` is the run's
+    dominant-bottleneck block from
+    :func:`repro.obs.explain.bottleneck_summary` (explained serve runs
+    only); it rides along so :func:`diff_runs` can report bottleneck
+    migration between runs.  The key is an addition — v2 readers that
+    predate it simply ignore it, so no schema bump.
     """
     snapshot = recorder.snapshot()
-    return {
+    record = {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "run_id": _new_run_id(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -117,6 +123,9 @@ def build_run_record(
         ],
         "failures": failures,
     }
+    if bottleneck is not None:
+        record["bottleneck"] = bottleneck
+    return record
 
 
 class HistoryStore:
@@ -343,6 +352,13 @@ def diff_runs(
     ``span_threshold`` is given (wall time is noisy; the gate is opt-in).
     Mismatched args fingerprints produce a warning entry: the runs
     solved different workloads, so deltas are descriptive, not gating.
+
+    When both records carry a ``"bottleneck"`` block (explained serve
+    runs), their fingerprints are compared and a migration — the
+    dominant contention region moving from one clique to another — is
+    reported under ``"bottleneck"``.  Migration is descriptive, never a
+    regression: a bottleneck legitimately moves when the background mix
+    changes, and surfacing that move is the point.
     """
     warnings_list: List[str] = []
     fp_a = baseline.get("args_fingerprint")
@@ -422,6 +438,22 @@ def diff_runs(
             }
         )
 
+    bottleneck_a = baseline.get("bottleneck")
+    bottleneck_b = candidate.get("bottleneck")
+    bottleneck_diff: Optional[Dict[str, Any]] = None
+    if bottleneck_a is not None or bottleneck_b is not None:
+        migrated = (
+            bottleneck_a is not None
+            and bottleneck_b is not None
+            and bottleneck_a.get("fingerprint")
+            != bottleneck_b.get("fingerprint")
+        )
+        bottleneck_diff = {
+            "baseline": bottleneck_a,
+            "candidate": bottleneck_b,
+            "migrated": migrated,
+        }
+
     return {
         "baseline": {
             "run_id": baseline.get("run_id"),
@@ -436,6 +468,7 @@ def diff_runs(
         "warnings": warnings_list,
         "counters": counter_rows,
         "spans": span_rows,
+        "bottleneck": bottleneck_diff,
         "regressions": regressions,
     }
 
@@ -478,6 +511,28 @@ def format_diff(diff: Dict[str, Any]) -> str:
             b_text = "-" if b is None else f"{b * 1e3:.3f} ms"
             lines.append(
                 f"  {row['name']}  {a_text} -> {b_text}  {row['status']}"
+            )
+    bottleneck = diff.get("bottleneck")
+    if bottleneck is not None:
+        def clique(block: Optional[Dict[str, Any]]) -> str:
+            if block is None:
+                return "(none recorded)"
+            links = ", ".join(block.get("links", [])) or "airtime-only"
+            price = block.get("shadow_price", 0.0)
+            return f"{{{links}}} (price {price:.4f}, fp {block.get('fingerprint')})"
+
+        a, b = bottleneck["baseline"], bottleneck["candidate"]
+        if bottleneck["migrated"]:
+            lines.append(
+                "bottleneck migrated from clique "
+                f"{clique(a)} to clique {clique(b)}"
+            )
+        elif a is not None and b is not None:
+            lines.append(f"bottleneck unchanged: clique {clique(a)}")
+        else:
+            lines.append(
+                f"bottleneck: {clique(a)} (baseline) vs "
+                f"{clique(b)} (candidate)"
             )
     if diff["regressions"]:
         lines.append("regressions:")

@@ -60,11 +60,13 @@ from repro.interference.base import InterferenceModel, LinkRate
 from repro.net.link import Link
 from repro.net.path import Path
 from repro.obs import get_recorder
+from repro.obs.explain import explain_solution
 from repro.phy.rates import Rate
 
 __all__ = [
     "TileConfig",
     "Tile",
+    "TileAttribution",
     "TiledPathEstimate",
     "decompose_path",
     "tiled_path_bandwidth",
@@ -116,6 +118,30 @@ class Tile:
 
 
 @dataclass(frozen=True)
+class TileAttribution:
+    """Provenance of the upper bound: the bottleneck tile's binding clique.
+
+    Derived from the bottleneck tile's own dual solution — the clique is
+    the top contention region of that tile's Eq. 6 LP (same grouping and
+    fingerprint as :func:`repro.obs.explain.explain_solution`), so a
+    tiled estimate names *where* the bracket pinches, not just its value.
+    """
+
+    #: Index of the bottleneck tile in the decomposition.
+    tile: int
+    #: Binding link ids of the tile's top contention region (sorted);
+    #: empty when the airtime budget alone limits the tile.
+    clique_links: Tuple[str, ...]
+    #: Total demand-row shadow price over ``clique_links`` (Mbps/Mbps).
+    shadow_price: float
+    #: Dual of the tile's airtime row (Mbps per unit airtime).
+    airtime_price: float
+    #: Bottleneck fingerprint — comparable with decision explanations'
+    #: :attr:`~repro.obs.explain.Explanation.bottleneck_fingerprint`.
+    fingerprint: str
+
+
+@dataclass(frozen=True)
 class TiledPathEstimate:
     """Two-sided available-bandwidth estimate from the tile decomposition."""
 
@@ -131,6 +157,9 @@ class TiledPathEstimate:
     bottleneck: int
     #: Number of LP columns the lower-bound solve used.
     columns: int
+    #: Dual attribution of the upper bound (bottleneck tile's binding
+    #: clique); ``None`` only if certification of the tile LP failed.
+    attribution: Optional[TileAttribution] = None
 
     @property
     def gap(self) -> float:
@@ -293,6 +322,43 @@ def _residual_columns(
     return residual
 
 
+def _attribute_bottleneck(
+    index: int,
+    tile: Tile,
+    program: Tuple[object, List[RateIndependentSet]],
+    background: Sequence[Tuple[Path, float]],
+    upper: float,
+) -> Optional[TileAttribution]:
+    """Dual attribution of the bottleneck tile's Eq. 6 optimum.
+
+    Re-uses the tile's already-solved LP (the solution is cached, so the
+    certificate costs cache hits, not extra ``lp.solves``) and the
+    explain machinery's clique grouping, so the reported links and
+    fingerprint are exactly what a decision explanation over the same
+    program would show.
+    """
+    lp, columns = program
+    try:
+        explanation = explain_solution(
+            lp.solve(),
+            lp.certificate(),
+            columns,
+            tile.links,
+            background=background,
+            bandwidth=upper,
+        )
+    except InfeasibleProblemError:  # pragma: no cover - defensive
+        return None
+    top = explanation.bottleneck
+    return TileAttribution(
+        tile=index,
+        clique_links=top.links if top else (),
+        shadow_price=top.shadow_price if top else 0.0,
+        airtime_price=explanation.airtime_price,
+        fingerprint=explanation.bottleneck_fingerprint,
+    )
+
+
 def tiled_path_bandwidth(
     model: InterferenceModel,
     new_path: Path,
@@ -315,6 +381,7 @@ def tiled_path_bandwidth(
         recorder.count("scale.tiles", len(tiles))
         demands = link_demands_from_paths(background)
         tile_optima: List[float] = []
+        tile_programs: List[Tuple[object, List[RateIndependentSet]]] = []
         column_pool: Dict[RateIndependentSet, None] = {}
         for tile in tiles:
             with recorder.span("scale.tile_lp"):
@@ -329,6 +396,7 @@ def tiled_path_bandwidth(
                     value = 0.0
             recorder.count("scale.tile_solves")
             tile_optima.append(value)
+            tile_programs.append((lp, columns))
             for column in columns:
                 column_pool.setdefault(column)
 
@@ -336,6 +404,10 @@ def tiled_path_bandwidth(
             range(len(tile_optima)), key=tile_optima.__getitem__
         )
         upper = tile_optima[bottleneck]
+        attribution = _attribute_bottleneck(
+            bottleneck, tiles[bottleneck], tile_programs[bottleneck],
+            background, upper,
+        )
 
         covered = {
             link.link_id for tile in tiles for link in tile.links
@@ -371,4 +443,5 @@ def tiled_path_bandwidth(
         tiles=tuple(tiles),
         bottleneck=bottleneck,
         columns=len(lb_columns),
+        attribution=attribution,
     )

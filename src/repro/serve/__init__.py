@@ -14,6 +14,11 @@ incrementally against warm per-union master LPs while staying
 byte-identical to a cold Eq. 6 solve.  The CLI front ends are
 ``repro serve --queries queries.jsonl`` and ``repro serve --online``.
 
+Both engines take ``explain=True`` (CLI ``--explain``) to attach a
+:class:`~repro.obs.explain.Explanation` — dual certificate, binding
+cliques, crowd-out attribution — to every decision; the flight
+recorder's slow log names each query's top binding link either way.
+
 Cached answers are exactly the cold solver's answers: every cache is
 keyed on the same link universe the cold path enumerates over, and the
 warm-start path assembles the identical program (see

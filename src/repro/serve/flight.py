@@ -3,7 +3,9 @@
 Aggregate metrics say the p99 moved; they cannot say *which* query
 moved it or why.  The :class:`FlightRecorder` keeps the full causal
 record — cache outcome per level, columns enumerated, LP iterations,
-warm vs cold — for the K slowest queries seen, in O(K) memory
+warm vs cold, plus the top binding demand row and its shadow price
+(*where* the query contended, not just how long it took) — for the K
+slowest queries seen, in O(K) memory
 regardless of stream length (a min-heap ordered by latency: a new
 record evicts the fastest resident only when it is slower).
 
@@ -85,9 +87,12 @@ def format_slow_log(recorder: FlightRecorder) -> str:
         header,
         f"  {'latency':>12}  {'id':<12}  {'state':<6}  "
         f"{'result':<6}  {'cols$':<6}  {'lp$':<7}  "
-        f"{'columns':>7}  {'lp iters':>8}  warm",
+        f"{'columns':>7}  {'lp iters':>8}  {'warm':<4}  "
+        f"{'bottleneck':<14}  price",
     ]
     for record in records:
+        bottleneck = record.get("bottleneck_link") or "-"
+        price = record.get("bottleneck_price", 0.0) or 0.0
         lines.append(
             f"  {record.get('latency_seconds', 0.0) * 1e3:>9.3f} ms  "
             f"{str(record.get('query_id', '?')):<12}  "
@@ -97,6 +102,8 @@ def format_slow_log(recorder: FlightRecorder) -> str:
             f"{str(record.get('lp_cache', '?')):<7}  "
             f"{record.get('columns', 0):>7}  "
             f"{record.get('lp_iterations', 0):>8}  "
-            f"{'yes' if record.get('lp_warm_start') else 'no'}"
+            f"{'yes' if record.get('lp_warm_start') else 'no':<4}  "
+            f"{str(bottleneck):<14}  "
+            f"{price:.4f}"
         )
     return "\n".join(lines)

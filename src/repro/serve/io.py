@@ -20,6 +20,7 @@ from collections import Counter
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError, TopologyError
+from repro.obs.explain import explanation_from_dict, explanation_to_dict
 from repro.obs.metrics import Histogram
 from repro.net.path import Path
 from repro.net.topology import Network
@@ -159,7 +160,7 @@ def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
     outcomes) are additions to the original wire format — consumers of
     the old keys are unaffected.
     """
-    return {
+    record = {
         "id": decision.query_id,
         "admitted": decision.admitted,
         "available_bandwidth_mbps": decision.available_bandwidth_mbps,
@@ -172,6 +173,9 @@ def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
         "columns_cache": decision.columns_cache,
         "lp_cache": decision.lp_cache,
     }
+    if decision.explanation is not None:
+        record["explanation"] = explanation_to_dict(decision.explanation)
+    return record
 
 
 def online_decision_to_dict(decision: OnlineDecision) -> Dict[str, Any]:
@@ -182,7 +186,7 @@ def online_decision_to_dict(decision: OnlineDecision) -> Dict[str, Any]:
     floats by shortest round-tripping repr, so a JSONL decision log is
     an exact wire format, not an approximation.
     """
-    return {
+    record = {
         "seq": decision.seq,
         "trace_id": decision.trace_id,
         "time": decision.time,
@@ -199,6 +203,9 @@ def online_decision_to_dict(decision: OnlineDecision) -> Dict[str, Any]:
         "carried_flows": decision.carried_flows,
         "fingerprint": decision.fingerprint,
     }
+    if decision.explanation is not None:
+        record["explanation"] = explanation_to_dict(decision.explanation)
+    return record
 
 
 def online_decision_from_dict(record: Dict[str, Any]) -> OnlineDecision:
@@ -222,6 +229,11 @@ def online_decision_from_dict(record: Dict[str, Any]) -> OnlineDecision:
             latency_seconds=float(record["latency_seconds"]),
             carried_flows=int(record["carried_flows"]),
             fingerprint=str(record.get("fingerprint", "")),
+            explanation=(
+                explanation_from_dict(record["explanation"])
+                if record.get("explanation") is not None
+                else None
+            ),
         )
     except KeyError as error:
         raise ConfigurationError(

@@ -80,6 +80,12 @@ from repro.fingerprint import fingerprint, model_fingerprint
 from repro.interference.base import InterferenceModel
 from repro.net.path import Path
 from repro.obs import get_recorder
+from repro.obs.explain import (
+    Explanation,
+    explain_path_bandwidth,
+    explain_solution,
+    top_binding_link,
+)
 from repro.routing.metrics import HopCountMetric, RoutingContext
 from repro.routing.shortest_path import route
 from repro.serve.cache import SolveCache
@@ -126,6 +132,11 @@ class OnlineDecision:
     #: Digest of (model, link union, demand vector) — the exact cache
     #: locus this decision solved under; empty when unrouted.
     fingerprint: str = ""
+    #: Decision provenance (:class:`~repro.obs.explain.Explanation`),
+    #: populated when the controller runs with ``explain=True`` and the
+    #: decision came from an Eq. 6 solve (never for ``unrouted`` /
+    #: ``twohop`` answers).
+    explanation: Optional[Explanation] = None
 
 
 class _OnlineMaster:
@@ -168,12 +179,22 @@ class _OnlineMaster:
 class _ArrivalOutcome:
     """What one arrival's solve learned (answer + causal record)."""
 
-    __slots__ = ("bandwidth", "cache_state", "fingerprint")
+    __slots__ = (
+        "bandwidth",
+        "cache_state",
+        "fingerprint",
+        "bottleneck",
+        "explanation",
+    )
 
     def __init__(self) -> None:
         self.bandwidth = 0.0
         self.cache_state = "cold"
         self.fingerprint = ""
+        #: ``(link_id, shadow_price)`` of the top binding demand row —
+        #: always recorded on solved arrivals for the flight recorder.
+        self.bottleneck: Optional[Tuple[str, float]] = None
+        self.explanation: Optional[Explanation] = None
 
 
 class OnlineAdmissionController:
@@ -206,6 +227,7 @@ class OnlineAdmissionController:
         incremental: bool = True,
         pin: bool = False,
         policy: str = "eq6",
+        explain: bool = False,
     ):
         if policy not in ("eq6", "twohop"):
             raise ConfigurationError(
@@ -224,6 +246,9 @@ class OnlineAdmissionController:
         self.incremental = incremental
         self.pin = pin
         self.policy = policy
+        #: With ``explain=True`` every Eq. 6 decision carries an
+        #: :class:`~repro.obs.explain.Explanation`; off by default.
+        self.explain = explain
         if policy == "twohop":
             from repro.routing.admission import TwoHopAdmission
 
@@ -380,6 +405,12 @@ class OnlineAdmissionController:
                 "fingerprint": outcome.fingerprint,
                 "cache_state": outcome.cache_state,
                 "carried_flows": len(self._carried),
+                "bottleneck_link": (
+                    outcome.bottleneck[0] if outcome.bottleneck else None
+                ),
+                "bottleneck_price": (
+                    outcome.bottleneck[1] if outcome.bottleneck else 0.0
+                ),
             }
         )
         return OnlineDecision(
@@ -398,6 +429,7 @@ class OnlineAdmissionController:
             latency_seconds=latency,
             carried_flows=len(self._carried),
             fingerprint=outcome.fingerprint,
+            explanation=outcome.explanation,
         )
 
     # -- routing ----------------------------------------------------------------
@@ -460,13 +492,17 @@ class OnlineAdmissionController:
     def _available_bandwidth(self, path: Path) -> _ArrivalOutcome:
         """The incremental decision path: result → warm → cold."""
         recorder = get_recorder()
-        (_background, union, union_key, path_key,
+        (background, union, union_key, path_key,
          demands, demand_key) = self._query_state(path)
         outcome = _ArrivalOutcome()
         outcome.fingerprint = self._fingerprint(union_key, demand_key)
         cached = self.result_cache.get((union_key, path_key, demand_key))
         if cached is not None:
-            outcome.bandwidth = cached
+            # Cached entries carry the answer plus its provenance, so a
+            # result hit explains identically to the solve behind it.
+            outcome.bandwidth, outcome.bottleneck, outcome.explanation = (
+                cached
+            )
             outcome.cache_state = "result"
             return outcome
 
@@ -515,8 +551,23 @@ class OnlineAdmissionController:
             result = path_bandwidth_from_solution(
                 solution, master.lambda_vars, master.columns, demands
             )
+            outcome.bottleneck = top_binding_link(solution)
+            if self.explain:
+                outcome.explanation = explain_solution(
+                    solution,
+                    master.lp.certificate(),
+                    master.columns,
+                    union,
+                    background=background,
+                    bandwidth=result.available_bandwidth,
+                )
         self.result_cache.put(
-            (union_key, path_key, demand_key), result.available_bandwidth
+            (union_key, path_key, demand_key),
+            (
+                result.available_bandwidth,
+                outcome.bottleneck,
+                outcome.explanation,
+            ),
         )
         outcome.bandwidth = result.available_bandwidth
         return outcome
@@ -530,9 +581,24 @@ class OnlineAdmissionController:
         outcome = _ArrivalOutcome()
         outcome.cache_state = "cold"
         outcome.fingerprint = self._fingerprint(union_key, demand_key)
-        result = available_path_bandwidth(
-            self.model, path, background, max_sets=self.max_sets
-        )
+        if self.explain:
+            result, explanation = explain_path_bandwidth(
+                self.model, path, background, max_sets=self.max_sets
+            )
+            outcome.explanation = explanation
+            prices = explanation.marginal_bandwidth
+            if prices:
+                # Same pick as top_binding_link: max price, then the
+                # smaller link id.
+                link_id = min(
+                    prices, key=lambda member: (-prices[member], member)
+                )
+                if prices[link_id] > 0.0:
+                    outcome.bottleneck = (link_id, prices[link_id])
+        else:
+            result = available_path_bandwidth(
+                self.model, path, background, max_sets=self.max_sets
+            )
         outcome.bandwidth = result.available_bandwidth
         return outcome
 

@@ -69,6 +69,11 @@ from repro.interference.base import InterferenceModel
 from repro.net.link import Link
 from repro.net.path import Path
 from repro.obs import get_recorder
+from repro.obs.explain import (
+    Explanation,
+    explain_solution,
+    top_binding_link,
+)
 from repro.serve.cache import SolveCache
 from repro.serve.flight import DEFAULT_SLOW_LOG_SIZE, FlightRecorder
 
@@ -119,6 +124,10 @@ class AdmissionDecision:
     result_cache: str = "miss"
     columns_cache: str = "skipped"
     lp_cache: str = "skipped"
+    #: Decision provenance (:class:`~repro.obs.explain.Explanation`):
+    #: binding cliques, crowd-out attribution and the dual certificate.
+    #: Populated only when the service was built with ``explain=True``.
+    explanation: Optional[Explanation] = None
 
 
 class _QueryOutcome:
@@ -140,6 +149,8 @@ class _QueryOutcome:
         "columns",
         "lp_warm_start",
         "lp_iterations",
+        "bottleneck",
+        "explanation",
     )
 
     def __init__(self, fingerprint: str):
@@ -152,6 +163,11 @@ class _QueryOutcome:
         self.columns = 0
         self.lp_warm_start = False
         self.lp_iterations = 0
+        #: ``(link_id, shadow_price)`` of the top binding demand row, or
+        #: ``None`` — always recorded, so the slow log can name where a
+        #: query contended even with explanations off.
+        self.bottleneck: Optional[Tuple[str, float]] = None
+        self.explanation: Optional[Explanation] = None
 
 
 class _MasterState:
@@ -197,12 +213,18 @@ class AdmissionService:
         master_capacity: int = 64,
         result_capacity: int = 4096,
         slow_log: int = DEFAULT_SLOW_LOG_SIZE,
+        explain: bool = False,
     ):
         self.model = model
         self.network = model.network
         self.background = list(background)
         self.max_sets = max_sets
         self.tolerance = tolerance
+        #: With ``explain=True`` every decision carries an
+        #: :class:`~repro.obs.explain.Explanation` (certificate, binding
+        #: cliques, crowd-out); off by default — the hot path then adds
+        #: only the O(rows) bottleneck scan for the flight recorder.
+        self.explain = explain
         self._demands = link_demands_from_paths(self.background)
         self._model_fp = model_fingerprint(model)
         self._background_fp = background_fingerprint(self.background)
@@ -276,6 +298,12 @@ class AdmissionService:
                 "columns": outcome.columns,
                 "lp_warm_start": outcome.lp_warm_start,
                 "lp_iterations": outcome.lp_iterations,
+                "bottleneck_link": (
+                    outcome.bottleneck[0] if outcome.bottleneck else None
+                ),
+                "bottleneck_price": (
+                    outcome.bottleneck[1] if outcome.bottleneck else 0.0
+                ),
             }
         )
         return AdmissionDecision(
@@ -290,6 +318,7 @@ class AdmissionService:
             result_cache=outcome.result_cache,
             columns_cache=outcome.columns_cache,
             lp_cache=outcome.lp_cache,
+            explanation=outcome.explanation,
         )
 
     def submit_many(
@@ -313,7 +342,12 @@ class AdmissionService:
         )
         cached = self.result_cache.get((union_key, path_key))
         if cached is not None:
-            outcome.bandwidth = cached
+            # The cached entry carries the bandwidth plus its provenance
+            # (bottleneck, explanation), so a result hit explains
+            # identically to the solve that filled it.
+            outcome.bandwidth, outcome.bottleneck, outcome.explanation = (
+                cached
+            )
             outcome.cache_state = "result"
             outcome.result_cache = "hit"
             return outcome
@@ -362,8 +396,25 @@ class AdmissionService:
                 master.columns,
                 self._demands,
             )
+            outcome.bottleneck = top_binding_link(solution)
+            if self.explain:
+                outcome.explanation = explain_solution(
+                    solution,
+                    master.lp.certificate(),
+                    master.columns,
+                    union,
+                    background=self.background,
+                    bandwidth=result.available_bandwidth,
+                )
         outcome.lp_iterations = int(solution.iterations or 0)
-        self.result_cache.put((union_key, path_key), result.available_bandwidth)
+        self.result_cache.put(
+            (union_key, path_key),
+            (
+                result.available_bandwidth,
+                outcome.bottleneck,
+                outcome.explanation,
+            ),
+        )
         outcome.bandwidth = result.available_bandwidth
         return outcome
 

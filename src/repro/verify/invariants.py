@@ -152,6 +152,17 @@ class InstanceArtifacts:
         return self.result.available_bandwidth
 
     @cached_property
+    def explanation(self):
+        """The instance's Eq. 6 solve explained (with dual certificate)."""
+        from repro.obs.explain import explain_path_bandwidth
+
+        return explain_path_bandwidth(
+            self.instance.model,
+            self.instance.new_path,
+            self.instance.background,
+        )[1]
+
+    @cached_property
     def reference_optimum(self) -> float:
         """The dense-scipy reference Eq. 6 optimum."""
         return reference_available_bandwidth(
@@ -600,6 +611,25 @@ def _check_tiled_bracket(ctx: InstanceArtifacts) -> Tuple[bool, str]:
     return bracketed, detail
 
 
+def _check_dual_certificate(ctx: InstanceArtifacts) -> Tuple[bool, str]:
+    explanation = ctx.explanation
+    certificate = explanation.certificate
+    detail = (
+        f"gap {certificate.gap:.3e}, row residual "
+        f"{certificate.max_row_residual:.3e}, column residual "
+        f"{certificate.max_column_residual:.3e}, dual infeasibility "
+        f"{certificate.dual_infeasibility:.3e}"
+    )
+    if not certificate.valid(tolerance=1e-6):
+        return False, detail + " (certificate invalid)"
+    value = explanation.available_bandwidth_mbps
+    if abs(value - ctx.optimum) > _tolerance(ctx.optimum):
+        return False, detail + (
+            f" (explained {value:.6f} != optimum {ctx.optimum:.6f} Mbps)"
+        )
+    return True, detail
+
+
 def _pairwise(instance: VerifyInstance) -> bool:
     return not isinstance(instance.model, PhysicalInterferenceModel)
 
@@ -763,6 +793,16 @@ INVARIANTS: Tuple[Invariant, ...] = (
             "restricted-column LB <= Eq. 6 <= bottleneck-tile UB"
         ),
         check=_check_tiled_bracket,
+    ),
+    Invariant(
+        name="dual-certificate-valid",
+        equation="Eq. 6 / LP duality",
+        description=(
+            "Every explained Eq. 6 solve carries a checkable optimality "
+            "certificate: zero duality gap and complementary slackness "
+            "within 1e-6 of the primal scale"
+        ),
+        check=_check_dual_certificate,
     ),
     Invariant(
         name="twohop-estimate-sane",

@@ -379,3 +379,75 @@ class TestRetireColumn:
         lp = _master_program(1)
         with pytest.raises(SolverError, match="unknown LP variable"):
             lp.retire_column("lambda_9")
+
+
+class TestSlacksAndCertificate:
+    def _program(self):
+        # max 2x + 3y  s.t.  x + y <= 4 (binding), y <= 3 (binding),
+        # x + 2y <= 20 (slack by 13)
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=2.0)
+        y = lp.add_variable("y", objective=3.0)
+        lp.add_constraint_le({x: 1.0, y: 1.0}, 4.0, name="sum")
+        lp.add_constraint_le({y: 1.0}, 3.0, name="cap")
+        lp.add_constraint_le({x: 1.0, y: 2.0}, 20.0, name="loose")
+        return lp
+
+    def test_slacks_identify_binding_constraints(self):
+        solution = self._program().solve()
+        assert solution.slacks["sum"] == pytest.approx(0.0, abs=1e-9)
+        assert solution.slacks["cap"] == pytest.approx(0.0, abs=1e-9)
+        assert solution.slacks["loose"] == pytest.approx(13.0)
+        assert sorted(solution.binding_constraints()) == ["cap", "sum"]
+
+    def test_ge_row_slack_is_caller_orientation_surplus(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=-1.0)  # minimise x
+        lp.add_constraint_ge({x: 1.0}, 2.0, name="floor")
+        solution = lp.solve()
+        assert solution.slacks["floor"] == pytest.approx(0.0, abs=1e-9)
+        assert solution.binding_constraints() == ["floor"]
+
+    def test_certificate_validates(self):
+        lp = self._program()
+        certificate = lp.certificate()
+        assert certificate.valid()
+        assert certificate.gap == pytest.approx(0.0, abs=1e-8)
+        assert certificate.primal_objective == pytest.approx(
+            lp.solve().objective
+        )
+        assert certificate.dual_objective == pytest.approx(
+            certificate.primal_objective
+        )
+
+    def test_certificate_round_trips(self):
+        from repro.core.lp import DualCertificate
+
+        certificate = self._program().certificate()
+        assert DualCertificate.from_dict(
+            certificate.to_dict()
+        ) == certificate
+
+    def test_solver_paths_agree_on_binding_constraints(self):
+        """The S1 pin: the dual-simplex and forced highs-ipm fallback
+        paths identify the same binding set (slacks come from the
+        program's own matrix, not solver internals)."""
+        from repro.core.lp import set_solver_fault_hook
+
+        primary = self._program().solve()
+
+        def fail_primary(attempt_index: int, method: str) -> None:
+            if attempt_index == 0:
+                raise RuntimeError("injected: skip dual simplex")
+
+        set_solver_fault_hook(fail_primary)
+        try:
+            fallback = self._program().solve()
+        finally:
+            set_solver_fault_hook(None)
+
+        assert primary.binding_constraints(
+            tolerance=1e-7
+        ) == fallback.binding_constraints(tolerance=1e-7)
+        for name, slack in primary.slacks.items():
+            assert fallback.slacks[name] == pytest.approx(slack, abs=1e-7)

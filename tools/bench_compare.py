@@ -96,6 +96,17 @@ SCALE_COUNTERS = (
     "scale.columns",
 )
 
+#: Provenance counters (dual certificates and explanations built), gated
+#: under the same both-sides rule.  For a fixed workload these are
+#: deterministic: certificates *growing* means something started
+#: certifying per query instead of per solve (an overhead regression on
+#: the explain-off path), and explanations growing means provenance is
+#: being built where it wasn't asked for.
+EXPLAIN_COUNTERS = (
+    "explain.certificates",
+    "explain.explanations",
+)
+
 #: The smoke run solves only the 4-hop instance; compare against that row.
 SMOKE_HOPS = 4
 
@@ -161,7 +172,12 @@ def compare(
     regressions = []
     serve_gated = [
         name
-        for name in (*SERVE_COUNTERS, *ONLINE_COUNTERS, *SCALE_COUNTERS)
+        for name in (
+            *SERVE_COUNTERS,
+            *ONLINE_COUNTERS,
+            *SCALE_COUNTERS,
+            *EXPLAIN_COUNTERS,
+        )
         if name in baseline and name in smoke
     ]
     width = max(
